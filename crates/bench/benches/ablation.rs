@@ -1,0 +1,94 @@
+//! Ablation benches for the engineering choices `DESIGN.md` calls out but
+//! the paper does not plot:
+//!
+//! * solution store: hash set versus the paper's B-tree (ordered) store;
+//! * anchor side: the left-anchored initial solution `(L0, R)` versus the
+//!   symmetric right-anchored `(L, R0)` (the comparison the paper relegates
+//!   to its technical report);
+//! * `EnumAlmostSat` variants on the full traversal (complementing the
+//!   isolated-procedure measurements of Figure 12).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbiplex::store::{BTreeStore, HashStore, SolutionStore};
+use kbiplex::{Anchor, Biplex, CountingSink, EnumKind, TraversalConfig};
+
+fn bench_store(c: &mut Criterion) {
+    // Isolate the store: insert the full MBP set of a mid-sized graph into
+    // each store implementation.
+    let g = bigraph::gen::er::er_bipartite(300, 300, 1_200, 5);
+    let solutions: Vec<Biplex> = kbiplex::enumerate_all(&g, 1);
+
+    let mut group = c.benchmark_group("ablation_store");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("insert", "hash"), |b| {
+        b.iter(|| {
+            let mut store = HashStore::new();
+            solutions.iter().filter(|s| store.insert(s)).count()
+        });
+    });
+    group.bench_function(BenchmarkId::new("insert", "btree"), |b| {
+        b.iter(|| {
+            let mut store = BTreeStore::new();
+            solutions.iter().filter(|s| store.insert(s)).count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_anchor(c: &mut Criterion) {
+    let specs = [
+        ("balanced", bigraph::gen::er::er_bipartite(250, 250, 1_000, 3)),
+        ("wide_right", bigraph::gen::er::er_bipartite(80, 600, 1_000, 3)),
+        ("wide_left", bigraph::gen::er::er_bipartite(600, 80, 1_000, 3)),
+    ];
+    let mut group = c.benchmark_group("ablation_anchor");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, g) in &specs {
+        for anchor in [Anchor::Left, Anchor::Right] {
+            let label = match anchor {
+                Anchor::Left => "left_anchored",
+                Anchor::Right => "right_anchored",
+                Anchor::Arbitrary => unreachable!(),
+            };
+            group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
+                b.iter(|| {
+                    let mut sink = CountingSink::new();
+                    kbiplex::enumerate_mbps(
+                        g,
+                        &TraversalConfig::itraversal(1).with_anchor(anchor),
+                        &mut sink,
+                    );
+                    sink.count
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_enum_kind_end_to_end(c: &mut Criterion) {
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Cfat")
+        .unwrap()
+        .generate_scaled();
+    let mut group = c.benchmark_group("ablation_enumalmostsat_end_to_end");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in EnumKind::ALL {
+        group.bench_with_input(BenchmarkId::new("full_run", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sink = CountingSink::new();
+                kbiplex::enumerate_mbps(
+                    &g,
+                    &TraversalConfig::itraversal(1).with_enum_kind(kind),
+                    &mut sink,
+                );
+                sink.count
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store, bench_anchor, bench_enum_kind_end_to_end);
+criterion_main!(benches);

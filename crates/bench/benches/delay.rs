@@ -1,0 +1,24 @@
+//! Criterion bench backing Figure 8: per-solution delay of the algorithms
+//! on the Divorce stand-in (full enumeration).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbpe_bench::{measure_delay, Algo};
+
+fn bench(c: &mut Criterion) {
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce")
+        .unwrap()
+        .generate_scaled();
+    let mut group = c.benchmark_group("fig8_delay_full_enumeration");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for algo in [Algo::ITraversal, Algo::BTraversal, Algo::Imb, Algo::FaPlexen] {
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| measure_delay(&g, algo, 1, Duration::from_secs(20)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench backing Figure 13: end-to-end detector runtime on a
+//! miniature camouflage-attack scenario.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frauddet::{run_detector, CamouflageScenario, Detector, ScenarioParams};
+
+fn bench(c: &mut Criterion) {
+    let scenario = CamouflageScenario::generate(ScenarioParams {
+        real_users: 1_000,
+        real_products: 300,
+        real_reviews: 3_000,
+        fake_users: 40,
+        fake_products: 40,
+        fake_comments: 480,
+        camouflage_comments: 480,
+        seed: 5,
+    });
+    let mut group = c.benchmark_group("fig13_detectors");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for det in [
+        Detector::Biclique,
+        Detector::KBiplex { k: 1 },
+        Detector::AlphaBetaCore,
+        Detector::DeltaQuasiBiclique { delta: 0.2 },
+    ] {
+        group.bench_function(det.label(), |b| {
+            b.iter(|| run_detector(&scenario, det, 4, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench backing Figure 10: large-MBP enumeration (iTraversal
+//! with size pruning + core reduction vs iMB with size constraints).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbiplex::{CountingSink, LargeMbpParams, TraversalConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Opsahl")
+        .unwrap()
+        .generate_scaled();
+    let mut group = c.benchmark_group("fig10_large_mbps");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for theta in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("iTraversal", theta), &theta, |b, &theta| {
+            b.iter(|| {
+                let mut sink = CountingSink::new();
+                kbiplex::enumerate_large_mbps(
+                    &g,
+                    &LargeMbpParams::symmetric(1, theta),
+                    &TraversalConfig::itraversal(1),
+                    &mut sink,
+                );
+                sink.count
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("iMB", theta), &theta, |b, &theta| {
+            b.iter(|| {
+                let core = bigraph::core_decomp::alpha_beta_core_subgraph(&g, theta - 1, theta - 1);
+                let mut sink = CountingSink::new();
+                baselines::enumerate_imb(
+                    &core.graph,
+                    &baselines::ImbConfig::new(1).with_thresholds(theta, theta),
+                    &mut sink,
+                );
+                sink.count
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

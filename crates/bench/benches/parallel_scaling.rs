@@ -1,0 +1,38 @@
+//! Ablation bench (extension, not a paper figure): scaling of the parallel
+//! full enumeration with the worker-thread count, against the sequential
+//! `iTraversal` baseline on the same input.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbiplex::{par_enumerate_mbps, CountingSink, ParallelConfig, TraversalConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = bigraph::gen::er::er_bipartite(400, 400, 1_600, 11);
+    let k = 1;
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    group.bench_function("sequential_iTraversal", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            kbiplex::enumerate_mbps(&g, &TraversalConfig::itraversal(k), &mut sink);
+            sink.count
+        });
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let (_, stats) =
+                    par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(threads));
+                stats.solutions
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

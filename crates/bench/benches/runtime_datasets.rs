@@ -1,0 +1,29 @@
+//! Criterion bench backing Figure 7(a): first-N-MBP running time of the four
+//! algorithms on the small dataset stand-ins (k = 1).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbpe_bench::{run_algo, Algo};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_first_mbps");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for name in ["Divorce", "Cfat", "Crime"] {
+        let spec = bigraph::gen::datasets::DatasetSpec::by_name(name).unwrap();
+        let g = spec.generate_scaled();
+        for algo in [Algo::ITraversal, Algo::BTraversal, Algo::Imb, Algo::FaPlexen] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), name),
+                &g,
+                |b, g| {
+                    b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(10)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

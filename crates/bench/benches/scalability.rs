@@ -1,0 +1,39 @@
+//! Criterion bench backing Figure 9: first-1000-MBP time of iTraversal and
+//! bTraversal on Erdős–Rényi graphs of growing size and density.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbpe_bench::{run_algo, Algo};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_scalability");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    // (a) growing vertex count at density 10.
+    for n in [2_000u64, 20_000] {
+        let half = (n / 2) as u32;
+        let g = bigraph::gen::er::er_bipartite(half, half, 10 * n, 42);
+        for algo in [Algo::ITraversal, Algo::BTraversal] {
+            group.bench_with_input(BenchmarkId::new(format!("{}_vertices", algo.label()), n), &g, |b, g| {
+                b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(20)));
+            });
+        }
+    }
+    // (b) growing density at 10k vertices.
+    for density in [1u64, 10] {
+        let g = bigraph::gen::er::er_bipartite(5_000, 5_000, density * 10_000, 7);
+        for algo in [Algo::ITraversal, Algo::BTraversal] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_density", algo.label()), density),
+                &g,
+                |b, g| {
+                    b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(20)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

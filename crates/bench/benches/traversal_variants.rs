@@ -1,0 +1,36 @@
+//! Criterion bench backing Figure 11: full-enumeration time of bTraversal
+//! and the iTraversal ablations on the Divorce stand-in.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbiplex::{CountingSink, TraversalConfig};
+
+fn bench(c: &mut Criterion) {
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce")
+        .unwrap()
+        .generate_scaled();
+    let mut group = c.benchmark_group("fig11_variants");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for k in [1usize, 2] {
+        let variants = [
+            ("bTraversal", TraversalConfig::btraversal(k)),
+            ("iTraversal-ES-RS", TraversalConfig::itraversal_left_anchored_only(k)),
+            ("iTraversal-ES", TraversalConfig::itraversal_no_exclusion(k)),
+            ("iTraversal", TraversalConfig::itraversal(k)),
+        ];
+        for (name, cfg) in variants {
+            group.bench_with_input(BenchmarkId::new(name, k), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut sink = CountingSink::new();
+                    kbiplex::enumerate_mbps(&g, cfg, &mut sink);
+                    sink.count
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Reproduces **Figure 12**: average running time of the EnumAlmostSat
+//! implementations (Inflation, L1.0+R1.0, L1.0+R2.0, L2.0+R1.0, L2.0+R2.0)
+//! on almost-satisfying graphs built from the first MBPs of the Writer and
+//! DBLP stand-ins, for varying k.
+//!
+//! Usage: `cargo run --release -p mbpe-bench --bin fig12_enumalmostsat --
+//!         [--samples 200] [--kmax 4] [--scale 1]`
+
+use bigraph::gen::datasets::DatasetSpec;
+use kbiplex::EnumKind;
+use mbpe_bench::{enum_almost_sat_avg_time, prepare_dataset, print_header, Args};
+
+fn main() {
+    let args = Args::parse();
+    let samples: usize = args.get("samples", 200usize);
+    let kmax: usize = args.get("kmax", 4usize);
+    let scale: u32 = args.get("scale", 1u32);
+
+    for name in ["Writer", "DBLP"] {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let g = prepare_dataset(spec, scale);
+        print_header(
+            &format!("Figure 12: EnumAlmostSat avg time (s) on {name} ({samples} almost-satisfying graphs)"),
+            &["k", "Inflation", "L1.0+R1.0", "L1.0+R2.0", "L2.0+R1.0", "L2.0+R2.0"],
+        );
+        let order = [
+            EnumKind::Inflation,
+            EnumKind::L1R1,
+            EnumKind::L1R2,
+            EnumKind::L2R1,
+            EnumKind::L2R2,
+        ];
+        for k in 1..=kmax {
+            let mut row = format!("{k:>10}");
+            for kind in order {
+                let avg = enum_almost_sat_avg_time(&g, k, kind, samples);
+                row.push_str(&format!(" {:>10.6}", avg.as_secs_f64()));
+            }
+            println!("{row}");
+        }
+    }
+}

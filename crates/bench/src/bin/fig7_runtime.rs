@@ -1,0 +1,76 @@
+//! Reproduces **Figure 7**: running time of iMB, FaPlexen, bTraversal and
+//! iTraversal when returning the first N MBPs.
+//!
+//! * part (a): all datasets, k = 1;
+//! * parts (b, c): Writer / DBLP stand-ins, k = 1..5;
+//! * parts (d, e): Writer / DBLP stand-ins, number of returned MBPs
+//!   10^0..10^5.
+//!
+//! Usage:
+//! `cargo run --release -p mbpe-bench --bin fig7_runtime -- [--part a|bc|de|all]
+//!  [--results 1000] [--budget-secs 60] [--scale 1] [--kmax 5]`
+
+use std::time::Duration;
+
+use bigraph::gen::datasets::{DatasetSpec, DATASETS};
+use mbpe_bench::{prepare_dataset, print_header, run_algo, Algo, Args};
+
+fn main() {
+    let args = Args::parse();
+    let part = args.get_str("part").unwrap_or("all").to_string();
+    let results: u64 = args.get("results", 1000u64);
+    let budget = Duration::from_secs(args.get("budget-secs", 60u64));
+    let scale: u32 = args.get("scale", 1u32);
+    let kmax: usize = args.get("kmax", 5usize);
+
+    if part == "a" || part == "all" {
+        print_header(
+            "Figure 7(a): running time (s), first 1000 MBPs, k = 1",
+            &["dataset", "iMB", "FaPlexen", "bTraversal", "iTraversal"],
+        );
+        let upto = args.get("datasets", 6usize); // Divorce..Writer by default
+        for spec in DATASETS.iter().take(upto) {
+            let g = prepare_dataset(spec, scale);
+            let mut row = format!("{:>10}", spec.name);
+            for algo in Algo::ALL {
+                let outcome = run_algo(&g, algo, 1, results, budget);
+                row.push(' ');
+                row.push_str(&outcome.cell());
+            }
+            println!("{row}");
+        }
+    }
+
+    if part == "bc" || part == "all" {
+        for name in ["Writer", "DBLP"] {
+            let spec = DatasetSpec::by_name(name).unwrap();
+            let g = prepare_dataset(spec, scale);
+            print_header(
+                &format!("Figure 7(b/c): running time (s) vs k on {name} (first {results} MBPs)"),
+                &["k", "bTraversal", "iTraversal"],
+            );
+            for k in 1..=kmax {
+                let b = run_algo(&g, Algo::BTraversal, k, results, budget);
+                let i = run_algo(&g, Algo::ITraversal, k, results, budget);
+                println!("{:>10} {} {}", k, b.cell(), i.cell());
+            }
+        }
+    }
+
+    if part == "de" || part == "all" {
+        for name in ["Writer", "DBLP"] {
+            let spec = DatasetSpec::by_name(name).unwrap();
+            let g = prepare_dataset(spec, scale);
+            print_header(
+                &format!("Figure 7(d/e): running time (s) vs #results on {name} (k = 1)"),
+                &["#results", "bTraversal", "iTraversal"],
+            );
+            for exp in 0..=5u32 {
+                let n = 10u64.pow(exp);
+                let b = run_algo(&g, Algo::BTraversal, 1, n, budget);
+                let i = run_algo(&g, Algo::ITraversal, 1, n, budget);
+                println!("{:>10} {} {}", n, b.cell(), i.cell());
+            }
+        }
+    }
+}

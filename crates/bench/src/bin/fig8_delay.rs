@@ -1,0 +1,54 @@
+//! Reproduces **Figure 8**: the delay (maximum time between two consecutive
+//! outputs) of all four algorithms on the small datasets, and its growth
+//! with k on Divorce.
+//!
+//! Usage: `cargo run --release -p mbpe-bench --bin fig8_delay --
+//!         [--budget-secs 120] [--kmax 4]`
+
+use std::time::Duration;
+
+use bigraph::gen::datasets::DatasetSpec;
+use mbpe_bench::{measure_delay, print_header, Algo, Args};
+
+fn cell(d: Option<kbiplex::DelayReport>) -> String {
+    match d {
+        Some(r) => format!("{:>12.6}", r.max_delay.as_secs_f64()),
+        None => format!("{:>12}", "INF"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let budget = Duration::from_secs(args.get("budget-secs", 120u64));
+    let kmax: usize = args.get("kmax", 4usize);
+
+    print_header(
+        "Figure 8(a): delay (s), small datasets, k = 1",
+        &["dataset", "iTraversal", "iMB", "FaPlexen", "bTraversal"],
+    );
+    for spec in DatasetSpec::small_datasets() {
+        let g = spec.generate_scaled();
+        let order = [Algo::ITraversal, Algo::Imb, Algo::FaPlexen, Algo::BTraversal];
+        let mut row = format!("{:>10}", spec.name);
+        for algo in order {
+            row.push(' ');
+            row.push_str(&cell(measure_delay(&g, algo, 1, budget)));
+        }
+        println!("{row}");
+    }
+
+    let divorce = DatasetSpec::by_name("Divorce").unwrap().generate_scaled();
+    print_header(
+        "Figure 8(b): delay (s) vs k on Divorce",
+        &["k", "iMB", "bTraversal", "FaPlexen", "iTraversal"],
+    );
+    for k in 1..=kmax {
+        let order = [Algo::Imb, Algo::BTraversal, Algo::FaPlexen, Algo::ITraversal];
+        let mut row = format!("{k:>10}");
+        for algo in order {
+            row.push(' ');
+            row.push_str(&cell(measure_delay(&divorce, algo, k, budget)));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduces **Figure 9**: scalability on synthetic Erdős–Rényi graphs —
+//! (a) running time vs number of vertices, (b) vs edge density — for
+//! bTraversal and iTraversal, returning the first 1000 MBPs.
+//!
+//! The paper sweeps up to 100M vertices / 1B edges; the default sweep here
+//! stops at 1M vertices so it finishes on a laptop. Pass `--huge` to extend
+//! the sweep by two more points (10M and 100M vertices).
+//!
+//! Usage: `cargo run --release -p mbpe-bench --bin fig9_synthetic --
+//!         [--part a|b|all] [--results 1000] [--budget-secs 120] [--huge]`
+
+use std::time::Duration;
+
+use bigraph::gen::er::{er_bipartite, er_bipartite_with_density};
+use mbpe_bench::{print_header, run_algo, Algo, Args};
+
+fn main() {
+    let args = Args::parse();
+    let part = args.get_str("part").unwrap_or("all").to_string();
+    let results: u64 = args.get("results", 1000u64);
+    let budget = Duration::from_secs(args.get("budget-secs", 120u64));
+
+    if part == "a" || part == "all" {
+        print_header(
+            "Figure 9(a): running time (s) vs #vertices (density 10, k = 1, first 1000 MBPs)",
+            &["#vertices", "bTraversal", "iTraversal"],
+        );
+        let mut sizes: Vec<u64> = vec![10_000, 100_000, 1_000_000];
+        if args.has("huge") {
+            sizes.push(10_000_000);
+            sizes.push(100_000_000);
+        }
+        for n in sizes {
+            let half = (n / 2) as u32;
+            let g = er_bipartite(half, half, 10 * n, 42 + n);
+            let b = run_algo(&g, Algo::BTraversal, 1, results, budget);
+            let i = run_algo(&g, Algo::ITraversal, 1, results, budget);
+            println!("{:>10} {} {}", n, b.cell(), i.cell());
+        }
+    }
+
+    if part == "b" || part == "all" {
+        print_header(
+            "Figure 9(b): running time (s) vs edge density (100k vertices, k = 1, first 1000 MBPs)",
+            &["density", "bTraversal", "iTraversal"],
+        );
+        for density in [0.1f64, 1.0, 10.0, 100.0] {
+            let g = er_bipartite_with_density(50_000, 50_000, density, 7);
+            let b = run_algo(&g, Algo::BTraversal, 1, results, budget);
+            let i = run_algo(&g, Algo::ITraversal, 1, results, budget);
+            println!("{:>10} {} {}", density, b.cell(), i.cell());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Reproduces **Table 1**: the dataset registry (synthetic stand-ins for the
+//! paper's KONECT datasets) with the generated graph statistics at the
+//! default laptop scale.
+//!
+//! Usage: `cargo run --release -p mbpe-bench --bin table1_datasets [--full]`
+
+use bigraph::gen::datasets::DATASETS;
+use bigraph::stats::GraphStats;
+use mbpe_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let full = args.has("full");
+    println!("Table 1: datasets (synthetic stand-ins; paper sizes vs generated sizes)");
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8}",
+        "Name", "Category", "|L| (paper)", "|R| (paper)", "|E| (paper)", "|L| (gen)", "|R| (gen)", "|E| (gen)", "density"
+    );
+    for spec in DATASETS {
+        // The biggest stand-ins are only generated at full size on request.
+        let g = if full { spec.generate_full() } else { spec.generate_scaled() };
+        let s = GraphStats::of(&g);
+        println!(
+            "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8.2}",
+            spec.name,
+            spec.category,
+            spec.num_left,
+            spec.num_right,
+            spec.num_edges,
+            s.num_left,
+            s.num_right,
+            s.num_edges,
+            s.edge_density
+        );
+    }
+    if !full {
+        println!("\n(stand-ins above Writer are down-scaled; pass --full for Table-1 sizes)");
+    }
+}

@@ -1,0 +1,379 @@
+//! A fixed-capacity bitset tuned for the vertex-set operations used by the
+//! enumeration algorithms (membership tests, bulk clear, iteration over set
+//! bits, intersection counting).
+//!
+//! The standard library has no bitset and third-party ones are not part of
+//! the approved dependency set, so this is a small, well-tested local
+//! implementation.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bitset able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0u64; capacity.div_ceil(WORD_BITS)],
+            capacity,
+        }
+    }
+
+    /// Number of indices the set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grows the capacity to at least `capacity` (never shrinks).
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.words.resize(capacity.div_ceil(WORD_BITS), 0);
+            self.capacity = capacity;
+        }
+    }
+
+    /// Inserts `idx`. Returns `true` if the bit was newly set.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.capacity, "index {idx} >= capacity {}", self.capacity);
+        let w = idx / WORD_BITS;
+        let mask = 1u64 << (idx % WORD_BITS);
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Removes `idx`. Returns `true` if the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.capacity);
+        let w = idx / WORD_BITS;
+        let mask = 1u64 << (idx % WORD_BITS);
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        if idx >= self.capacity {
+            return false;
+        }
+        let w = idx / WORD_BITS;
+        self.words[w] & (1u64 << (idx % WORD_BITS)) != 0
+    }
+
+    /// Removes all elements (O(capacity / 64)).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the set indices in increasing order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Inserts every index produced by the iterator.
+    pub fn extend_from<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for idx in iter {
+            self.insert(idx);
+        }
+    }
+
+    /// `self ∩ other` is empty?
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Number of elements in `self ∩ other`.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self ⊆ other`?
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        if other.words.len() >= self.words.len() {
+            self.words
+                .iter()
+                .zip(other.words.iter())
+                .all(|(a, b)| a & !b == 0)
+        } else {
+            self.words.iter().enumerate().all(|(i, a)| {
+                let b = other.words.get(i).copied().unwrap_or(0);
+                a & !b == 0
+            })
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.grow(other.capacity);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for idx in items {
+            set.insert(idx);
+        }
+        set
+    }
+}
+
+/// Iterator over set bits, ascending.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// A "timestamped" marker array: `O(1)` membership and insert, and `O(1)`
+/// *bulk clear* by bumping an epoch counter. Used as reusable scratch space
+/// in the hot enumeration loops to avoid repeated `O(n)` clears.
+#[derive(Clone, Debug, Default)]
+pub struct EpochSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochSet {
+    /// Creates a marker array for indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        EpochSet {
+            stamps: vec![0; capacity],
+            epoch: 1,
+        }
+    }
+
+    /// Grows capacity to at least `capacity`.
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.stamps.len() {
+            self.stamps.resize(capacity, 0);
+        }
+    }
+
+    /// Removes every element in O(1) (amortized; an overflow forces a real clear).
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Inserts `idx`, returning `true` if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let slot = &mut self.stamps[idx];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.stamps.get(idx).copied() == Some(self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(s.contains(0));
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(s.contains(199));
+        assert!(!s.contains(100));
+        assert_eq!(s.len(), 4);
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let mut s = BitSet::new(300);
+        let items = [0usize, 1, 2, 63, 64, 65, 127, 128, 255, 299];
+        for &i in &items {
+            s.insert(i);
+        }
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, items);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        s.insert(42);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 3, 5, 7, 64].into_iter().collect();
+        let b: BitSet = [3usize, 5, 100].into_iter().collect();
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        let c: BitSet = [2usize, 4].into_iter().collect();
+        assert!(a.is_disjoint(&c));
+
+        let sub: BitSet = [3usize, 7].into_iter().collect();
+        assert!(sub.is_subset(&a));
+        assert!(!a.is_subset(&sub));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 6);
+        assert!(u.contains(100));
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        let items: Vec<usize> = i.iter().collect();
+        assert_eq!(items, vec![3, 5]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        let items: Vec<usize> = d.iter().collect();
+        assert_eq!(items, vec![1, 7, 64]);
+    }
+
+    #[test]
+    fn subset_with_shorter_other() {
+        let a: BitSet = [1usize, 200].into_iter().collect();
+        let b: BitSet = [1usize, 2].into_iter().collect();
+        assert!(!a.is_subset(&b));
+        let c: BitSet = [1usize].into_iter().collect();
+        assert!(c.is_subset(&a));
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.grow(1000);
+        assert!(s.contains(3));
+        s.insert(999);
+        assert!(s.contains(999));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn epoch_set_basics() {
+        let mut e = EpochSet::new(50);
+        assert!(e.insert(10));
+        assert!(!e.insert(10));
+        assert!(e.contains(10));
+        assert!(!e.contains(11));
+        e.clear();
+        assert!(!e.contains(10));
+        assert!(e.insert(10));
+    }
+
+    #[test]
+    fn epoch_set_many_clears() {
+        let mut e = EpochSet::new(4);
+        for round in 0..10_000 {
+            e.clear();
+            e.insert(round % 4);
+            assert!(e.contains(round % 4));
+            assert!(!e.contains((round + 1) % 4));
+        }
+    }
+}

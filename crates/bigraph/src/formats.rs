@@ -1,0 +1,352 @@
+//! Additional on-disk formats: KONECT downloads and adjacency lists.
+//!
+//! The paper's real datasets come from the KONECT collection
+//! (<http://konect.cc/>), whose downloads ship as an `out.<name>` file with
+//! `%`-prefixed metadata lines and 1-based, whitespace-separated edge
+//! records that may carry trailing weight / timestamp columns. This module
+//! parses that format directly (so a user with the original downloads can
+//! run the harness on the true datasets instead of the synthetic stand-ins),
+//! plus a compact adjacency-list format convenient for large generated
+//! graphs.
+//!
+//! The simple `<left> <right>` edge-list format lives in [`crate::io`];
+//! [`read_auto`] sniffs the contents and dispatches to the right parser.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::{BipartiteBuilder, BipartiteGraph};
+use crate::{Error, Result};
+
+/// Reads a graph in the KONECT `out.*` format.
+///
+/// * lines starting with `%` are metadata / comments;
+/// * every other line is `<left> <right> [weight [timestamp]]`;
+/// * vertex ids are **1-based** and converted to the crate's 0-based ids;
+/// * multi-edges (repeated ratings of the same item) collapse to one edge.
+pub fn read_konect<R: Read>(reader: R) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_left = 0u32;
+    let mut max_right = 0u32;
+    let mut saw_edge = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let v = parse_1based(it.next(), lineno, line)?;
+        let u = parse_1based(it.next(), lineno, line)?;
+        // Optional weight / timestamp columns are ignored, but if present
+        // they must at least be numeric — anything else signals a file that
+        // is not in KONECT format.
+        for extra in it.take(2) {
+            if extra.parse::<f64>().is_err() {
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    msg: format!("trailing column {extra:?} is not numeric"),
+                });
+            }
+        }
+        saw_edge = true;
+        max_left = max_left.max(v);
+        max_right = max_right.max(u);
+        edges.push((v, u));
+    }
+
+    let (num_left, num_right) = if saw_edge { (max_left + 1, max_right + 1) } else { (0, 0) };
+    let mut builder = BipartiteBuilder::new(num_left, num_right);
+    builder.reserve(edges.len());
+    for (v, u) in edges {
+        builder.add_edge(v, u)?;
+    }
+    Ok(builder.build())
+}
+
+fn parse_1based(token: Option<&str>, lineno: usize, line: &str) -> Result<u32> {
+    let raw = token
+        .and_then(|t| t.parse::<u64>().ok())
+        .ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            msg: format!("expected `<left> <right> [weight [ts]]`, got {line:?}"),
+        })?;
+    if raw == 0 {
+        return Err(Error::Parse {
+            line: lineno + 1,
+            msg: "KONECT vertex ids are 1-based; found id 0".to_string(),
+        });
+    }
+    u32::try_from(raw - 1).map_err(|_| Error::Parse {
+        line: lineno + 1,
+        msg: format!("vertex id {raw} exceeds the supported range"),
+    })
+}
+
+/// Writes a graph in the KONECT `out.*` format (1-based ids, a `%` header).
+pub fn write_konect<W: Write>(g: &BipartiteGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% bip unweighted")?;
+    writeln!(w, "% {} {} {}", g.num_edges(), g.num_left(), g.num_right())?;
+    for (v, u) in g.edges() {
+        writeln!(w, "{} {}", v + 1, u + 1)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph in the adjacency-list format written by
+/// [`write_adjacency`]: a header `# adjacency <num_left> <num_right>`
+/// followed by one line per left vertex listing its right neighbours
+/// (possibly empty).
+pub fn read_adjacency<R: Read>(reader: R) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    let (num_left, num_right) = loop {
+        match lines.next() {
+            Some((lineno, line)) => {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let spec = line.strip_prefix("# adjacency").ok_or_else(|| Error::Parse {
+                    line: lineno + 1,
+                    msg: "adjacency files must start with `# adjacency <L> <R>`".to_string(),
+                })?;
+                let mut it = spec.split_whitespace();
+                let nl = it.next().and_then(|t| t.parse::<u32>().ok());
+                let nr = it.next().and_then(|t| t.parse::<u32>().ok());
+                match (nl, nr) {
+                    (Some(nl), Some(nr)) => break (nl, nr),
+                    _ => {
+                        return Err(Error::Parse {
+                            line: lineno + 1,
+                            msg: format!("malformed adjacency header {line:?}"),
+                        })
+                    }
+                }
+            }
+            None => break (0, 0),
+        }
+    };
+
+    let mut builder = BipartiteBuilder::new(num_left, num_right);
+    let mut v = 0u32;
+    for (lineno, line) in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        if v >= num_left {
+            if line.is_empty() {
+                continue;
+            }
+            return Err(Error::Parse {
+                line: lineno + 1,
+                msg: format!("more adjacency rows than the declared {num_left} left vertices"),
+            });
+        }
+        for tok in line.split_whitespace() {
+            let u = tok.parse::<u32>().map_err(|_| Error::Parse {
+                line: lineno + 1,
+                msg: format!("bad neighbour id {tok:?}"),
+            })?;
+            builder.add_edge(v, u)?;
+        }
+        v += 1;
+    }
+    Ok(builder.build())
+}
+
+/// Writes a graph in the adjacency-list format (one line per left vertex).
+pub fn write_adjacency<W: Write>(g: &BipartiteGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# adjacency {} {}", g.num_left(), g.num_right())?;
+    for v in 0..g.num_left() {
+        let nbrs = g.left_neighbors(v);
+        let mut first = true;
+        for &u in nbrs {
+            if first {
+                write!(w, "{u}")?;
+                first = false;
+            } else {
+                write!(w, " {u}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// The on-disk formats this crate can read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// `crate::io` plain edge list (0-based, optional `# bipartite` header).
+    EdgeList,
+    /// KONECT `out.*` download (1-based, `%` metadata).
+    Konect,
+    /// Adjacency list written by [`write_adjacency`].
+    Adjacency,
+}
+
+/// Guesses the format of a file from its first non-empty line.
+pub fn sniff_format(sample: &str) -> Format {
+    for line in sample.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("# adjacency") {
+            return Format::Adjacency;
+        }
+        if line.starts_with('%') {
+            return Format::Konect;
+        }
+        return Format::EdgeList;
+    }
+    Format::EdgeList
+}
+
+/// Reads a graph from a file, sniffing the format from its contents.
+pub fn read_auto<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph> {
+    let contents = std::fs::read_to_string(path)?;
+    match sniff_format(&contents) {
+        Format::EdgeList => crate::io::read_edge_list(contents.as_bytes()),
+        Format::Konect => read_konect(contents.as_bytes()),
+        Format::Adjacency => read_adjacency(contents.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> BipartiteGraph {
+        BipartiteGraph::from_edges(4, 3, &[(0, 0), (0, 2), (1, 1), (2, 0), (3, 2)]).unwrap()
+    }
+
+    #[test]
+    fn konect_roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_konect(&g, &mut buf).unwrap();
+        let g2 = read_konect(&buf[..]).unwrap();
+        assert_eq!(g2.num_left(), 4);
+        assert_eq!(g2.num_right(), 3);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..4 {
+            assert_eq!(g.left_neighbors(v), g2.left_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn konect_ignores_weights_and_timestamps() {
+        let text = "% bip weighted\n1 1 5 1396787300\n2 3 1 1396787301\n";
+        let g = read_konect(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn konect_collapses_multi_edges() {
+        let text = "1 1\n1 1\n1 2\n";
+        let g = read_konect(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn konect_rejects_zero_ids() {
+        assert!(read_konect("0 1\n".as_bytes()).is_err());
+        assert!(read_konect("1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn konect_rejects_non_numeric_columns() {
+        assert!(read_konect("1 b\n".as_bytes()).is_err());
+        assert!(read_konect("1 2 heavy\n".as_bytes()).is_err());
+        assert!(read_konect("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn konect_empty_input() {
+        let g = read_konect("% nothing here\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(&buf[..]).unwrap();
+        assert_eq!(g2.num_left(), g.num_left());
+        assert_eq!(g2.num_right(), g.num_right());
+        for v in 0..g.num_left() {
+            assert_eq!(g.left_neighbors(v), g2.left_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn adjacency_preserves_isolated_vertices() {
+        let g = BipartiteGraph::from_edges(5, 6, &[(1, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(&buf[..]).unwrap();
+        assert_eq!(g2.num_left(), 5);
+        assert_eq!(g2.num_right(), 6);
+        assert_eq!(g2.num_edges(), 1);
+    }
+
+    #[test]
+    fn adjacency_requires_header() {
+        assert!(read_adjacency("0 1\n2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn adjacency_rejects_extra_rows_and_bad_ids() {
+        assert!(read_adjacency("# adjacency 1 2\n0 1\n1\n".as_bytes()).is_err());
+        assert!(read_adjacency("# adjacency 2 2\nzero\n".as_bytes()).is_err());
+        // Out-of-range neighbour id is a VertexOutOfRange error.
+        assert!(read_adjacency("# adjacency 2 2\n5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn sniffing_dispatches_correctly() {
+        assert_eq!(sniff_format("% konect\n1 1\n"), Format::Konect);
+        assert_eq!(sniff_format("# adjacency 2 2\n0\n1\n"), Format::Adjacency);
+        assert_eq!(sniff_format("# bipartite 2 2\n0 0\n"), Format::EdgeList);
+        assert_eq!(sniff_format("0 0\n"), Format::EdgeList);
+        assert_eq!(sniff_format("\n\n"), Format::EdgeList);
+    }
+
+    #[test]
+    fn read_auto_from_disk() {
+        let dir = std::env::temp_dir().join("bigraph_formats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample_graph();
+
+        let konect_path = dir.join("out.sample");
+        let mut buf = Vec::new();
+        write_konect(&g, &mut buf).unwrap();
+        std::fs::write(&konect_path, &buf).unwrap();
+        let g2 = read_auto(&konect_path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+
+        let adj_path = dir.join("sample.adj");
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        std::fs::write(&adj_path, &buf).unwrap();
+        let g3 = read_auto(&adj_path).unwrap();
+        assert_eq!(g3.num_edges(), g.num_edges());
+
+        std::fs::remove_file(konect_path).ok();
+        std::fs::remove_file(adj_path).ok();
+    }
+}

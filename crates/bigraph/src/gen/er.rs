@@ -1,0 +1,110 @@
+//! Erdős–Rényi bipartite graphs `G(|L|, |R|, m)`.
+//!
+//! The paper's synthetic experiments (Figure 9) create a fixed number of
+//! vertices and then add a fixed number of uniformly random edges; the edge
+//! density is defined as `|E| / (|L| + |R|)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{BipartiteBuilder, BipartiteGraph};
+
+/// Generates a uniform random bipartite graph with exactly `num_edges`
+/// distinct edges (or the maximum possible, if fewer exist).
+pub fn er_bipartite(num_left: u32, num_right: u32, num_edges: u64, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let possible = num_left as u128 * num_right as u128;
+    let target = (num_edges as u128).min(possible) as u64;
+
+    let mut builder = BipartiteBuilder::new(num_left, num_right);
+
+    if possible == 0 || target == 0 {
+        return builder.build();
+    }
+
+    // Dense regime: sample by inclusion probability to avoid rejection
+    // stalls; sparse regime: rejection sampling with a hash set.
+    if target as u128 * 3 >= possible {
+        let p = target as f64 / possible as f64;
+        for v in 0..num_left {
+            for u in 0..num_right {
+                if rng.gen::<f64>() < p {
+                    builder.add_edge_unchecked(v, u);
+                }
+            }
+        }
+    } else {
+        use std::collections::HashSet;
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(target as usize);
+        builder.reserve(target as usize);
+        while (seen.len() as u64) < target {
+            let v = rng.gen_range(0..num_left);
+            let u = rng.gen_range(0..num_right);
+            if seen.insert((v, u)) {
+                builder.add_edge_unchecked(v, u);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Generates an ER bipartite graph with a target *edge density*
+/// `|E| / (|L| + |R|)`, matching the knob of Figure 9(b).
+pub fn er_bipartite_with_density(
+    num_left: u32,
+    num_right: u32,
+    density: f64,
+    seed: u64,
+) -> BipartiteGraph {
+    let edges = (density * (num_left as f64 + num_right as f64)).round().max(0.0) as u64;
+    er_bipartite(num_left, num_right, edges, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_sparse() {
+        let g = er_bipartite(100, 100, 500, 1);
+        assert_eq!(g.num_edges(), 500);
+        assert_eq!(g.num_left(), 100);
+        assert_eq!(g.num_right(), 100);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = er_bipartite(50, 60, 300, 42);
+        let b = er_bipartite(50, 60, 300, 42);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = er_bipartite(50, 60, 300, 43);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn saturates_at_complete_graph() {
+        let g = er_bipartite(5, 5, 1_000, 7);
+        assert!(g.num_edges() <= 25);
+    }
+
+    #[test]
+    fn dense_regime_approximates_target() {
+        let g = er_bipartite(100, 100, 9_000, 3);
+        let got = g.num_edges() as f64;
+        assert!((got - 9_000.0).abs() < 600.0, "got {got}");
+    }
+
+    #[test]
+    fn density_helper() {
+        let g = er_bipartite_with_density(1_000, 1_000, 10.0, 5);
+        assert_eq!(g.num_edges(), 20_000);
+        let g = er_bipartite_with_density(10, 10, 0.0, 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = er_bipartite(0, 10, 5, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

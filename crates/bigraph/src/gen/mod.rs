@@ -1,0 +1,23 @@
+//! Deterministic random bipartite graph generators.
+//!
+//! All generators are seeded explicitly so that every experiment in the
+//! harness is reproducible bit-for-bit.
+//!
+//! * [`er`] — Erdős–Rényi `G(n_L, n_R, m)` graphs: the synthetic datasets of
+//!   the paper's scalability experiments (Figure 9).
+//! * [`chung_lu`] — Chung–Lu style graphs with power-law expected degrees:
+//!   stand-ins for the skewed real datasets of Table 1.
+//! * [`planted`] — background graphs with planted dense (quasi-biclique)
+//!   blocks: ground-truth workloads for correctness tests and the fraud
+//!   case study.
+//! * [`datasets`] — the dataset registry reproducing Table 1.
+
+pub mod chung_lu;
+pub mod datasets;
+pub mod er;
+pub mod planted;
+
+pub use chung_lu::chung_lu_bipartite;
+pub use datasets::{DatasetSpec, DATASETS};
+pub use er::{er_bipartite, er_bipartite_with_density};
+pub use planted::{planted_biplexes, PlantedBlock, PlantedGraph};

@@ -1,0 +1,183 @@
+//! Graphs with *planted* dense blocks (near-bicliques with a bounded number
+//! of missing edges per vertex).
+//!
+//! These serve two purposes:
+//!
+//! * correctness workloads — a planted block with at most `k` missing edges
+//!   per vertex is a k-biplex by construction, so enumeration algorithms
+//!   must find a superset of it;
+//! * the fraud-detection case study — the injected fraud block of the paper
+//!   is exactly a planted quasi-biclique between fake users and fake
+//!   products, camouflaged with edges to real products.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{BipartiteBuilder, BipartiteGraph};
+
+/// Description of one planted block.
+#[derive(Clone, Debug)]
+pub struct PlantedBlock {
+    /// Left vertices of the block (ids in the final graph).
+    pub left: Vec<u32>,
+    /// Right vertices of the block (ids in the final graph).
+    pub right: Vec<u32>,
+    /// Maximum number of edges *removed* per vertex inside the block.
+    pub missing_per_vertex: usize,
+}
+
+/// A generated graph together with its planted ground truth.
+#[derive(Clone, Debug)]
+pub struct PlantedGraph {
+    /// The graph (background noise + planted blocks).
+    pub graph: BipartiteGraph,
+    /// The planted blocks.
+    pub blocks: Vec<PlantedBlock>,
+}
+
+/// Generates a sparse background graph and plants `num_blocks` dense blocks
+/// of size `block_left × block_right`, each with at most `k` missing edges
+/// per vertex (so each block is a k-biplex by construction).
+///
+/// * `background_edges` — number of uniform noise edges.
+/// * Blocks occupy disjoint vertex ranges at the beginning of each side.
+pub fn planted_biplexes(
+    num_left: u32,
+    num_right: u32,
+    background_edges: u64,
+    num_blocks: usize,
+    block_left: u32,
+    block_right: u32,
+    k: usize,
+    seed: u64,
+) -> PlantedGraph {
+    assert!(num_blocks as u64 * block_left as u64 <= num_left as u64,
+        "planted blocks exceed the left side");
+    assert!(num_blocks as u64 * block_right as u64 <= num_right as u64,
+        "planted blocks exceed the right side");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = BipartiteBuilder::new(num_left, num_right);
+
+    // Background noise.
+    for _ in 0..background_edges {
+        let v = rng.gen_range(0..num_left);
+        let u = rng.gen_range(0..num_right);
+        builder.add_edge_unchecked(v, u);
+    }
+
+    // Planted blocks.
+    let mut blocks = Vec::with_capacity(num_blocks);
+    for b in 0..num_blocks as u32 {
+        let left: Vec<u32> = (b * block_left..(b + 1) * block_left).collect();
+        let right: Vec<u32> = (b * block_right..(b + 1) * block_right).collect();
+
+        // Start from the complete biclique, then remove up to `k` edges per
+        // left vertex (keeping the right-side budget in check as well).
+        let mut right_missing = vec![0usize; right.len()];
+        for (li, &v) in left.iter().enumerate() {
+            let mut removed: Vec<usize> = Vec::new();
+            if k > 0 && right.len() > 1 {
+                let remove_cnt = rng.gen_range(0..=k.min(right.len() - 1));
+                while removed.len() < remove_cnt {
+                    let candidate = rng.gen_range(0..right.len());
+                    if !removed.contains(&candidate) && right_missing[candidate] < k {
+                        removed.push(candidate);
+                        right_missing[candidate] += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let _ = li;
+            for (ri, &u) in right.iter().enumerate() {
+                if !removed.contains(&ri) {
+                    builder.add_edge_unchecked(v, u);
+                }
+            }
+        }
+
+        blocks.push(PlantedBlock {
+            left,
+            right,
+            missing_per_vertex: k,
+        });
+    }
+
+    PlantedGraph {
+        graph: builder.build(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_is_k_biplex(g: &BipartiteGraph, block: &PlantedBlock) -> bool {
+        let k = block.missing_per_vertex;
+        for &v in &block.left {
+            let missing = block.right.iter().filter(|&&u| !g.has_edge(v, u)).count();
+            if missing > k {
+                return false;
+            }
+        }
+        for &u in &block.right {
+            let missing = block.left.iter().filter(|&&v| !g.has_edge(v, u)).count();
+            if missing > k {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn planted_blocks_are_k_biplexes() {
+        for seed in 0..5 {
+            let planted = planted_biplexes(100, 100, 300, 3, 6, 8, 1, seed);
+            assert_eq!(planted.blocks.len(), 3);
+            for block in &planted.blocks {
+                assert!(block_is_k_biplex(&planted.graph, block), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_blocks_are_bicliques() {
+        let planted = planted_biplexes(50, 50, 100, 2, 5, 5, 0, 9);
+        for block in &planted.blocks {
+            for &v in &block.left {
+                for &u in &block.right {
+                    assert!(planted.graph.has_edge(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_biplexes(80, 80, 200, 2, 5, 5, 1, 7);
+        let b = planted_biplexes(80, 80, 200, 2, 5, 5, 1, 7);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "planted blocks exceed")]
+    fn rejects_oversized_blocks() {
+        planted_biplexes(10, 10, 0, 3, 5, 5, 1, 1);
+    }
+
+    #[test]
+    fn blocks_occupy_disjoint_ranges() {
+        let planted = planted_biplexes(100, 100, 0, 4, 5, 5, 1, 3);
+        for (i, a) in planted.blocks.iter().enumerate() {
+            for b in planted.blocks.iter().skip(i + 1) {
+                assert!(a.left.iter().all(|v| !b.left.contains(v)));
+                assert!(a.right.iter().all(|u| !b.right.contains(u)));
+            }
+        }
+    }
+}

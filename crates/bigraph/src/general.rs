@@ -1,0 +1,395 @@
+//! General (unipartite) graphs and bipartite-graph *inflation*.
+//!
+//! The FaPlexen baseline of the paper works by inflating a bipartite graph
+//! `G = (L ∪ R, E)` into a general graph `G'` on the vertex set `L ∪ R`
+//! whose edges are `E` plus *all* pairs of same-side vertices. A k-biplex of
+//! `G` is then exactly a (k+1)-plex of `G'` (each vertex may miss at most
+//! `k+1` vertices of the subgraph, counting itself), and maximality carries
+//! over in both directions.
+//!
+//! Materializing the inflation explicitly produces `Θ(|L|² + |R|²)` edges —
+//! the memory blow-up the paper reports for FaPlexen. To let moderate inputs
+//! run at all we also provide [`InflatedView`], an *implicit* adjacency view
+//! that answers adjacency queries in `O(log d)` without materializing the
+//! same-side cliques. Both implement [`GraphView`], the interface consumed
+//! by the `kplex` enumeration crate.
+
+use crate::graph::BipartiteGraph;
+
+/// Minimal adjacency interface over a general (unipartite) graph, used by
+/// the maximal k-plex enumerator.
+pub trait GraphView {
+    /// Number of vertices; vertex ids are `0..num_vertices()`.
+    fn num_vertices(&self) -> usize;
+    /// `true` iff `a` and `b` are adjacent (irreflexive: `adjacent(a, a)` is false).
+    fn adjacent(&self, a: u32, b: u32) -> bool;
+    /// Degree of vertex `a`.
+    fn degree(&self, a: u32) -> usize;
+    /// Pushes the neighbours of `a` into `out` (cleared first).
+    fn neighbors_into(&self, a: u32, out: &mut Vec<u32>);
+}
+
+/// An explicit general graph in CSR form with sorted adjacency lists.
+#[derive(Clone, Debug, Default)]
+pub struct GeneralGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl GeneralGraph {
+    /// Builds a general graph from an undirected edge list (self-loops and
+    /// duplicates are removed).
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            assert!((a as usize) < num_vertices && (b as usize) < num_vertices);
+            pairs.push((a, b));
+            pairs.push((b, a));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(a, _) in &pairs {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = pairs.into_iter().map(|(_, b)| b).collect();
+        GeneralGraph { offsets, neighbors }
+    }
+
+    /// Sorted neighbours of `a`.
+    #[inline]
+    pub fn neighbors(&self, a: u32) -> &[u32] {
+        let a = a as usize;
+        &self.neighbors[self.offsets[a]..self.offsets[a + 1]]
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> u64 {
+        self.neighbors.len() as u64 / 2
+    }
+}
+
+impl GraphView for GeneralGraph {
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn adjacent(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let (s, t) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.neighbors(s).binary_search(&t).is_ok()
+    }
+
+    fn degree(&self, a: u32) -> usize {
+        self.neighbors(a).len()
+    }
+
+    fn neighbors_into(&self, a: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.neighbors(a));
+    }
+}
+
+/// Implicit adjacency view over the inflation of a bipartite graph.
+///
+/// Vertex ids: left vertex `v` of the bipartite graph keeps id `v`; right
+/// vertex `u` gets id `num_left + u`.
+#[derive(Clone, Debug)]
+pub struct InflatedView<'a> {
+    graph: &'a BipartiteGraph,
+}
+
+impl<'a> InflatedView<'a> {
+    /// Wraps a bipartite graph as its implicit inflation.
+    pub fn new(graph: &'a BipartiteGraph) -> Self {
+        InflatedView { graph }
+    }
+
+    /// Number of left vertices of the underlying bipartite graph.
+    pub fn num_left(&self) -> usize {
+        self.graph.num_left() as usize
+    }
+
+    /// `true` if the inflated id refers to a left vertex.
+    #[inline]
+    pub fn is_left(&self, a: u32) -> bool {
+        (a as usize) < self.num_left()
+    }
+
+    /// Splits an inflated id into (is_left, side-local id).
+    #[inline]
+    pub fn split(&self, a: u32) -> (bool, u32) {
+        if self.is_left(a) {
+            (true, a)
+        } else {
+            (false, a - self.graph.num_left())
+        }
+    }
+
+    /// Joins a side-local id back into an inflated id.
+    #[inline]
+    pub fn join(&self, is_left: bool, id: u32) -> u32 {
+        if is_left {
+            id
+        } else {
+            id + self.graph.num_left()
+        }
+    }
+
+    /// Number of edges the *explicit* inflation would contain; used to
+    /// demonstrate (and guard against) the memory blow-up of the FaPlexen
+    /// baseline.
+    pub fn explicit_edge_count(&self) -> u128 {
+        let nl = self.graph.num_left() as u128;
+        let nr = self.graph.num_right() as u128;
+        nl * (nl - 1) / 2 + nr * (nr - 1) / 2 + self.graph.num_edges() as u128
+    }
+
+    /// Materializes the inflation as an explicit [`GeneralGraph`]. Returns
+    /// `None` if the explicit edge count exceeds `max_edges` (the analogue of
+    /// the paper's 32 GB "OUT" budget).
+    pub fn materialize(&self, max_edges: u64) -> Option<GeneralGraph> {
+        if self.explicit_edge_count() > max_edges as u128 {
+            return None;
+        }
+        let nl = self.graph.num_left();
+        let nr = self.graph.num_right();
+        let n = (nl + nr) as usize;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for a in 0..nl {
+            for b in (a + 1)..nl {
+                edges.push((a, b));
+            }
+        }
+        for a in 0..nr {
+            for b in (a + 1)..nr {
+                edges.push((nl + a, nl + b));
+            }
+        }
+        for (v, u) in self.graph.edges() {
+            edges.push((v, nl + u));
+        }
+        Some(GeneralGraph::from_edges(n, &edges))
+    }
+}
+
+impl GraphView for InflatedView<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices() as usize
+    }
+
+    fn adjacent(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let (al, ai) = self.split(a);
+        let (bl, bi) = self.split(b);
+        if al == bl {
+            true // same side: always adjacent in the inflation
+        } else if al {
+            self.graph.has_edge(ai, bi)
+        } else {
+            self.graph.has_edge(bi, ai)
+        }
+    }
+
+    fn degree(&self, a: u32) -> usize {
+        let (al, ai) = self.split(a);
+        if al {
+            self.num_left() - 1 + self.graph.left_degree(ai)
+        } else {
+            self.graph.num_right() as usize - 1 + self.graph.right_degree(ai)
+        }
+    }
+
+    fn neighbors_into(&self, a: u32, out: &mut Vec<u32>) {
+        out.clear();
+        let (al, ai) = self.split(a);
+        let nl = self.graph.num_left();
+        if al {
+            for v in 0..nl {
+                if v != ai {
+                    out.push(v);
+                }
+            }
+            for &u in self.graph.left_neighbors(ai) {
+                out.push(nl + u);
+            }
+        } else {
+            for &v in self.graph.right_neighbors(ai) {
+                out.push(v);
+            }
+            for u in 0..self.graph.num_right() {
+                if u != ai {
+                    out.push(nl + u);
+                }
+            }
+        }
+    }
+}
+
+/// A small induced general subgraph captured by value (used for local
+/// enumeration inside almost-satisfying graphs).
+#[derive(Clone, Debug)]
+pub struct DenseSubview {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl DenseSubview {
+    /// Creates a dense adjacency-matrix graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        DenseSubview { n, adj: vec![false; n * n] }
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        let (a, b) = (a as usize, b as usize);
+        debug_assert!(a < self.n && b < self.n && a != b);
+        self.adj[a * self.n + b] = true;
+        self.adj[b * self.n + a] = true;
+    }
+}
+
+impl GraphView for DenseSubview {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn adjacent(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        self.adj[a as usize * self.n + b as usize]
+    }
+
+    fn degree(&self, a: u32) -> usize {
+        let a = a as usize;
+        self.adj[a * self.n..(a + 1) * self.n].iter().filter(|&&x| x).count()
+    }
+
+    fn neighbors_into(&self, a: u32, out: &mut Vec<u32>) {
+        out.clear();
+        let a = a as usize;
+        for b in 0..self.n {
+            if self.adj[a * self.n + b] {
+                out.push(b as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bipartite() -> BipartiteGraph {
+        // L = {0,1}, R = {0,1,2}; v0: u0,u1 ; v1: u1,u2
+        BipartiteGraph::from_edges(2, 3, &[(0, 0), (0, 1), (1, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn general_graph_basics() {
+        let g = GeneralGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 3), (0, 1)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.adjacent(0, 1));
+        assert!(g.adjacent(1, 0));
+        assert!(!g.adjacent(0, 3));
+        assert!(!g.adjacent(2, 2));
+        assert_eq!(g.degree(3), 0);
+        let mut out = Vec::new();
+        g.neighbors_into(0, &mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn inflated_view_adjacency() {
+        let b = small_bipartite();
+        let inf = InflatedView::new(&b);
+        assert_eq!(inf.num_vertices(), 5);
+        // same-side pairs are adjacent
+        assert!(inf.adjacent(0, 1)); // both left
+        assert!(inf.adjacent(2, 3)); // both right (u0, u1)
+        assert!(inf.adjacent(3, 4));
+        // cross pairs follow the bipartite edges
+        assert!(inf.adjacent(0, 2)); // v0 - u0
+        assert!(inf.adjacent(0, 3)); // v0 - u1
+        assert!(!inf.adjacent(0, 4)); // v0 - u2 missing
+        assert!(inf.adjacent(1, 4));
+        assert!(!inf.adjacent(1, 2));
+        assert!(!inf.adjacent(2, 2));
+    }
+
+    #[test]
+    fn inflated_view_degree_and_neighbors() {
+        let b = small_bipartite();
+        let inf = InflatedView::new(&b);
+        // v0: other left (1) + its 2 bipartite neighbours
+        assert_eq!(inf.degree(0), 3);
+        // u1 (id 3): other rights (2) + its 2 bipartite neighbours
+        assert_eq!(inf.degree(3), 4);
+        let mut out = Vec::new();
+        inf.neighbors_into(0, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        inf.neighbors_into(3, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn materialized_matches_view() {
+        let b = small_bipartite();
+        let inf = InflatedView::new(&b);
+        let explicit = inf.materialize(1_000).expect("small graph fits");
+        assert_eq!(explicit.num_vertices(), inf.num_vertices());
+        for a in 0..5u32 {
+            for c in 0..5u32 {
+                assert_eq!(explicit.adjacent(a, c), inf.adjacent(a, c), "pair {a},{c}");
+            }
+            assert_eq!(explicit.degree(a), inf.degree(a));
+        }
+        assert_eq!(explicit.num_edges() as u128, inf.explicit_edge_count());
+    }
+
+    #[test]
+    fn materialize_respects_budget() {
+        let b = small_bipartite();
+        let inf = InflatedView::new(&b);
+        assert!(inf.materialize(1).is_none());
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let b = small_bipartite();
+        let inf = InflatedView::new(&b);
+        for a in 0..5u32 {
+            let (is_left, id) = inf.split(a);
+            assert_eq!(inf.join(is_left, id), a);
+        }
+        assert!(inf.is_left(1));
+        assert!(!inf.is_left(2));
+    }
+
+    #[test]
+    fn dense_subview() {
+        let mut d = DenseSubview::new(3);
+        d.add_edge(0, 1);
+        d.add_edge(1, 2);
+        assert!(d.adjacent(0, 1));
+        assert!(d.adjacent(2, 1));
+        assert!(!d.adjacent(0, 2));
+        assert_eq!(d.degree(1), 2);
+        let mut out = Vec::new();
+        d.neighbors_into(1, &mut out);
+        assert_eq!(out, vec![0, 2]);
+    }
+}

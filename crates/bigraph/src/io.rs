@@ -1,0 +1,174 @@
+//! Plain-text edge-list IO.
+//!
+//! Format (one record per line, `#` or `%` starts a comment — the latter is
+//! the KONECT convention used by the paper's datasets):
+//!
+//! ```text
+//! # bipartite <num_left> <num_right>
+//! <left_id> <right_id>
+//! ...
+//! ```
+//!
+//! If the header line is missing, the side sizes are inferred as
+//! `max id + 1` on each side.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::{BipartiteBuilder, BipartiteGraph};
+use crate::{Error, Result};
+
+/// Reads a bipartite graph from any reader in the edge-list format.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut declared: Option<(u32, u32)> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_left = 0u32;
+    let mut max_right = 0u32;
+    let mut saw_edge = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(spec) = rest.strip_prefix("bipartite") {
+                let mut it = spec.split_whitespace();
+                let nl = it.next().and_then(|t| t.parse::<u32>().ok());
+                let nr = it.next().and_then(|t| t.parse::<u32>().ok());
+                if let (Some(nl), Some(nr)) = (nl, nr) {
+                    declared = Some((nl, nr));
+                }
+            }
+            continue;
+        }
+        if line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let v = it
+            .next()
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| Error::Parse {
+                line: lineno + 1,
+                msg: format!("expected `<left> <right>`, got {line:?}"),
+            })?;
+        let u = it
+            .next()
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| Error::Parse {
+                line: lineno + 1,
+                msg: format!("expected `<left> <right>`, got {line:?}"),
+            })?;
+        saw_edge = true;
+        max_left = max_left.max(v);
+        max_right = max_right.max(u);
+        edges.push((v, u));
+    }
+
+    let (num_left, num_right) = declared.unwrap_or(if saw_edge {
+        (max_left + 1, max_right + 1)
+    } else {
+        (0, 0)
+    });
+
+    let mut builder = BipartiteBuilder::new(num_left, num_right);
+    builder.reserve(edges.len());
+    for (v, u) in edges {
+        builder.add_edge(v, u)?;
+    }
+    Ok(builder.build())
+}
+
+/// Writes a bipartite graph in the edge-list format (with header).
+pub fn write_edge_list<W: Write>(g: &BipartiteGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# bipartite {} {}", g.num_left(), g.num_right())?;
+    for (v, u) in g.edges() {
+        writeln!(w, "{v} {u}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &BipartiteGraph, path: P) -> Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let g = BipartiteGraph::from_edges(3, 4, &[(0, 0), (1, 2), (2, 3), (0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_left(), 3);
+        assert_eq!(g2.num_right(), 4);
+        assert_eq!(g2.num_edges(), 4);
+        for v in 0..3 {
+            assert_eq!(g.left_neighbors(v), g2.left_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn header_declares_isolated_vertices() {
+        let text = "# bipartite 10 7\n0 0\n3 6\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_left(), 10);
+        assert_eq!(g.num_right(), 7);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn infers_sizes_without_header() {
+        let text = "0 0\n2 5\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_left(), 3);
+        assert_eq!(g.num_right(), 6);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "% konect style comment\n\n# plain comment\n0 1\n\n1 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let text = "0 zero\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+        let text = "17\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let dir = std::env::temp_dir().join("bigraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

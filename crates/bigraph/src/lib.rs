@@ -1,0 +1,96 @@
+//! # bigraph — bipartite graph substrate
+//!
+//! This crate provides the graph infrastructure shared by every algorithm in
+//! the workspace:
+//!
+//! * [`BipartiteGraph`] — an immutable, CSR-encoded undirected bipartite graph
+//!   with sorted adjacency lists on both sides and O(log d) edge queries.
+//! * [`BipartiteBuilder`] — incremental construction from edge pairs with
+//!   duplicate removal.
+//! * [`bitset::BitSet`] — a fixed-capacity bitset used pervasively for vertex
+//!   set membership in the enumeration algorithms.
+//! * [`gen`] — deterministic random generators (Erdős–Rényi, Chung–Lu
+//!   power-law, planted quasi-biclique blocks) and the dataset registry that
+//!   stands in for the paper's KONECT datasets (Table 1).
+//! * [`core_decomp`] — (α,β)-core peeling used both as a preprocessing step
+//!   for large-MBP enumeration and as a detector in the fraud case study.
+//! * [`subgraph`] — induced-subgraph extraction with id remapping.
+//! * [`general`] — general (unipartite) graphs and the *inflation* of a
+//!   bipartite graph used by the FaPlexen-style baseline.
+//! * [`io`] — a plain edge-list text format for persisting graphs.
+//! * [`formats`] — KONECT `out.*` downloads and adjacency lists, plus
+//!   format sniffing, so the harness can also run on the paper's original
+//!   datasets when they are available.
+//!
+//! The crate has no dependency on the enumeration algorithms; it is a pure
+//! substrate and can be reused on its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod core_decomp;
+pub mod formats;
+pub mod general;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod subgraph;
+
+pub use bitset::BitSet;
+pub use graph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
+pub use subgraph::InducedSubgraph;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the substrate (graph construction and IO).
+#[derive(Debug)]
+pub enum Error {
+    /// An edge referenced a vertex id that is out of the declared range.
+    VertexOutOfRange {
+        /// Side of the offending endpoint.
+        side: Side,
+        /// The offending vertex id.
+        id: u32,
+        /// The number of vertices declared on that side.
+        len: u32,
+    },
+    /// Wrapper around I/O errors from [`std::io`].
+    Io(std::io::Error),
+    /// A text line could not be parsed as an edge.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human readable description.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::VertexOutOfRange { side, id, len } => {
+                write!(f, "vertex {id} on side {side:?} out of range (|side| = {len})")
+            }
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

@@ -1,0 +1,159 @@
+//! Descriptive statistics over bipartite graphs (degree distributions,
+//! butterfly counts) used by the harness to print Table 1 and by the fraud
+//! case study to sanity-check generated scenarios.
+
+use crate::graph::BipartiteGraph;
+
+/// Summary statistics of a bipartite graph, printable as a Table-1 row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|L|`.
+    pub num_left: u32,
+    /// `|R|`.
+    pub num_right: u32,
+    /// `|E|`.
+    pub num_edges: u64,
+    /// `|E| / (|L| + |R|)`.
+    pub edge_density: f64,
+    /// Maximum degree on the left side.
+    pub max_left_degree: usize,
+    /// Maximum degree on the right side.
+    pub max_right_degree: usize,
+    /// Average degree on the left side.
+    pub avg_left_degree: f64,
+    /// Average degree on the right side.
+    pub avg_right_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g`.
+    pub fn of(g: &BipartiteGraph) -> Self {
+        let nl = g.num_left().max(1) as f64;
+        let nr = g.num_right().max(1) as f64;
+        GraphStats {
+            num_left: g.num_left(),
+            num_right: g.num_right(),
+            num_edges: g.num_edges(),
+            edge_density: g.edge_density(),
+            max_left_degree: g.max_left_degree(),
+            max_right_degree: g.max_right_degree(),
+            avg_left_degree: g.num_edges() as f64 / nl,
+            avg_right_degree: g.num_edges() as f64 / nr,
+        }
+    }
+}
+
+/// Degree histogram of one side: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(degrees: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for d in degrees {
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Degree histogram of the left side of `g`.
+pub fn left_degree_histogram(g: &BipartiteGraph) -> Vec<usize> {
+    degree_histogram((0..g.num_left()).map(|v| g.left_degree(v)))
+}
+
+/// Degree histogram of the right side of `g`.
+pub fn right_degree_histogram(g: &BipartiteGraph) -> Vec<usize> {
+    degree_histogram((0..g.num_right()).map(|u| g.right_degree(u)))
+}
+
+/// Counts butterflies (2×2 bicliques) exactly. A butterfly is an unordered
+/// pair of left vertices sharing an unordered pair of right neighbours; the
+/// count is `Σ_{pairs (v,w)} C(|N(v) ∩ N(w)|, 2)` — computed with the
+/// standard wedge-counting approach from the side with fewer vertices.
+///
+/// This is the building block of the k-bitruss structure the paper lists as
+/// related work; it is quadratic in the worst case and intended for the
+/// small/medium graphs used in tests and the case study.
+pub fn count_butterflies(g: &BipartiteGraph) -> u64 {
+    // Count wedges centred on right vertices: for each right vertex u with
+    // degree d, it contributes C(d, 2) wedges (pairs of left endpoints); a
+    // butterfly is a pair of left vertices with >= 2 common neighbours, i.e.
+    // sum over left pairs of C(common, 2).
+    use std::collections::HashMap;
+    let mut pair_counts: HashMap<(u32, u32), u32> = HashMap::new();
+    for u in 0..g.num_right() {
+        let nbrs = g.right_neighbors(u);
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                *pair_counts.entry((nbrs[i], nbrs[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    pair_counts
+        .values()
+        .map(|&c| {
+            let c = c as u64;
+            c * (c - 1) / 2
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(nl: u32, nr: u32) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                edges.push((v, u));
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = complete(3, 4);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_left, 3);
+        assert_eq!(s.num_right, 4);
+        assert_eq!(s.num_edges, 12);
+        assert_eq!(s.max_left_degree, 4);
+        assert_eq!(s.max_right_degree, 3);
+        assert!((s.avg_left_degree - 4.0).abs() < 1e-12);
+        assert!((s.avg_right_degree - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_shapes() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let lh = left_degree_histogram(&g);
+        // degrees: v0=2, v1=1, v2=0
+        assert_eq!(lh, vec![1, 1, 1]);
+        let rh = right_degree_histogram(&g);
+        // degrees: u0=2, u1=1, u2=0
+        assert_eq!(rh, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn butterfly_count_complete_graphs() {
+        // K_{2,2} has exactly one butterfly.
+        assert_eq!(count_butterflies(&complete(2, 2)), 1);
+        // K_{3,3}: C(3,2)^2 = 9 butterflies.
+        assert_eq!(count_butterflies(&complete(3, 3)), 9);
+        // K_{nl,nr}: C(nl,2) * C(nr,2).
+        assert_eq!(count_butterflies(&complete(4, 5)), 6 * 10);
+    }
+
+    #[test]
+    fn butterfly_count_sparse() {
+        // A path has no butterflies.
+        let g = BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 0), (1, 1), (2, 1)]).unwrap();
+        assert_eq!(count_butterflies(&g), 0);
+    }
+
+    #[test]
+    fn degree_histogram_empty() {
+        assert!(degree_histogram(std::iter::empty()).is_empty());
+    }
+}

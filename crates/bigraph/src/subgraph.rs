@@ -1,0 +1,143 @@
+//! Induced bipartite subgraphs with id remapping.
+//!
+//! The large-MBP pipeline first reduces the input graph with a
+//! (θ−k)-core decomposition and then enumerates on the reduced graph; the
+//! mapping stored here translates solutions back to the original ids.
+
+use crate::graph::BipartiteGraph;
+
+/// An induced subgraph `G[L' ∪ R']` re-indexed to dense ids, together with
+/// the mapping back to the original graph's ids.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The re-indexed subgraph.
+    pub graph: BipartiteGraph,
+    /// `left_map[new_id] = original left id`.
+    pub left_map: Vec<u32>,
+    /// `right_map[new_id] = original right id`.
+    pub right_map: Vec<u32>,
+}
+
+impl InducedSubgraph {
+    /// Extracts the induced subgraph on the given (not necessarily sorted)
+    /// left and right vertex subsets of `g`. Duplicate ids are ignored.
+    pub fn new(g: &BipartiteGraph, left: &[u32], right: &[u32]) -> Self {
+        let mut left_map: Vec<u32> = left.to_vec();
+        left_map.sort_unstable();
+        left_map.dedup();
+        let mut right_map: Vec<u32> = right.to_vec();
+        right_map.sort_unstable();
+        right_map.dedup();
+
+        // Inverse maps: original id -> new id (u32::MAX when absent).
+        let mut right_inv = vec![u32::MAX; g.num_right() as usize];
+        for (new_id, &orig) in right_map.iter().enumerate() {
+            right_inv[orig as usize] = new_id as u32;
+        }
+
+        let mut builder =
+            crate::graph::BipartiteBuilder::new(left_map.len() as u32, right_map.len() as u32);
+        for (new_v, &orig_v) in left_map.iter().enumerate() {
+            for &orig_u in g.left_neighbors(orig_v) {
+                let new_u = right_inv[orig_u as usize];
+                if new_u != u32::MAX {
+                    builder.add_edge_unchecked(new_v as u32, new_u);
+                }
+            }
+        }
+
+        InducedSubgraph {
+            graph: builder.build(),
+            left_map,
+            right_map,
+        }
+    }
+
+    /// Translates a left id of the subgraph back to the original graph.
+    #[inline]
+    pub fn original_left(&self, v: u32) -> u32 {
+        self.left_map[v as usize]
+    }
+
+    /// Translates a right id of the subgraph back to the original graph.
+    #[inline]
+    pub fn original_right(&self, u: u32) -> u32 {
+        self.right_map[u as usize]
+    }
+
+    /// Translates a whole solution `(L, R)` (subgraph ids) back to original ids.
+    pub fn original_pair(&self, left: &[u32], right: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let l = left.iter().map(|&v| self.original_left(v)).collect();
+        let r = right.iter().map(|&u| self.original_right(u)).collect();
+        (l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> BipartiteGraph {
+        // 4 x 4 "diagonal-ish" graph: v connects u iff |v - u| <= 1.
+        let mut edges = Vec::new();
+        for v in 0u32..4 {
+            for u in 0u32..4 {
+                if (v as i64 - u as i64).abs() <= 1 {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(4, 4, &edges).unwrap()
+    }
+
+    #[test]
+    fn extracts_only_internal_edges() {
+        let g = grid();
+        let s = InducedSubgraph::new(&g, &[0, 1], &[0, 1, 2]);
+        assert_eq!(s.graph.num_left(), 2);
+        assert_eq!(s.graph.num_right(), 3);
+        // v0: u0,u1 ; v1: u0,u1,u2 (within the selection)
+        assert_eq!(s.graph.num_edges(), 5);
+        assert!(s.graph.has_edge(0, 0));
+        assert!(s.graph.has_edge(1, 2));
+        assert!(!s.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn maps_back_to_original_ids() {
+        let g = grid();
+        let s = InducedSubgraph::new(&g, &[2, 3], &[1, 3]);
+        assert_eq!(s.original_left(0), 2);
+        assert_eq!(s.original_left(1), 3);
+        assert_eq!(s.original_right(0), 1);
+        assert_eq!(s.original_right(1), 3);
+        let (l, r) = s.original_pair(&[0, 1], &[1]);
+        assert_eq!(l, vec![2, 3]);
+        assert_eq!(r, vec![3]);
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_input() {
+        let g = grid();
+        let s = InducedSubgraph::new(&g, &[3, 1, 3, 1], &[2, 0, 2]);
+        assert_eq!(s.graph.num_left(), 2);
+        assert_eq!(s.graph.num_right(), 2);
+        assert_eq!(s.left_map, vec![1, 3]);
+        assert_eq!(s.right_map, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = grid();
+        let s = InducedSubgraph::new(&g, &[], &[0, 1]);
+        assert_eq!(s.graph.num_left(), 0);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_counts_match_manual_check() {
+        let g = grid();
+        let s = InducedSubgraph::new(&g, &[0, 1, 2, 3], &[0, 1, 2, 3]);
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+    }
+}

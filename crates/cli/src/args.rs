@@ -1,0 +1,168 @@
+//! A minimal argument parser for the `mbpe` binary.
+//!
+//! The workspace deliberately avoids a CLI dependency: the option grammar is
+//! small (long flags with at most one value, plus positional arguments), so
+//! a ~100-line parser keeps the dependency tree identical to the library's.
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed command-line arguments: long options (`--name [value]`) and the
+/// remaining positional arguments, in order.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    options: BTreeMap<String, Vec<String>>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses `raw` (everything after the subcommand name). `flag_names`
+    /// lists options that take **no** value; every other `--name` consumes
+    /// the following token as its value.
+    pub fn parse(raw: &[String], flag_names: &[&str]) -> Result<Args, CliError> {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    // `--` terminates option parsing (everything after is
+                    // positional).
+                    for rest in it.by_ref() {
+                        args.positionals.push(rest.clone());
+                    }
+                    break;
+                }
+                // `--name=value` form.
+                if let Some((name, value)) = name.split_once('=') {
+                    args.options.entry(name.to_string()).or_default().push(value.to_string());
+                    continue;
+                }
+                if flag_names.contains(&name) {
+                    args.options.entry(name.to_string()).or_default().push(String::new());
+                    continue;
+                }
+                let value = it.next().ok_or_else(|| {
+                    CliError::Usage(format!("option --{name} requires a value"))
+                })?;
+                args.options.entry(name.to_string()).or_default().push(value.clone());
+            } else {
+                args.positionals.push(tok.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// `true` when `--name` was given (with or without a value).
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// Last value given for `--name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values given for a repeatable option.
+    pub fn values(&self, name: &str) -> &[String] {
+        self.options.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parses the value of `--name` as `T`, or returns `default` when the
+    /// option is absent.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|_| {
+                CliError::Usage(format!("option --{name} expects a value like the default, got {raw:?}"))
+            }),
+        }
+    }
+
+    /// Parses the value of `--name` as `T`, failing when the option is
+    /// missing.
+    pub fn parse_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
+        let raw = self
+            .value(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{name}")))?;
+        raw.parse::<T>()
+            .map_err(|_| CliError::Usage(format!("could not parse --{name} value {raw:?}")))
+    }
+
+    /// Rejects any option not in `allowed` (typo protection).
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for name in self.options.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(CliError::Usage(format!("unknown option --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_values_and_positionals() {
+        let args = Args::parse(&raw(&["--k", "2", "input.txt", "--first", "100"]), &[]).unwrap();
+        assert_eq!(args.value("k"), Some("2"));
+        assert_eq!(args.value("first"), Some("100"));
+        assert_eq!(args.positionals(), &["input.txt".to_string()]);
+    }
+
+    #[test]
+    fn parses_flags_and_equals_form() {
+        let args = Args::parse(&raw(&["--count-only", "--k=3"]), &["count-only"]).unwrap();
+        assert!(args.flag("count-only"));
+        assert_eq!(args.value("k"), Some("3"));
+        assert!(!args.flag("missing"));
+    }
+
+    #[test]
+    fn double_dash_stops_option_parsing() {
+        let args = Args::parse(&raw(&["--k", "1", "--", "--not-an-option"]), &[]).unwrap();
+        assert_eq!(args.positionals(), &["--not-an-option".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&raw(&["--k"]), &[]).is_err());
+    }
+
+    #[test]
+    fn parse_or_and_required() {
+        let args = Args::parse(&raw(&["--k", "4"]), &[]).unwrap();
+        assert_eq!(args.parse_or("k", 1usize).unwrap(), 4);
+        assert_eq!(args.parse_or("theta", 7usize).unwrap(), 7);
+        assert_eq!(args.parse_required::<usize>("k").unwrap(), 4);
+        assert!(args.parse_required::<usize>("theta").is_err());
+        let bad = Args::parse(&raw(&["--k", "four"]), &[]).unwrap();
+        assert!(bad.parse_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let args = Args::parse(&raw(&["--frist", "10"]), &[]).unwrap();
+        assert!(args.reject_unknown(&["first"]).is_err());
+        let args = Args::parse(&raw(&["--first", "10"]), &[]).unwrap();
+        assert!(args.reject_unknown(&["first"]).is_ok());
+    }
+
+    #[test]
+    fn repeated_options_accumulate() {
+        let args = Args::parse(&raw(&["--theta", "3", "--theta", "5"]), &[]).unwrap();
+        assert_eq!(args.values("theta"), &["3".to_string(), "5".to_string()]);
+        assert_eq!(args.value("theta"), Some("5"));
+    }
+}

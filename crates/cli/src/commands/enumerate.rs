@@ -1,0 +1,198 @@
+//! `mbpe enumerate` — enumerate maximal k-biplexes with a selectable
+//! algorithm, size thresholds and early stopping.
+
+use std::io::Write;
+use std::time::Instant;
+
+use baselines::{collect_imb, collect_inflation, ImbConfig, InflationConfig};
+use kbiplex::{
+    enumerate_mbps, par_enumerate_mbps, Biplex, CollectSink, Control, FirstN, ParallelConfig,
+    SolutionSink, TraversalConfig,
+};
+
+use crate::args::Args;
+use crate::commands::load_graph;
+use crate::CliError;
+
+/// Help text for `mbpe help enumerate`.
+pub const HELP: &str = "\
+mbpe enumerate — enumerate maximal k-biplexes
+
+USAGE:
+    mbpe enumerate <FILE> [OPTIONS]
+    mbpe enumerate --dataset <NAME> [OPTIONS]
+
+OPTIONS:
+    --k <K>             Miss budget k (default 1)
+    --algo <A>          itraversal (default) | btraversal | imb | inflation | parallel
+    --first <N>         Stop after the first N solutions (sequential algorithms)
+    --theta-left <N>    Only report MBPs with at least N left vertices
+    --theta-right <N>   Only report MBPs with at least N right vertices
+    --threads <T>       Worker threads for --algo parallel (0 = auto)
+    --count-only        Print only the number of solutions
+    --print             Print every reported solution (L= ... R= ...)
+    --dataset/--scale/--full   Input selection, as for `mbpe stats`";
+
+const OPTIONS: &[&str] = &[
+    "k", "algo", "first", "theta-left", "theta-right", "threads", "count-only", "print",
+    "dataset", "scale", "full",
+];
+const FLAGS: &[&str] = &["count-only", "print", "full"];
+
+/// A sink that forwards to a `FirstN` limiter or collects everything,
+/// depending on whether `--first` was given.
+enum Collector {
+    All(CollectSink),
+    Limited(FirstN),
+}
+
+impl Collector {
+    fn solutions(self) -> Vec<Biplex> {
+        match self {
+            Collector::All(sink) => sink.solutions,
+            Collector::Limited(sink) => sink.solutions,
+        }
+    }
+}
+
+impl SolutionSink for Collector {
+    fn on_solution(&mut self, solution: &Biplex) -> Control {
+        match self {
+            Collector::All(sink) => sink.on_solution(solution),
+            Collector::Limited(sink) => sink.on_solution(solution),
+        }
+    }
+}
+
+/// Runs the command.
+pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(raw, FLAGS)?;
+    args.reject_unknown(OPTIONS)?;
+    let (graph, label) = load_graph(&args)?;
+
+    let k: usize = args.parse_or("k", 1)?;
+    let theta_left: usize = args.parse_or("theta-left", 0)?;
+    let theta_right: usize = args.parse_or("theta-right", 0)?;
+    let first: Option<usize> = match args.value("first") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(format!("bad --first {v:?}")))?),
+    };
+    let algo = args.value("algo").unwrap_or("itraversal");
+    let threads: usize = args.parse_or("threads", 0)?;
+
+    let start = Instant::now();
+    let solutions: Vec<Biplex> = match algo {
+        "itraversal" | "btraversal" => {
+            let config = if algo == "itraversal" {
+                TraversalConfig::itraversal(k)
+            } else {
+                TraversalConfig::btraversal(k)
+            }
+            .with_thresholds(theta_left, theta_right);
+            let mut sink = match first {
+                Some(n) => Collector::Limited(FirstN::new(n)),
+                None => Collector::All(CollectSink::new()),
+            };
+            enumerate_mbps(&graph, &config, &mut sink);
+            sink.solutions()
+        }
+        "imb" => {
+            let config = ImbConfig::new(k).with_thresholds(theta_left, theta_right);
+            let mut solutions = collect_imb(&graph, &config);
+            if let Some(n) = first {
+                solutions.truncate(n);
+            }
+            solutions
+        }
+        "inflation" => {
+            let config = InflationConfig::new(k);
+            let mut solutions: Vec<Biplex> = collect_inflation(&graph, &config)
+                .into_iter()
+                .filter(|b| b.left.len() >= theta_left && b.right.len() >= theta_right)
+                .collect();
+            if let Some(n) = first {
+                solutions.truncate(n);
+            }
+            solutions
+        }
+        "parallel" => {
+            if first.is_some() {
+                return Err(CliError::Usage(
+                    "--first is only supported by the sequential algorithms".to_string(),
+                ));
+            }
+            let config = ParallelConfig::new(k)
+                .with_threads(threads)
+                .with_thresholds(theta_left, theta_right);
+            let (mut solutions, _) = par_enumerate_mbps(&graph, &config);
+            solutions.sort();
+            solutions
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --algo {other:?} (expected itraversal, btraversal, imb, inflation or parallel)"
+            )))
+        }
+    };
+    let elapsed = start.elapsed();
+
+    writeln!(out, "graph: {label}  k = {k}  algorithm = {algo}")?;
+    writeln!(out, "solutions: {}", solutions.len())?;
+    writeln!(out, "elapsed: {:.3} s", elapsed.as_secs_f64())?;
+    if args.flag("print") && !args.flag("count-only") {
+        for b in &solutions {
+            writeln!(out, "L={:?} R={:?}", b.left, b.right)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn capture(tokens: &[&str]) -> Result<String, CliError> {
+        let mut sink = Vec::new();
+        run(&raw(tokens), &mut sink)?;
+        Ok(String::from_utf8(sink).unwrap())
+    }
+
+    #[test]
+    fn enumerates_a_dataset_standin() {
+        let text = capture(&["--dataset", "Divorce", "--k", "1", "--count-only"]).unwrap();
+        assert!(text.contains("solutions:"));
+    }
+
+    #[test]
+    fn thresholds_reduce_the_count() {
+        let all = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
+        let large =
+            capture(&["--dataset", "Divorce", "--k", "1", "--theta-left", "3", "--theta-right", "3"])
+                .unwrap();
+        let parse = |text: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix("solutions: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(parse(&large) <= parse(&all));
+    }
+
+    #[test]
+    fn first_limits_output_and_parallel_rejects_it() {
+        let text = capture(&["--dataset", "Divorce", "--k", "1", "--first", "2", "--print"]).unwrap();
+        assert!(text.lines().filter(|l| l.starts_with("L=")).count() <= 2);
+        assert!(capture(&["--dataset", "Divorce", "--algo", "parallel", "--first", "2"]).is_err());
+    }
+
+    #[test]
+    fn bad_algorithm_is_rejected() {
+        assert!(capture(&["--dataset", "Divorce", "--algo", "quantum"]).is_err());
+    }
+}

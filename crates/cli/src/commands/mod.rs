@@ -1,0 +1,55 @@
+//! Implementations of the `mbpe` subcommands.
+//!
+//! Each command module exposes `run(raw_args, out)` plus a `HELP` string;
+//! the shared [`load_graph`] helper resolves the `--dataset` / positional
+//! input-file convention used by `stats` and `enumerate`.
+
+pub mod enumerate;
+pub mod fraud;
+pub mod generate;
+pub mod stats;
+
+use bigraph::gen::datasets::DatasetSpec;
+use bigraph::BipartiteGraph;
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Loads the input graph of a command: either the first positional argument
+/// (a file in any supported format) or `--dataset <name>` (a synthetic
+/// Table-1 stand-in, scaled by `--scale` or generated at full size with
+/// `--full`).
+pub fn load_graph(args: &Args) -> Result<(BipartiteGraph, String), CliError> {
+    if let Some(name) = args.value("dataset") {
+        let spec = DatasetSpec::by_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown dataset {name:?}; available: {}",
+                bigraph::gen::datasets::DATASETS
+                    .iter()
+                    .map(|d| d.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let graph = if args.flag("full") {
+            spec.generate_full()
+        } else if let Some(scale) = args.value("scale") {
+            let scale: u32 = scale
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --scale value {scale:?}")))?;
+            spec.generate_with_scale(scale)
+        } else {
+            spec.generate_scaled()
+        };
+        return Ok((graph, spec.name.to_string()));
+    }
+    match args.positionals().first() {
+        Some(path) => {
+            let graph = bigraph::formats::read_auto(path)?;
+            Ok((graph, path.clone()))
+        }
+        None => Err(CliError::Usage(
+            "expected an input file or --dataset <name>".to_string(),
+        )),
+    }
+}

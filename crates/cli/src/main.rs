@@ -1,0 +1,17 @@
+//! `mbpe` — command-line front-end for the maximal k-biplex enumeration
+//! workspace. All logic lives in the library crate so it can be tested; this
+//! binary only wires stdin/stdout/exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match mbpe_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

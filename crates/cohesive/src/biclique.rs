@@ -1,0 +1,244 @@
+//! Maximal biclique enumeration (MBEA-style).
+//!
+//! Used by the fraud-detection case study (Section 6.3), where *biclique*
+//! is one of the four cohesive structures compared, and as an independent
+//! cross-check of the k-biplex machinery (a biclique is a 0-biplex).
+//!
+//! The algorithm is the classic consensus/MBEA scheme: right vertices are
+//! added one at a time, the left side is maintained as the common
+//! neighbourhood of the current right set, right vertices connected to the
+//! whole left side are absorbed eagerly, and a candidate is discarded when
+//! an already-excluded right vertex dominates the left side (the duplicate
+//! check). Only bicliques with both sides non-empty are reported.
+
+use bigraph::BipartiteGraph;
+use kbiplex::biplex::Biplex;
+
+/// Configuration for maximal biclique enumeration.
+#[derive(Clone, Debug)]
+pub struct BicliqueConfig {
+    /// Minimum left-side size of reported bicliques.
+    pub min_left: usize,
+    /// Minimum right-side size of reported bicliques.
+    pub min_right: usize,
+    /// Stop after this many bicliques (`u64::MAX` = all).
+    pub max_results: u64,
+}
+
+impl Default for BicliqueConfig {
+    fn default() -> Self {
+        BicliqueConfig { min_left: 1, min_right: 1, max_results: u64::MAX }
+    }
+}
+
+impl BicliqueConfig {
+    /// Requires at least `min_left × min_right` vertices per biclique.
+    pub fn with_min_sizes(mut self, min_left: usize, min_right: usize) -> Self {
+        self.min_left = min_left.max(1);
+        self.min_right = min_right.max(1);
+        self
+    }
+
+    /// Caps the number of reported bicliques.
+    pub fn with_max_results(mut self, n: u64) -> Self {
+        self.max_results = n;
+        self
+    }
+}
+
+/// Enumerates maximal bicliques of `g` with both sides non-empty, calling
+/// `sink` for each; the sink returns `false` to stop early. Returns the
+/// number of bicliques reported.
+pub fn enumerate_maximal_bicliques<F>(g: &BipartiteGraph, config: &BicliqueConfig, mut sink: F) -> u64
+where
+    F: FnMut(&Biplex) -> bool,
+{
+    let mut state = Mbea { g, config, reported: 0, stop: false, sink: &mut sink };
+    let all_left: Vec<u32> = (0..g.num_left()).collect();
+    let cand: Vec<u32> = (0..g.num_right()).filter(|&u| g.right_degree(u) > 0).collect();
+    state.expand(&all_left, &[], cand, Vec::new());
+    state.reported
+}
+
+/// Collects all maximal bicliques satisfying the size constraints.
+pub fn collect_maximal_bicliques(g: &BipartiteGraph, config: &BicliqueConfig) -> Vec<Biplex> {
+    let mut out = Vec::new();
+    enumerate_maximal_bicliques(g, config, |b| {
+        out.push(b.clone());
+        true
+    });
+    out.sort();
+    out
+}
+
+/// `true` iff `(left, right)` is a biclique of `g` (complete bipartite).
+pub fn is_biclique(g: &BipartiteGraph, left: &[u32], right: &[u32]) -> bool {
+    left.iter().all(|&v| right.iter().all(|&u| g.has_edge(v, u)))
+}
+
+struct Mbea<'a, F: FnMut(&Biplex) -> bool> {
+    g: &'a BipartiteGraph,
+    config: &'a BicliqueConfig,
+    reported: u64,
+    stop: bool,
+    sink: &'a mut F,
+}
+
+impl<F: FnMut(&Biplex) -> bool> Mbea<'_, F> {
+    fn expand(&mut self, left: &[u32], right: &[u32], mut cand: Vec<u32>, mut excl: Vec<u32>) {
+        while let Some(u) = cand.first().copied() {
+            if self.stop {
+                return;
+            }
+            cand.remove(0);
+
+            // L' = left ∩ N(u)
+            let new_left: Vec<u32> = left
+                .iter()
+                .copied()
+                .filter(|&v| self.g.has_edge(v, u))
+                .collect();
+            if new_left.is_empty() || new_left.len() < self.config.min_left {
+                excl.push(u);
+                continue;
+            }
+
+            // Duplicate check: an excluded right vertex adjacent to all of
+            // L' means this biclique was (or will be) found elsewhere.
+            let dominated = excl
+                .iter()
+                .any(|&q| new_left.iter().all(|&v| self.g.has_edge(v, q)));
+            if dominated {
+                excl.push(u);
+                continue;
+            }
+
+            // Absorb the right vertices adjacent to all of L'; the rest stay
+            // candidates (if they still share something with L').
+            let mut new_right: Vec<u32> = right.to_vec();
+            new_right.push(u);
+            let mut new_cand: Vec<u32> = Vec::new();
+            for &p in &cand {
+                if new_left.iter().all(|&v| self.g.has_edge(v, p)) {
+                    new_right.push(p);
+                } else if new_left.iter().any(|&v| self.g.has_edge(v, p)) {
+                    new_cand.push(p);
+                }
+            }
+            new_right.sort_unstable();
+            let new_excl: Vec<u32> = excl
+                .iter()
+                .copied()
+                .filter(|&q| new_left.iter().any(|&v| self.g.has_edge(v, q)))
+                .collect();
+
+            if new_right.len() + new_cand.len() >= self.config.min_right {
+                if new_right.len() >= self.config.min_right {
+                    self.reported += 1;
+                    let b = Biplex::new(new_left.clone(), new_right.clone());
+                    if !(self.sink)(&b) || self.reported >= self.config.max_results {
+                        self.stop = true;
+                        return;
+                    }
+                }
+                if !new_cand.is_empty() {
+                    self.expand(&new_left, &new_right, new_cand, new_excl);
+                }
+            }
+
+            excl.push(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbiplex::bruteforce::brute_force_mbps;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                if rng.gen_bool(p) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    /// Maximal bicliques with both sides non-empty are exactly the maximal
+    /// 0-biplexes with both sides non-empty.
+    #[test]
+    fn matches_zero_biplex_brute_force() {
+        for seed in 0..20u64 {
+            let g = random_graph(5, 5, 0.55, seed);
+            let got = collect_maximal_bicliques(&g, &BicliqueConfig::default());
+            let expected: Vec<Biplex> = brute_force_mbps(&g, 0)
+                .into_iter()
+                .filter(|b| !b.left.is_empty() && !b.right.is_empty())
+                .collect();
+            assert_eq!(got, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_one_biclique() {
+        let mut edges = Vec::new();
+        for v in 0u32..3 {
+            for u in 0u32..4 {
+                edges.push((v, u));
+            }
+        }
+        let g = BipartiteGraph::from_edges(3, 4, &edges).unwrap();
+        let got = collect_maximal_bicliques(&g, &BicliqueConfig::default());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].left.len(), 3);
+        assert_eq!(got[0].right.len(), 4);
+    }
+
+    #[test]
+    fn size_constraints_filter() {
+        for seed in 0..8u64 {
+            let g = random_graph(6, 6, 0.6, seed);
+            let all = collect_maximal_bicliques(&g, &BicliqueConfig::default());
+            let cfg = BicliqueConfig::default().with_min_sizes(2, 2);
+            let constrained = collect_maximal_bicliques(&g, &cfg);
+            let expected: Vec<Biplex> = all
+                .into_iter()
+                .filter(|b| b.left.len() >= 2 && b.right.len() >= 2)
+                .collect();
+            assert_eq!(constrained, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn results_are_bicliques_and_maximal() {
+        let g = random_graph(7, 7, 0.5, 3);
+        for b in collect_maximal_bicliques(&g, &BicliqueConfig::default()) {
+            assert!(is_biclique(&g, &b.left, &b.right));
+            assert!(kbiplex::is_maximal_k_biplex(&g, &b.left, &b.right, 0));
+        }
+    }
+
+    #[test]
+    fn max_results_stops_early() {
+        let g = random_graph(6, 6, 0.6, 9);
+        let mut count = 0;
+        enumerate_maximal_bicliques(&g, &BicliqueConfig::default().with_max_results(2), |_| {
+            count += 1;
+            true
+        });
+        assert!(count <= 2);
+    }
+
+    #[test]
+    fn empty_graph_has_none() {
+        let g = BipartiteGraph::from_edges(3, 3, &[]).unwrap();
+        assert!(collect_maximal_bicliques(&g, &BicliqueConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # cohesive — other dense bipartite structures
+//!
+//! The paper compares k-biplexes against three other cohesive-subgraph
+//! definitions in its fraud-detection case study (Section 6.3) and surveys
+//! a fourth in its related-work section. This crate implements them:
+//!
+//! * [`biclique`] — maximal biclique enumeration (MBEA-style);
+//! * [`quasi`] — δ-quasi-biclique predicate and a greedy finder;
+//! * [`bitruss`] — butterfly support and k-bitruss decomposition;
+//! * the (α,β)-core lives in [`bigraph::core_decomp`] since the main
+//!   algorithms also use it as a preprocessing step.
+//!
+//! Everything here is exercised by the `frauddet` crate (the Figure 13
+//! reproduction) and doubles as a standalone toolkit for dense bipartite
+//! subgraph mining.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod biclique;
+pub mod bitruss;
+pub mod quasi;
+
+pub use biclique::{
+    collect_maximal_bicliques, enumerate_maximal_bicliques, is_biclique, BicliqueConfig,
+};
+pub use bitruss::{bitruss_decomposition, butterfly_support, k_bitruss_edges};
+pub use quasi::{find_delta_qbs, is_delta_qb, QuasiConfig};

@@ -1,0 +1,555 @@
+//! The k-biplex structure: representation, validity and maximality checks,
+//! and the mutable [`PartialBiplex`] used as the workhorse of the
+//! enumeration algorithms.
+
+use bigraph::{BipartiteGraph, Side};
+
+/// An induced bipartite subgraph `(L, R)`, stored as two sorted vertex-id
+/// vectors. This is the unit reported by every enumeration algorithm in the
+/// workspace.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Biplex {
+    /// Sorted left vertex ids.
+    pub left: Vec<u32>,
+    /// Sorted right vertex ids.
+    pub right: Vec<u32>,
+}
+
+impl Biplex {
+    /// Builds a biplex from (possibly unsorted) vertex lists.
+    pub fn new(mut left: Vec<u32>, mut right: Vec<u32>) -> Self {
+        left.sort_unstable();
+        left.dedup();
+        right.sort_unstable();
+        right.dedup();
+        Biplex { left, right }
+    }
+
+    /// Total number of vertices `|L| + |R|`.
+    pub fn num_vertices(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// `true` when both sides are empty.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+
+    /// Membership test on the left side (binary search).
+    pub fn contains_left(&self, v: u32) -> bool {
+        self.left.binary_search(&v).is_ok()
+    }
+
+    /// Membership test on the right side (binary search).
+    pub fn contains_right(&self, u: u32) -> bool {
+        self.right.binary_search(&u).is_ok()
+    }
+
+    /// `true` iff `self` is a subgraph of `other` (`L ⊆ L'` and `R ⊆ R'`).
+    pub fn is_subgraph_of(&self, other: &Biplex) -> bool {
+        self.left.iter().all(|v| other.contains_left(*v))
+            && self.right.iter().all(|u| other.contains_right(*u))
+    }
+
+    /// Number of edges of `G` present inside the biplex (used by the case
+    /// study to report densities).
+    pub fn num_edges(&self, g: &BipartiteGraph) -> usize {
+        self.left
+            .iter()
+            .map(|&v| self.right.iter().filter(|&&u| g.has_edge(v, u)).count())
+            .sum()
+    }
+
+    /// Canonical key used by the solution store: left ids, a separator, then
+    /// right ids. Two biplexes are equal iff their keys are equal.
+    pub fn canonical_key(&self) -> Vec<u32> {
+        let mut key = Vec::with_capacity(self.num_vertices() + 1);
+        key.extend_from_slice(&self.left);
+        key.push(u32::MAX);
+        key.extend_from_slice(&self.right);
+        key
+    }
+
+    /// The similarity measure `S(H, H')` of the paper's Lemma 3.3 proof: the
+    /// number of shared vertices.
+    pub fn similarity(&self, other: &Biplex) -> usize {
+        sorted_intersection_len(&self.left, &other.left)
+            + sorted_intersection_len(&self.right, &other.right)
+    }
+
+    /// Swaps the two sides (used when running on a transposed graph).
+    pub fn transpose(self) -> Biplex {
+        Biplex { left: self.right, right: self.left }
+    }
+}
+
+/// Length of the intersection of two sorted slices.
+pub(crate) fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Number of vertices of the sorted set `right` that are *not* neighbours of
+/// left vertex `v` — the paper's `δ̄(v, R)`.
+pub fn left_misses(g: &BipartiteGraph, v: u32, right: &[u32]) -> usize {
+    right.len() - sorted_intersection_len(g.left_neighbors(v), right)
+}
+
+/// Number of vertices of the sorted set `left` that are *not* neighbours of
+/// right vertex `u` — the paper's `δ̄(u, L)`.
+pub fn right_misses(g: &BipartiteGraph, u: u32, left: &[u32]) -> usize {
+    left.len() - sorted_intersection_len(g.right_neighbors(u), left)
+}
+
+/// `true` iff `(left, right)` (both sorted) induces a k-biplex of `g`
+/// (Definition 2.1).
+pub fn is_k_biplex(g: &BipartiteGraph, left: &[u32], right: &[u32], k: usize) -> bool {
+    left.iter().all(|&v| left_misses(g, v, right) <= k)
+        && right.iter().all(|&u| right_misses(g, u, left) <= k)
+}
+
+/// `true` iff `(left, right)` is a *maximal* k-biplex of `g`
+/// (Definition 2.3): it is a k-biplex and no single vertex of `G` can be
+/// added while preserving the property. (For hereditary properties,
+/// single-vertex extensibility is equivalent to the existence of a proper
+/// superset.)
+pub fn is_maximal_k_biplex(g: &BipartiteGraph, left: &[u32], right: &[u32], k: usize) -> bool {
+    if !is_k_biplex(g, left, right, k) {
+        return false;
+    }
+    let partial = PartialBiplex::from_sets(g, left, right);
+    for v in 0..g.num_left() {
+        if left.binary_search(&v).is_err() && partial.can_add_left(g, v, k) {
+            return false;
+        }
+    }
+    for u in 0..g.num_right() {
+        if right.binary_search(&u).is_err() && partial.can_add_right(g, u, k) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A mutable working solution with cached per-vertex miss counts.
+///
+/// `left[i]` misses exactly `left_miss[i]` vertices of `right`, and
+/// symmetrically for the right side. All enumeration inner loops
+/// (extension, candidate checks, local-solution validation) go through this
+/// structure so the miss counts are maintained incrementally instead of
+/// being recomputed.
+#[derive(Clone, Debug, Default)]
+pub struct PartialBiplex {
+    left: Vec<u32>,
+    right: Vec<u32>,
+    left_miss: Vec<u32>,
+    right_miss: Vec<u32>,
+}
+
+impl PartialBiplex {
+    /// Empty working solution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the working solution from two (possibly unsorted) vertex sets,
+    /// computing all miss counts.
+    pub fn from_sets(g: &BipartiteGraph, left: &[u32], right: &[u32]) -> Self {
+        let mut left = left.to_vec();
+        left.sort_unstable();
+        left.dedup();
+        let mut right = right.to_vec();
+        right.sort_unstable();
+        right.dedup();
+        let left_miss = left
+            .iter()
+            .map(|&v| left_misses(g, v, &right) as u32)
+            .collect();
+        let right_miss = right
+            .iter()
+            .map(|&u| right_misses(g, u, &left) as u32)
+            .collect();
+        PartialBiplex { left, right, left_miss, right_miss }
+    }
+
+    /// Builds from an existing [`Biplex`].
+    pub fn from_biplex(g: &BipartiteGraph, b: &Biplex) -> Self {
+        Self::from_sets(g, &b.left, &b.right)
+    }
+
+    /// Sorted left vertices.
+    pub fn left(&self) -> &[u32] {
+        &self.left
+    }
+
+    /// Sorted right vertices.
+    pub fn right(&self) -> &[u32] {
+        &self.right
+    }
+
+    /// `δ̄(v, R)` for the `i`-th left member.
+    pub fn left_miss(&self, i: usize) -> u32 {
+        self.left_miss[i]
+    }
+
+    /// `δ̄(u, L)` for the `i`-th right member.
+    pub fn right_miss(&self, i: usize) -> u32 {
+        self.right_miss[i]
+    }
+
+    /// Membership test on the left side.
+    pub fn contains_left(&self, v: u32) -> bool {
+        self.left.binary_search(&v).is_ok()
+    }
+
+    /// Membership test on the right side.
+    pub fn contains_right(&self, u: u32) -> bool {
+        self.right.binary_search(&u).is_ok()
+    }
+
+    /// `true` iff the working solution currently satisfies the k-biplex
+    /// condition.
+    pub fn is_k_biplex(&self, k: usize) -> bool {
+        self.left_miss.iter().all(|&m| m as usize <= k)
+            && self.right_miss.iter().all(|&m| m as usize <= k)
+    }
+
+    /// Checks whether left vertex `v ∉ L` can be added while keeping the
+    /// k-biplex property: `v` must miss at most `k` vertices of `R`, and no
+    /// right vertex that misses `v` may already be at its budget `k`.
+    pub fn can_add_left(&self, g: &BipartiteGraph, v: u32, k: usize) -> bool {
+        debug_assert!(!self.contains_left(v));
+        let nbrs = g.left_neighbors(v);
+        let mut v_misses = 0usize;
+        // Merge-walk `right` against `nbrs`.
+        let mut ni = 0;
+        for (ri, &u) in self.right.iter().enumerate() {
+            while ni < nbrs.len() && nbrs[ni] < u {
+                ni += 1;
+            }
+            let adjacent = ni < nbrs.len() && nbrs[ni] == u;
+            if !adjacent {
+                v_misses += 1;
+                if v_misses > k {
+                    return false;
+                }
+                if self.right_miss[ri] as usize + 1 > k {
+                    return false;
+                }
+            }
+        }
+        v_misses <= k
+    }
+
+    /// Symmetric to [`can_add_left`](Self::can_add_left) for a right vertex.
+    pub fn can_add_right(&self, g: &BipartiteGraph, u: u32, k: usize) -> bool {
+        debug_assert!(!self.contains_right(u));
+        let nbrs = g.right_neighbors(u);
+        let mut u_misses = 0usize;
+        let mut ni = 0;
+        for (li, &v) in self.left.iter().enumerate() {
+            while ni < nbrs.len() && nbrs[ni] < v {
+                ni += 1;
+            }
+            let adjacent = ni < nbrs.len() && nbrs[ni] == v;
+            if !adjacent {
+                u_misses += 1;
+                if u_misses > k {
+                    return false;
+                }
+                if self.left_miss[li] as usize + 1 > k {
+                    return false;
+                }
+            }
+        }
+        u_misses <= k
+    }
+
+    /// Side-dispatching version of the `can_add_*` checks.
+    pub fn can_add(&self, g: &BipartiteGraph, side: Side, id: u32, k: usize) -> bool {
+        match side {
+            Side::Left => self.can_add_left(g, id, k),
+            Side::Right => self.can_add_right(g, id, k),
+        }
+    }
+
+    /// Adds left vertex `v`, updating all miss counters. The caller is
+    /// responsible for having checked `can_add_left` when the k-biplex
+    /// property must be preserved.
+    pub fn add_left(&mut self, g: &BipartiteGraph, v: u32) {
+        let pos = match self.left.binary_search(&v) {
+            Ok(_) => return,
+            Err(pos) => pos,
+        };
+        let miss = left_misses(g, v, &self.right) as u32;
+        self.left.insert(pos, v);
+        self.left_miss.insert(pos, miss);
+        // Every right vertex not adjacent to v gains one miss.
+        let nbrs = g.left_neighbors(v);
+        let mut ni = 0;
+        for (ri, &u) in self.right.iter().enumerate() {
+            while ni < nbrs.len() && nbrs[ni] < u {
+                ni += 1;
+            }
+            let adjacent = ni < nbrs.len() && nbrs[ni] == u;
+            if !adjacent {
+                self.right_miss[ri] += 1;
+            }
+        }
+    }
+
+    /// Adds right vertex `u`, updating all miss counters.
+    pub fn add_right(&mut self, g: &BipartiteGraph, u: u32) {
+        let pos = match self.right.binary_search(&u) {
+            Ok(_) => return,
+            Err(pos) => pos,
+        };
+        let miss = right_misses(g, u, &self.left) as u32;
+        self.right.insert(pos, u);
+        self.right_miss.insert(pos, miss);
+        let nbrs = g.right_neighbors(u);
+        let mut ni = 0;
+        for (li, &v) in self.left.iter().enumerate() {
+            while ni < nbrs.len() && nbrs[ni] < v {
+                ni += 1;
+            }
+            let adjacent = ni < nbrs.len() && nbrs[ni] == v;
+            if !adjacent {
+                self.left_miss[li] += 1;
+            }
+        }
+    }
+
+    /// Side-dispatching insertion.
+    pub fn add(&mut self, g: &BipartiteGraph, side: Side, id: u32) {
+        match side {
+            Side::Left => self.add_left(g, id),
+            Side::Right => self.add_right(g, id),
+        }
+    }
+
+    /// Removes left vertex `v` (if present), updating all miss counters.
+    pub fn remove_left(&mut self, g: &BipartiteGraph, v: u32) {
+        let pos = match self.left.binary_search(&v) {
+            Ok(pos) => pos,
+            Err(_) => return,
+        };
+        self.left.remove(pos);
+        self.left_miss.remove(pos);
+        let nbrs = g.left_neighbors(v);
+        let mut ni = 0;
+        for (ri, &u) in self.right.iter().enumerate() {
+            while ni < nbrs.len() && nbrs[ni] < u {
+                ni += 1;
+            }
+            let adjacent = ni < nbrs.len() && nbrs[ni] == u;
+            if !adjacent {
+                self.right_miss[ri] -= 1;
+            }
+        }
+    }
+
+    /// Freezes the working solution into an immutable [`Biplex`].
+    pub fn to_biplex(&self) -> Biplex {
+        Biplex { left: self.left.clone(), right: self.right.clone() }
+    }
+
+    /// Returns the side-swapped working solution, valid with respect to the
+    /// *transposed* graph. Used to run the left-oriented `EnumAlmostSat`
+    /// implementation on a new vertex from the right side.
+    pub fn flipped(&self) -> PartialBiplex {
+        PartialBiplex {
+            left: self.right.clone(),
+            right: self.left.clone(),
+            left_miss: self.right_miss.clone(),
+            right_miss: self.left_miss.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> BipartiteGraph {
+        // L = {0..3}, R = {0..3}; complete except (0,3), (1,2), (3,0), (3,1).
+        let mut edges = Vec::new();
+        for v in 0u32..4 {
+            for u in 0u32..4 {
+                if !matches!((v, u), (0, 3) | (1, 2) | (3, 0) | (3, 1)) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(4, 4, &edges).unwrap()
+    }
+
+    #[test]
+    fn biplex_constructor_sorts_and_dedups() {
+        let b = Biplex::new(vec![3, 1, 1], vec![2, 0, 2]);
+        assert_eq!(b.left, vec![1, 3]);
+        assert_eq!(b.right, vec![0, 2]);
+        assert_eq!(b.num_vertices(), 4);
+        assert!(!b.is_empty());
+        assert!(Biplex::default().is_empty());
+    }
+
+    #[test]
+    fn misses_and_k_biplex_check() {
+        let g = fixture();
+        // v0 misses u3 only.
+        assert_eq!(left_misses(&g, 0, &[0, 1, 2, 3]), 1);
+        assert_eq!(left_misses(&g, 3, &[0, 1, 2, 3]), 2);
+        assert_eq!(right_misses(&g, 0, &[0, 1, 2, 3]), 1);
+        // Whole graph: v3 misses 2 -> not a 1-biplex, but a 2-biplex.
+        assert!(!is_k_biplex(&g, &[0, 1, 2, 3], &[0, 1, 2, 3], 1));
+        assert!(is_k_biplex(&g, &[0, 1, 2, 3], &[0, 1, 2, 3], 2));
+        // Empty sides are always k-biplexes.
+        assert!(is_k_biplex(&g, &[], &[], 0));
+        assert!(is_k_biplex(&g, &[0, 1], &[], 0));
+    }
+
+    #[test]
+    fn maximality_check() {
+        let g = fixture();
+        // (all, all) is a maximal 2-biplex (nothing left to add).
+        assert!(is_maximal_k_biplex(&g, &[0, 1, 2, 3], &[0, 1, 2, 3], 2));
+        // A proper sub-biplex of it is not maximal.
+        assert!(!is_maximal_k_biplex(&g, &[0, 1, 2], &[0, 1, 2, 3], 2));
+        // Not even a k-biplex -> not maximal.
+        assert!(!is_maximal_k_biplex(&g, &[0, 1, 2, 3], &[0, 1, 2, 3], 1));
+    }
+
+    #[test]
+    fn partial_biplex_matches_naive_counts() {
+        let g = fixture();
+        let p = PartialBiplex::from_sets(&g, &[0, 1, 3], &[0, 2, 3]);
+        for (i, &v) in p.left().iter().enumerate() {
+            assert_eq!(p.left_miss(i) as usize, left_misses(&g, v, p.right()));
+        }
+        for (i, &u) in p.right().iter().enumerate() {
+            assert_eq!(p.right_miss(i) as usize, right_misses(&g, u, p.left()));
+        }
+    }
+
+    #[test]
+    fn incremental_add_matches_recompute() {
+        let g = fixture();
+        let mut p = PartialBiplex::new();
+        let additions: Vec<(Side, u32)> = vec![
+            (Side::Right, 0),
+            (Side::Left, 1),
+            (Side::Right, 2),
+            (Side::Left, 0),
+            (Side::Right, 3),
+            (Side::Left, 3),
+        ];
+        for (side, id) in additions {
+            p.add(&g, side, id);
+            let fresh = PartialBiplex::from_sets(&g, p.left(), p.right());
+            assert_eq!(p.left_miss, fresh.left_miss);
+            assert_eq!(p.right_miss, fresh.right_miss);
+        }
+    }
+
+    #[test]
+    fn remove_left_restores_counts() {
+        let g = fixture();
+        let mut p = PartialBiplex::from_sets(&g, &[0, 1, 2, 3], &[0, 1, 2, 3]);
+        p.remove_left(&g, 3);
+        let fresh = PartialBiplex::from_sets(&g, &[0, 1, 2], &[0, 1, 2, 3]);
+        assert_eq!(p.left(), fresh.left());
+        assert_eq!(p.right_miss, fresh.right_miss);
+        // Removing a vertex that is not present is a no-op.
+        p.remove_left(&g, 3);
+        assert_eq!(p.left(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn can_add_checks_both_directions() {
+        let g = fixture();
+        // Start from ({0,1}, {0,1}): complete, so misses are all zero.
+        let p = PartialBiplex::from_sets(&g, &[0, 1], &[0, 1]);
+        assert!(p.can_add_left(&g, 2, 0));
+        // v3 misses u0 and u1 -> needs k >= 2.
+        assert!(!p.can_add_left(&g, 3, 1));
+        assert!(p.can_add_left(&g, 3, 2));
+        assert!(p.can_add_right(&g, 2, 1));
+        // With k = 0, u2 cannot join because it misses v1.
+        assert!(!p.can_add_right(&g, 2, 0));
+        assert!(p.can_add(&g, Side::Right, 3, 1));
+    }
+
+    #[test]
+    fn can_add_respects_existing_budgets() {
+        let g = fixture();
+        // ({0,3}, {2,3}): v0 misses u3, v3 misses nothing here? v3 ~ u2,u3.
+        // u2 misses v... v0~u2 yes, v3~u2 yes -> 0. u3: v0 misses it -> 1.
+        let p = PartialBiplex::from_sets(&g, &[0, 3], &[2, 3]);
+        // Adding u0 with k = 1: u0 misses v3 (1 <= 1), but does any left
+        // vertex exceed its budget? v0 ~ u0 so no change; v3 !~ u0 so v3
+        // would go from 0 to 1 <= 1. OK.
+        assert!(p.can_add_right(&g, 0, 1));
+        // Adding v1 with k = 1: v1 misses u2 (1 <= 1); u2 goes 0 -> 1 ok;
+        // so it is allowed.
+        assert!(p.can_add_left(&g, 1, 1));
+        // With k = 0 nothing that introduces a miss can be added.
+        assert!(!p.can_add_right(&g, 0, 0));
+    }
+
+    #[test]
+    fn canonical_key_disambiguates_sides() {
+        let a = Biplex::new(vec![1], vec![2]);
+        let b = Biplex::new(vec![1, 2], vec![]);
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        let c = Biplex::new(vec![1], vec![2]);
+        assert_eq!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn similarity_counts_shared_vertices() {
+        let a = Biplex::new(vec![0, 1, 2], vec![5, 6]);
+        let b = Biplex::new(vec![1, 2, 3], vec![6, 7]);
+        assert_eq!(a.similarity(&b), 3);
+        assert_eq!(b.similarity(&a), 3);
+        assert_eq!(a.similarity(&a), 5);
+    }
+
+    #[test]
+    fn subgraph_relation() {
+        let a = Biplex::new(vec![0, 1], vec![2]);
+        let b = Biplex::new(vec![0, 1, 4], vec![2, 3]);
+        assert!(a.is_subgraph_of(&b));
+        assert!(!b.is_subgraph_of(&a));
+        assert!(Biplex::default().is_subgraph_of(&a));
+    }
+
+    #[test]
+    fn num_edges_inside() {
+        let g = fixture();
+        let b = Biplex::new(vec![0, 1], vec![0, 1, 2]);
+        // (0,0),(0,1),(0,2),(1,0),(1,1) present; (1,2) missing.
+        assert_eq!(b.num_edges(&g), 5);
+    }
+
+    #[test]
+    fn transpose_biplex() {
+        let b = Biplex::new(vec![1, 2], vec![7]);
+        let t = b.clone().transpose();
+        assert_eq!(t.left, vec![7]);
+        assert_eq!(t.right, vec![1, 2]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Inflation-based implementation of `EnumAlmostSat`.
+//!
+//! This is the implementation the paper attributes to the original
+//! `bTraversal`: the almost-satisfying graph `(L ∪ {v}, R)` is inflated
+//! into a general graph (same-side vertices become mutually adjacent) and
+//! the maximal (k+1)-plexes containing `v` are enumerated with the `kplex`
+//! crate; those are exactly the local solutions. It serves as the baseline
+//! in the Figure 12 comparison of `EnumAlmostSat` implementations.
+
+use bigraph::general::GraphView;
+use bigraph::BipartiteGraph;
+
+use crate::biplex::{Biplex, PartialBiplex};
+
+use super::AlmostSatStats;
+
+/// Implicit inflated view of one almost-satisfying graph. Vertex ids:
+/// `0..|L|` are the host's left vertices, `|L|` is the new vertex `v`, and
+/// `|L|+1..` are the host's right vertices.
+struct LocalInflatedView<'a> {
+    g: &'a BipartiteGraph,
+    left: &'a [u32],
+    right: &'a [u32],
+    v: u32,
+}
+
+impl LocalInflatedView<'_> {
+    /// Number of left vertices of the local view, `|L| + 1` (the host's left
+    /// side plus the new vertex `v`).
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    fn left_count(&self) -> usize {
+        self.left.len() + 1
+    }
+
+    /// Maps a local id to the original graph: `(is_left, original_id)`.
+    #[inline]
+    fn original(&self, id: u32) -> (bool, u32) {
+        let id = id as usize;
+        if id < self.left.len() {
+            (true, self.left[id])
+        } else if id == self.left.len() {
+            (true, self.v)
+        } else {
+            (false, self.right[id - self.left.len() - 1])
+        }
+    }
+}
+
+impl GraphView for LocalInflatedView<'_> {
+    fn num_vertices(&self) -> usize {
+        self.left.len() + 1 + self.right.len()
+    }
+
+    fn adjacent(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let (al, ao) = self.original(a);
+        let (bl, bo) = self.original(b);
+        if al == bl {
+            // Same side of the bipartition: adjacent in the inflation
+            // (distinct original vertices; v never collides with host.left).
+            true
+        } else if al {
+            self.g.has_edge(ao, bo)
+        } else {
+            self.g.has_edge(bo, ao)
+        }
+    }
+
+    fn degree(&self, a: u32) -> usize {
+        (0..self.num_vertices() as u32)
+            .filter(|&b| b != a && self.adjacent(a, b))
+            .count()
+    }
+
+    fn neighbors_into(&self, a: u32, out: &mut Vec<u32>) {
+        out.clear();
+        for b in 0..self.num_vertices() as u32 {
+            if b != a && self.adjacent(a, b) {
+                out.push(b);
+            }
+        }
+    }
+}
+
+/// Enumerates the local solutions via inflation + seeded maximal
+/// (k+1)-plex enumeration.
+pub(super) fn enumerate<F>(
+    g: &BipartiteGraph,
+    k: usize,
+    host: &PartialBiplex,
+    v: u32,
+    mut emit: F,
+) -> AlmostSatStats
+where
+    F: FnMut(Biplex) -> bool,
+{
+    let view = LocalInflatedView { g, left: host.left(), right: host.right(), v };
+    let seed = host.left().len() as u32; // local id of `v`
+    let config = kplex::PlexConfig::new(k + 1).with_must_include(seed);
+
+    let mut stats = AlmostSatStats::default();
+    let plex_stats = kplex::enumerate_maximal_plexes(&view, &config, |plex| {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for &id in plex {
+            let (is_left, orig) = view.original(id);
+            if is_left {
+                left.push(orig);
+            } else {
+                right.push(orig);
+            }
+        }
+        stats.local_solutions += 1;
+        emit(Biplex::new(left, right))
+    });
+    // The search-tree size plays the role of the "combinations examined"
+    // counter so that Figure 12 can compare work across implementations.
+    stats.r_combinations = plex_stats.nodes;
+    stats.l_candidates = plex_stats.nodes;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enum_almost_sat::{brute_force_local_solutions, EnumKind};
+
+    #[test]
+    fn inflation_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut edges = Vec::new();
+            for v in 0u32..6 {
+                for u in 0u32..6 {
+                    if rng.gen_bool(0.5) {
+                        edges.push((v, u));
+                    }
+                }
+            }
+            let g = BipartiteGraph::from_edges(6, 6, &edges).unwrap();
+            for k in 1..=2usize {
+                let mut host = PartialBiplex::from_sets(&g, &[0], &[]);
+                crate::extend::extend_to_maximal(
+                    &g,
+                    &mut host,
+                    k,
+                    crate::extend::ExtendMode::BothSides,
+                );
+                let Some(v) = (0..g.num_left()).find(|&x| !host.contains_left(x)) else {
+                    continue;
+                };
+                let expected = brute_force_local_solutions(&g, k, host.left(), host.right(), v);
+                let (mut got, _) = crate::enum_almost_sat::collect_local_solutions(
+                    &g,
+                    k,
+                    EnumKind::Inflation,
+                    &host,
+                    v,
+                );
+                got.sort();
+                got.dedup();
+                assert_eq!(got, expected, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_view_adjacency() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2), (0, 1)]).unwrap();
+        let host = PartialBiplex::from_sets(&g, &[0, 1], &[0, 1]);
+        let view = LocalInflatedView { g: &g, left: host.left(), right: host.right(), v: 2 };
+        assert_eq!(view.num_vertices(), 5);
+        // ids: 0 -> left0, 1 -> left1, 2 -> v(=left2), 3 -> right0, 4 -> right1
+        assert!(view.adjacent(0, 1));
+        assert!(view.adjacent(0, 2));
+        assert!(view.adjacent(3, 4));
+        assert!(view.adjacent(0, 3)); // (0,0) edge
+        assert!(view.adjacent(0, 4)); // (0,1) edge
+        assert!(!view.adjacent(1, 3)); // (1,0) missing
+        assert!(!view.adjacent(2, 3)); // (2,0) missing
+        assert!(!view.adjacent(2, 2));
+        assert_eq!(view.left_count(), 3);
+        assert_eq!(view.degree(2), 2 + 0); // adjacent to the two left vertices only
+        let mut out = Vec::new();
+        view.neighbors_into(2, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Greedy maximal extension of a k-biplex (Step 3 of the `ThreeStep` /
+//! `iThreeStep` procedures).
+//!
+//! Given a k-biplex, vertices are considered in a fixed *preset order* (all
+//! left vertices by ascending id, then all right vertices by ascending id)
+//! and added whenever the k-biplex property is preserved. Because the
+//! property is hereditary, a vertex that cannot be added at the moment it is
+//! considered can never become addable later, so a single pass yields a
+//! maximal k-biplex and the result is a deterministic function of the input
+//! — the requirement the reverse-search framework places on the extension
+//! step.
+
+use bigraph::BipartiteGraph;
+
+use crate::biplex::PartialBiplex;
+
+/// Which sides the extension step is allowed to draw new vertices from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtendMode {
+    /// Add vertices from both sides (used by `bTraversal`, Algorithm 1).
+    BothSides,
+    /// Add vertices from the left side only (used by `iTraversal` under the
+    /// right-shrinking traversal, Algorithm 2 line 8).
+    LeftOnly,
+}
+
+/// Collects the left vertices that could possibly be added to a solution
+/// whose right side is `right`: a left vertex needs at least
+/// `|right| − k` neighbours inside `right`. When `|right| ≤ k` every left
+/// vertex qualifies trivially and the full range is returned.
+///
+/// The returned list is sorted and excludes nothing else — the caller still
+/// runs the exact [`PartialBiplex::can_add_left`] check.
+pub fn left_extension_candidates(g: &BipartiteGraph, right: &[u32], k: usize) -> Vec<u32> {
+    if right.len() <= k {
+        return (0..g.num_left()).collect();
+    }
+    let need = right.len() - k;
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &u in right {
+        for &v in g.right_neighbors(u) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut cands: Vec<u32> = counts
+        .into_iter()
+        .filter_map(|(v, c)| (c >= need).then_some(v))
+        .collect();
+    cands.sort_unstable();
+    cands
+}
+
+/// Symmetric to [`left_extension_candidates`] for the right side.
+pub fn right_extension_candidates(g: &BipartiteGraph, left: &[u32], k: usize) -> Vec<u32> {
+    if left.len() <= k {
+        return (0..g.num_right()).collect();
+    }
+    let need = left.len() - k;
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &v in left {
+        for &u in g.left_neighbors(v) {
+            *counts.entry(u).or_insert(0) += 1;
+        }
+    }
+    let mut cands: Vec<u32> = counts
+        .into_iter()
+        .filter_map(|(u, c)| (c >= need).then_some(u))
+        .collect();
+    cands.sort_unstable();
+    cands
+}
+
+/// Extends `partial` (which must already be a k-biplex) to a maximal
+/// k-biplex of `g` in place, following the preset order. `mode` selects
+/// which sides may contribute new vertices.
+pub fn extend_to_maximal(
+    g: &BipartiteGraph,
+    partial: &mut PartialBiplex,
+    k: usize,
+    mode: ExtendMode,
+) {
+    debug_assert!(partial.is_k_biplex(k));
+
+    // Left side first (ascending id), then — for BothSides — the right side.
+    if partial.right().len() <= k {
+        extend_left_small_right(g, partial, k);
+    } else {
+        let left_cands = left_extension_candidates(g, partial.right(), k);
+        for v in left_cands {
+            if !partial.contains_left(v) && partial.can_add_left(g, v, k) {
+                partial.add_left(g, v);
+            }
+        }
+    }
+
+    if mode == ExtendMode::BothSides {
+        let right_cands = right_extension_candidates(g, partial.left(), k);
+        for u in right_cands {
+            if !partial.contains_right(u) && partial.can_add_right(g, u, k) {
+                partial.add_right(g, u);
+            }
+        }
+        // Adding right vertices can never unlock additional left vertices
+        // (constraints only tighten), so a single pass per side suffices.
+    }
+}
+
+/// Left extension for the degenerate regime `|R| ≤ k`, where *every* left
+/// vertex passes the counting filter. While no right vertex is saturated
+/// (miss count `= k`) every left vertex is addable, so vertices are taken in
+/// id order without any check; as soon as some right vertex saturates, only
+/// neighbours of that vertex can still join, so the scan switches to its
+/// adjacency list instead of walking the whole left side. This keeps the
+/// extension near-linear in the output size on graphs with millions of
+/// vertices.
+fn extend_left_small_right(g: &BipartiteGraph, partial: &mut PartialBiplex, k: usize) {
+    let num_left = g.num_left();
+    let mut v = 0u32;
+    // Phase 1: no right vertex saturated yet.
+    while v < num_left {
+        if let Some(idx) = (0..partial.right().len()).find(|&i| partial.right_miss(i) as usize >= k)
+        {
+            // Phase 2: only neighbours of the saturated vertex qualify.
+            let anchor = partial.right()[idx];
+            let nbrs = g.right_neighbors(anchor).to_vec();
+            for w in nbrs {
+                if w >= v && !partial.contains_left(w) && partial.can_add_left(g, w, k) {
+                    partial.add_left(g, w);
+                }
+            }
+            return;
+        }
+        if !partial.contains_left(v) && partial.can_add_left(g, v, k) {
+            partial.add_left(g, v);
+        }
+        v += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biplex::{is_k_biplex, is_maximal_k_biplex};
+    use bigraph::BipartiteGraph;
+
+    fn fixture() -> BipartiteGraph {
+        // 5 x 5, complete except a scattering of misses.
+        let mut edges = Vec::new();
+        for v in 0u32..5 {
+            for u in 0u32..5 {
+                if !matches!((v, u), (0, 4) | (1, 3) | (2, 2) | (3, 1) | (4, 0) | (4, 4)) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(5, 5, &edges).unwrap()
+    }
+
+    #[test]
+    fn extension_produces_a_maximal_biplex() {
+        let g = fixture();
+        for k in 0..=2usize {
+            let mut p = PartialBiplex::from_sets(&g, &[0], &[0]);
+            extend_to_maximal(&g, &mut p, k, ExtendMode::BothSides);
+            assert!(
+                is_maximal_k_biplex(&g, p.left(), p.right(), k),
+                "k = {k}, got ({:?}, {:?})",
+                p.left(),
+                p.right()
+            );
+        }
+    }
+
+    #[test]
+    fn left_only_extension_is_maximal_wrt_left() {
+        let g = fixture();
+        let k = 1;
+        let mut p = PartialBiplex::from_sets(&g, &[1], &[0, 1, 2]);
+        extend_to_maximal(&g, &mut p, k, ExtendMode::LeftOnly);
+        assert!(is_k_biplex(&g, p.left(), p.right(), k));
+        // No further left vertex can be added.
+        for v in 0..g.num_left() {
+            if !p.contains_left(v) {
+                assert!(!p.can_add_left(&g, v, k));
+            }
+        }
+    }
+
+    #[test]
+    fn extension_is_deterministic() {
+        let g = fixture();
+        let mut a = PartialBiplex::from_sets(&g, &[2], &[3]);
+        let mut b = PartialBiplex::from_sets(&g, &[2], &[3]);
+        extend_to_maximal(&g, &mut a, 1, ExtendMode::BothSides);
+        extend_to_maximal(&g, &mut b, 1, ExtendMode::BothSides);
+        assert_eq!(a.left(), b.left());
+        assert_eq!(a.right(), b.right());
+    }
+
+    #[test]
+    fn extension_keeps_existing_vertices() {
+        let g = fixture();
+        let mut p = PartialBiplex::from_sets(&g, &[3], &[4]);
+        extend_to_maximal(&g, &mut p, 1, ExtendMode::BothSides);
+        assert!(p.contains_left(3));
+        assert!(p.contains_right(4));
+    }
+
+    #[test]
+    fn candidate_filters_are_supersets_of_addable_vertices() {
+        let g = fixture();
+        for k in 0..=2usize {
+            let right = vec![0u32, 1, 3];
+            let p = PartialBiplex::from_sets(&g, &[], &right);
+            let cands = left_extension_candidates(&g, &right, k);
+            for v in 0..g.num_left() {
+                if p.can_add_left(&g, v, k) {
+                    assert!(cands.contains(&v), "k {k}: addable vertex {v} filtered out");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_filter_small_right_side_returns_everything() {
+        let g = fixture();
+        let cands = left_extension_candidates(&g, &[2], 1);
+        assert_eq!(cands.len(), g.num_left() as usize);
+        let cands = right_extension_candidates(&g, &[], 0);
+        assert_eq!(cands.len(), g.num_right() as usize);
+    }
+
+    #[test]
+    fn empty_start_extends_to_nonempty_maximal() {
+        let g = fixture();
+        let mut p = PartialBiplex::new();
+        extend_to_maximal(&g, &mut p, 1, ExtendMode::BothSides);
+        assert!(p.left().len() + p.right().len() > 0);
+        assert!(is_maximal_k_biplex(&g, p.left(), p.right(), 1));
+    }
+}

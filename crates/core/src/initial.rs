@@ -1,0 +1,136 @@
+//! Initial solutions for the traversal frameworks.
+//!
+//! * `bTraversal` may start from *any* maximal k-biplex; we build one by
+//!   greedily extending the empty subgraph in the preset order.
+//! * `iTraversal` starts from the designated solution `H0 = (L0, R)` where
+//!   `R` is the whole right side and `L0` is any maximal left set keeping
+//!   `(L0, R)` a k-biplex (Section 3.2). The symmetric option `(L, R0)` is
+//!   provided for the "right-anchored" comparison of Section 6.2.
+
+use bigraph::BipartiteGraph;
+
+use crate::biplex::{Biplex, PartialBiplex};
+use crate::extend::{extend_to_maximal, ExtendMode};
+
+/// Builds the designated initial solution `H0 = (L0, R)` of `iTraversal`:
+/// the right side is the whole of `R`, and left vertices are added greedily
+/// in ascending id order while the k-biplex property holds.
+///
+/// Only left vertices with degree at least `|R| − k` can possibly join, so
+/// the candidates are pre-filtered by degree — this keeps the construction
+/// linear in practice even on graphs with millions of vertices.
+pub fn initial_left_anchored(g: &BipartiteGraph, k: usize) -> Biplex {
+    let all_right: Vec<u32> = (0..g.num_right()).collect();
+    let mut partial = PartialBiplex::from_sets(g, &[], &all_right);
+    let need = (g.num_right() as usize).saturating_sub(k);
+    for v in 0..g.num_left() {
+        if g.left_degree(v) >= need && partial.can_add_left(g, v, k) {
+            partial.add_left(g, v);
+        }
+    }
+    partial.to_biplex()
+}
+
+/// The symmetric initial solution `H0' = (L, R0)` (all left vertices, plus a
+/// maximal set of right vertices).
+pub fn initial_right_anchored(g: &BipartiteGraph, k: usize) -> Biplex {
+    let all_left: Vec<u32> = (0..g.num_left()).collect();
+    let mut partial = PartialBiplex::from_sets(g, &all_left, &[]);
+    let need = (g.num_left() as usize).saturating_sub(k);
+    for u in 0..g.num_right() {
+        if g.right_degree(u) >= need && partial.can_add_right(g, u, k) {
+            partial.add_right(g, u);
+        }
+    }
+    partial.to_biplex()
+}
+
+/// An arbitrary maximal k-biplex, built by greedily extending the empty
+/// subgraph in the preset order — the initial solution used by
+/// `bTraversal` (Algorithm 1 line 1).
+pub fn initial_arbitrary(g: &BipartiteGraph, k: usize) -> Biplex {
+    let mut partial = PartialBiplex::new();
+    extend_to_maximal(g, &mut partial, k, ExtendMode::BothSides);
+    partial.to_biplex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biplex::is_maximal_k_biplex;
+
+    fn fixture() -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for v in 0u32..5 {
+            for u in 0u32..5 {
+                if !matches!((v, u), (0, 4) | (1, 3) | (1, 4) | (2, 0) | (3, 1) | (3, 2)) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(5, 5, &edges).unwrap()
+    }
+
+    #[test]
+    fn left_anchored_initial_contains_all_of_r_and_is_maximal() {
+        let g = fixture();
+        for k in 0..=2usize {
+            let h0 = initial_left_anchored(&g, k);
+            assert_eq!(h0.right.len(), g.num_right() as usize, "k = {k}");
+            assert!(is_maximal_k_biplex(&g, &h0.left, &h0.right, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn right_anchored_initial_contains_all_of_l_and_is_maximal() {
+        let g = fixture();
+        for k in 0..=2usize {
+            let h0 = initial_right_anchored(&g, k);
+            assert_eq!(h0.left.len(), g.num_left() as usize, "k = {k}");
+            assert!(is_maximal_k_biplex(&g, &h0.left, &h0.right, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_initial_is_maximal() {
+        let g = fixture();
+        for k in 0..=3usize {
+            let h0 = initial_arbitrary(&g, k);
+            assert!(is_maximal_k_biplex(&g, &h0.left, &h0.right, k), "k = {k}");
+            assert!(!h0.is_empty());
+        }
+    }
+
+    #[test]
+    fn left_anchored_on_sparse_graph_can_have_empty_left() {
+        // No left vertex connects enough of R when the graph is very sparse
+        // and k is small; (∅, R) is then itself the maximal solution.
+        let g = BipartiteGraph::from_edges(3, 5, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let h0 = initial_left_anchored(&g, 1);
+        assert!(h0.left.is_empty());
+        assert_eq!(h0.right.len(), 5);
+        assert!(is_maximal_k_biplex(&g, &h0.left, &h0.right, 1));
+    }
+
+    #[test]
+    fn left_anchored_with_large_k_takes_everything_possible() {
+        let g = fixture();
+        // k = 5 >= |R| means every left vertex can always join.
+        let h0 = initial_left_anchored(&g, 5);
+        assert_eq!(h0.left.len(), 5);
+        assert_eq!(h0.right.len(), 5);
+    }
+
+    #[test]
+    fn transposed_symmetry() {
+        // Right-anchored on g should equal left-anchored on the transpose
+        // with sides swapped.
+        let g = fixture();
+        let t = g.transpose();
+        for k in 0..=2usize {
+            let a = initial_right_anchored(&g, k);
+            let b = initial_left_anchored(&t, k).transpose();
+            assert_eq!(a, b, "k = {k}");
+        }
+    }
+}

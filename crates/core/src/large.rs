@@ -1,0 +1,199 @@
+//! Large maximal k-biplex enumeration (Section 5).
+//!
+//! A *large MBP* has at least `θ_L` vertices on the left and `θ_R` on the
+//! right. The pipeline combines
+//!
+//! 1. a (θ_R − k, θ_L − k)-core reduction of the input graph — every large
+//!    MBP survives it because each of its left vertices keeps at least
+//!    `θ_R − k` neighbours and each right vertex at least `θ_L − k`;
+//! 2. the `iTraversal` size prunings inside the engine (almost-satisfying
+//!    graph pruning, local-solution pruning, solution pruning and the
+//!    exclusion-based left-side pruning), enabled through
+//!    [`TraversalConfig::with_thresholds`].
+//!
+//! Solutions are translated back to the original vertex ids before being
+//! reported.
+
+use bigraph::core_decomp::alpha_beta_core_subgraph;
+use bigraph::BipartiteGraph;
+
+use crate::biplex::Biplex;
+use crate::sink::{Control, SolutionSink};
+use crate::stats::TraversalStats;
+use crate::traversal::{enumerate_mbps, TraversalConfig};
+
+/// Parameters of a large-MBP enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct LargeMbpParams {
+    /// The k of the k-biplex definition.
+    pub k: usize,
+    /// Minimum left-side size θ_L.
+    pub theta_left: usize,
+    /// Minimum right-side size θ_R.
+    pub theta_right: usize,
+    /// Whether to run the (θ−k)-core reduction before enumerating.
+    pub core_reduction: bool,
+}
+
+impl LargeMbpParams {
+    /// Both sides at least `theta` (the setting used in the paper's
+    /// Figure 10 experiments).
+    pub fn symmetric(k: usize, theta: usize) -> Self {
+        LargeMbpParams { k, theta_left: theta, theta_right: theta, core_reduction: true }
+    }
+}
+
+/// Result of a large-MBP run: statistics of the traversal plus the size of
+/// the reduced graph actually enumerated.
+#[derive(Clone, Debug, Default)]
+pub struct LargeMbpReport {
+    /// Traversal statistics (on the reduced graph).
+    pub stats: TraversalStats,
+    /// Vertices of the reduced graph (left, right).
+    pub reduced_size: (u32, u32),
+    /// Edges of the reduced graph.
+    pub reduced_edges: u64,
+}
+
+/// Enumerates every maximal k-biplex of `g` with `|L| ≥ θ_L` and
+/// `|R| ≥ θ_R`, delivering them (in original vertex ids) to `sink`.
+pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
+    g: &BipartiteGraph,
+    params: &LargeMbpParams,
+    base_config: &TraversalConfig,
+    sink: &mut S,
+) -> LargeMbpReport {
+    let mut config = base_config.clone();
+    config.k = params.k;
+    config.theta_left = params.theta_left;
+    config.theta_right = params.theta_right;
+
+    if !params.core_reduction {
+        let stats = enumerate_mbps(g, &config, sink);
+        return LargeMbpReport {
+            stats,
+            reduced_size: (g.num_left(), g.num_right()),
+            reduced_edges: g.num_edges(),
+        };
+    }
+
+    // (θ_R − k)-core on the left degrees, (θ_L − k)-core on the right
+    // degrees: each left vertex of a large MBP has ≥ θ_R − k neighbours and
+    // vice versa.
+    let alpha = params.theta_right.saturating_sub(params.k);
+    let beta = params.theta_left.saturating_sub(params.k);
+    let reduced = alpha_beta_core_subgraph(g, alpha, beta);
+
+    let mut mapping_sink = |b: &Biplex| {
+        let (left, right) = reduced.original_pair(&b.left, &b.right);
+        sink.on_solution(&Biplex::new(left, right))
+    };
+    let stats = enumerate_mbps(&reduced.graph, &config, &mut mapping_sink);
+    LargeMbpReport {
+        stats,
+        reduced_size: (reduced.graph.num_left(), reduced.graph.num_right()),
+        reduced_edges: reduced.graph.num_edges(),
+    }
+}
+
+/// Convenience wrapper returning the large MBPs sorted canonically.
+pub fn collect_large_mbps(
+    g: &BipartiteGraph,
+    params: &LargeMbpParams,
+    base_config: &TraversalConfig,
+) -> Vec<Biplex> {
+    let mut out: Vec<Biplex> = Vec::new();
+    let mut sink = |b: &Biplex| {
+        out.push(b.clone());
+        Control::Continue
+    };
+    enumerate_large_mbps(g, params, base_config, &mut sink);
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::brute_force_large_mbps;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                if rng.gen_bool(p) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_with_and_without_core_reduction() {
+        for seed in 0..12u64 {
+            let g = random_graph(6, 6, 0.6, seed);
+            for k in 1..=2usize {
+                for theta in 2..=3usize {
+                    let expected = {
+                        let mut e = brute_force_large_mbps(&g, k, theta, theta);
+                        e.sort();
+                        e
+                    };
+                    for core in [true, false] {
+                        let params = LargeMbpParams {
+                            k,
+                            theta_left: theta,
+                            theta_right: theta,
+                            core_reduction: core,
+                        };
+                        let got =
+                            collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+                        assert_eq!(got, expected, "seed {seed} k {k} θ {theta} core {core}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_thresholds() {
+        for seed in 20..26u64 {
+            let g = random_graph(6, 5, 0.6, seed);
+            let k = 1;
+            let expected = {
+                let mut e = brute_force_large_mbps(&g, k, 3, 2);
+                e.sort();
+                e
+            };
+            let params =
+                LargeMbpParams { k, theta_left: 3, theta_right: 2, core_reduction: true };
+            let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+            assert_eq!(got, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn core_reduction_shrinks_the_graph() {
+        let g = random_graph(40, 40, 0.08, 3);
+        let params = LargeMbpParams::symmetric(1, 4);
+        let mut sink = crate::sink::CountingSink::new();
+        let report =
+            enumerate_large_mbps(&g, &params, &TraversalConfig::itraversal(1), &mut sink);
+        assert!(report.reduced_size.0 <= g.num_left());
+        assert!(report.reduced_size.1 <= g.num_right());
+        assert!(report.reduced_edges <= g.num_edges());
+    }
+
+    #[test]
+    fn high_threshold_returns_nothing() {
+        let g = random_graph(6, 6, 0.3, 9);
+        let params = LargeMbpParams::symmetric(1, 6);
+        let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(1));
+        let expected = brute_force_large_mbps(&g, 1, 6, 6);
+        assert_eq!(got.len(), expected.len());
+    }
+}

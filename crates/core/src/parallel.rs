@@ -1,0 +1,438 @@
+//! Thread-parallel maximal k-biplex enumeration.
+//!
+//! The paper's conclusion lists *"efficient parallel and distributed
+//! implementations"* as future work; this module provides a shared-memory
+//! parallel version of `iTraversal`. The solution graph exploration is an
+//! irregular graph traversal, which parallelises naturally: every discovered
+//! solution becomes a work item, and expanding a solution (one `iThreeStep`
+//! invocation — forming almost-satisfying graphs, enumerating local
+//! solutions, extending them and de-duplicating) is independent of every
+//! other expansion apart from the shared *seen* set.
+//!
+//! Design notes:
+//!
+//! * **Work sharing** — a global LIFO work queue protected by a mutex plus a
+//!   condition variable; workers go to sleep when the queue is empty and the
+//!   run terminates when the queue is empty *and* no worker is mid-expansion
+//!   (tracked by an in-flight counter under the same lock).
+//! * **De-duplication** — the seen-set is sharded into `64` independently
+//!   locked hash sets keyed by a cheap FNV-1a hash of the canonical key, so
+//!   concurrent inserts rarely contend.
+//! * **Prunings** — the left-anchored and right-shrinking traversals apply
+//!   unchanged (their correctness argument never references the order in
+//!   which solutions are expanded). The *exclusion strategy* is inherently
+//!   order-dependent (the set ℰ(H) grows as sibling branches complete), so
+//!   the parallel engine runs the `iTraversal-ES` configuration; the
+//!   sequential engine remains the better choice on a single core.
+//! * **Determinism** — the *set* of solutions returned is deterministic
+//!   (identical to the sequential enumeration); the discovery order is not.
+//!   [`par_collect_mbps`] therefore returns the canonically sorted set.
+//!
+//! Only the full enumeration is parallelised. Early-stopping "first N" runs
+//! are a latency problem, not a throughput problem, and stay sequential.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use bigraph::BipartiteGraph;
+
+use crate::biplex::{Biplex, PartialBiplex};
+use crate::enum_almost_sat::{enum_almost_sat, EnumKind};
+use crate::extend::{extend_to_maximal, ExtendMode};
+use crate::initial::initial_left_anchored;
+
+/// Number of independently locked shards of the seen-set.
+const SHARDS: usize = 64;
+
+/// Configuration of a parallel enumeration run.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// The `k` of the k-biplex definition.
+    pub k: usize,
+    /// Worker thread count. `0` means "use the available parallelism
+    /// reported by the operating system".
+    pub threads: usize,
+    /// Which `EnumAlmostSat` implementation each worker uses.
+    pub enum_kind: EnumKind,
+    /// Minimum left-side size of reported MBPs (`0` disables).
+    pub theta_left: usize,
+    /// Minimum right-side size of reported MBPs (`0` disables).
+    pub theta_right: usize,
+}
+
+impl ParallelConfig {
+    /// Default configuration: `L2.0+R2.0` local enumeration, OS-chosen
+    /// thread count, no size thresholds.
+    pub fn new(k: usize) -> Self {
+        ParallelConfig { k, threads: 0, enum_kind: EnumKind::L2R2, theta_left: 0, theta_right: 0 }
+    }
+
+    /// Sets the number of worker threads (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the `EnumAlmostSat` implementation.
+    pub fn with_enum_kind(mut self, kind: EnumKind) -> Self {
+        self.enum_kind = kind;
+        self
+    }
+
+    /// Sets the large-MBP size thresholds (`0` disables a side).
+    pub fn with_thresholds(mut self, theta_left: usize, theta_right: usize) -> Self {
+        self.theta_left = theta_left;
+        self.theta_right = theta_right;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Aggregate statistics of a parallel run.
+#[derive(Debug, Default)]
+pub struct ParallelStats {
+    /// Distinct maximal k-biplexes discovered.
+    pub solutions: u64,
+    /// Solutions passing the size thresholds (what the caller received).
+    pub reported: u64,
+    /// Almost-satisfying graphs formed across all workers.
+    pub almost_sat_graphs: u64,
+    /// Local solutions produced across all workers.
+    pub local_solutions: u64,
+    /// Solution-graph links followed (including duplicates).
+    pub links: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Shared state of one parallel run.
+struct Shared {
+    /// Pending solutions awaiting expansion + count of in-flight expansions.
+    queue: Mutex<(Vec<Biplex>, usize)>,
+    /// Wakes idle workers when work arrives or the run finishes.
+    wake: Condvar,
+    /// Sharded seen-set keyed on canonical keys.
+    seen: Vec<Mutex<HashSet<Vec<u32>>>>,
+    /// Solutions passing the size filter, collected across workers.
+    results: Mutex<Vec<Biplex>>,
+    solutions: AtomicU64,
+    reported: AtomicU64,
+    almost_sat_graphs: AtomicU64,
+    local_solutions: AtomicU64,
+    links: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            queue: Mutex::new((Vec::new(), 0)),
+            wake: Condvar::new(),
+            seen: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            results: Mutex::new(Vec::new()),
+            solutions: AtomicU64::new(0),
+            reported: AtomicU64::new(0),
+            almost_sat_graphs: AtomicU64::new(0),
+            local_solutions: AtomicU64::new(0),
+            links: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts `solution` into the sharded seen-set; `true` if it was new.
+    fn insert(&self, solution: &Biplex) -> bool {
+        let key = solution.canonical_key();
+        let shard = fnv1a(&key) as usize % SHARDS;
+        self.seen[shard].lock().expect("seen shard poisoned").insert(key)
+    }
+
+    /// Pushes a freshly discovered solution onto the work queue.
+    fn push_work(&self, solution: Biplex) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.0.push(solution);
+        drop(q);
+        self.wake.notify_one();
+    }
+
+    /// Pops a work item, blocking until one is available or the run is
+    /// complete (queue empty and nothing in flight). Maintains the in-flight
+    /// counter: the caller *must* call [`Shared::finish_work`] after
+    /// processing a returned item.
+    fn pop_work(&self) -> Option<Biplex> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = q.0.pop() {
+                q.1 += 1;
+                return Some(item);
+            }
+            if q.1 == 0 {
+                // Nothing queued and nothing in flight: the traversal is
+                // complete. Wake everyone so they observe the same state.
+                self.wake.notify_all();
+                return None;
+            }
+            q = self.wake.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Marks the current work item as fully expanded.
+    fn finish_work(&self) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.1 -= 1;
+        if q.0.is_empty() && q.1 == 0 {
+            drop(q);
+            self.wake.notify_all();
+        }
+    }
+}
+
+/// FNV-1a over a slice of `u32` keys (shard selector — speed over quality).
+fn fnv1a(key: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in key {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Enumerates all maximal k-biplexes of `g` in parallel and returns the
+/// solutions passing the size thresholds together with the run statistics.
+/// The returned vector is in nondeterministic (discovery) order; use
+/// [`par_collect_mbps`] for the canonically sorted set.
+pub fn par_enumerate_mbps(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, ParallelStats) {
+    let threads = config.resolved_threads().max(1);
+    let shared = Shared::new();
+
+    let initial = initial_left_anchored(g, config.k);
+    shared.insert(&initial);
+    shared.solutions.fetch_add(1, Ordering::Relaxed);
+    if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
+        shared.reported.fetch_add(1, Ordering::Relaxed);
+        shared.results.lock().expect("results poisoned").push(initial.clone());
+    }
+    shared.push_work(initial);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(g, config, &shared));
+        }
+    });
+
+    let results = shared.results.into_inner().expect("results poisoned");
+    let stats = ParallelStats {
+        solutions: shared.solutions.load(Ordering::Relaxed),
+        reported: shared.reported.load(Ordering::Relaxed),
+        almost_sat_graphs: shared.almost_sat_graphs.load(Ordering::Relaxed),
+        local_solutions: shared.local_solutions.load(Ordering::Relaxed),
+        links: shared.links.load(Ordering::Relaxed),
+        threads,
+    };
+    (results, stats)
+}
+
+/// Convenience wrapper: parallel enumeration returning the canonically
+/// sorted solution set.
+pub fn par_collect_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> Vec<Biplex> {
+    let (mut out, _) = par_enumerate_mbps(g, &ParallelConfig::new(k).with_threads(threads));
+    out.sort();
+    out
+}
+
+/// Convenience wrapper: parallel count of all maximal k-biplexes.
+pub fn par_count_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> u64 {
+    let (_, stats) = par_enumerate_mbps(g, &ParallelConfig::new(k).with_threads(threads));
+    stats.solutions
+}
+
+/// One worker: repeatedly pops a solution and expands it (the parallel
+/// `iThreeStep`).
+fn worker(g: &BipartiteGraph, config: &ParallelConfig, shared: &Shared) {
+    while let Some(host) = shared.pop_work() {
+        expand(g, config, shared, &host);
+        shared.finish_work();
+    }
+}
+
+/// Expands one solution: left-anchored candidate loop, local enumeration,
+/// right-shrinking filter, left-only extension, de-duplication.
+fn expand(g: &BipartiteGraph, config: &ParallelConfig, shared: &Shared, host: &Biplex) {
+    let k = config.k;
+    let host_partial = PartialBiplex::from_sets(g, &host.left, &host.right);
+
+    for v in 0..g.num_left() {
+        if host_partial.contains_left(v) {
+            continue;
+        }
+        // Almost-satisfying-graph pruning for large-MBP runs (Section 5):
+        // every solution reached through v keeps v and, under
+        // right-shrinking, at most deg(v, R_H) + k right vertices.
+        if config.theta_right > 0 {
+            let deg_in_r = g
+                .left_neighbors(v)
+                .iter()
+                .filter(|&&u| host_partial.contains_right(u))
+                .count();
+            if deg_in_r + k < config.theta_right {
+                continue;
+            }
+        }
+        shared.almost_sat_graphs.fetch_add(1, Ordering::Relaxed);
+
+        enum_almost_sat(g, k, config.enum_kind, &host_partial, v, |local: Biplex| -> bool {
+            shared.local_solutions.fetch_add(1, Ordering::Relaxed);
+
+            // Local-solution pruning (Section 5): under right-shrinking the
+            // final right side equals the local one.
+            if config.theta_right > 0 && local.right.len() < config.theta_right {
+                return true;
+            }
+
+            let mut partial = PartialBiplex::from_sets(g, &local.left, &local.right);
+
+            // Right-shrinking traversal (Algorithm 2 line 7): discard the
+            // local solution if any right vertex of G outside it can be
+            // added while preserving the k-biplex property.
+            if exists_addable_right(g, &partial, k) {
+                return true;
+            }
+
+            extend_to_maximal(g, &mut partial, k, ExtendMode::LeftOnly);
+            let solution = partial.to_biplex();
+            shared.links.fetch_add(1, Ordering::Relaxed);
+
+            if shared.insert(&solution) {
+                shared.solutions.fetch_add(1, Ordering::Relaxed);
+                if solution.left.len() >= config.theta_left
+                    && solution.right.len() >= config.theta_right
+                {
+                    shared.reported.fetch_add(1, Ordering::Relaxed);
+                    shared.results.lock().expect("results poisoned").push(solution.clone());
+                }
+                // Solution pruning (Section 5): descendants cannot regain
+                // right-side size under right-shrinking.
+                if !(config.theta_right > 0 && solution.right.len() < config.theta_right) {
+                    shared.push_work(solution);
+                }
+            }
+            true
+        });
+    }
+}
+
+/// The literal right-shrinking test of Algorithm 2 line 7: does a right
+/// vertex of `G` outside the local solution exist whose addition preserves
+/// the k-biplex property?
+fn exists_addable_right(g: &BipartiteGraph, partial: &PartialBiplex, k: usize) -> bool {
+    for u in 0..g.num_right() {
+        if !partial.contains_right(u) && partial.can_add_right(g, u, k) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::enumerate_all;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                if rng.gen_bool(p) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graphs() {
+        for seed in 0..10u64 {
+            let g = random_graph(6, 6, 0.5, seed);
+            for k in 1..=2usize {
+                let expected = enumerate_all(&g, k);
+                for threads in [1, 2, 4] {
+                    let got = par_collect_mbps(&g, k, threads);
+                    assert_eq!(got, expected, "seed {seed} k {k} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_are_consistent() {
+        let g = random_graph(7, 7, 0.5, 3);
+        let (results, stats) = par_enumerate_mbps(&g, &ParallelConfig::new(1).with_threads(3));
+        assert_eq!(stats.solutions, results.len() as u64);
+        assert_eq!(stats.reported, stats.solutions);
+        assert!(stats.links >= stats.solutions.saturating_sub(1));
+        assert_eq!(stats.threads, 3);
+    }
+
+    #[test]
+    fn parallel_size_thresholds_match_post_filtering() {
+        for seed in 0..6u64 {
+            let g = random_graph(6, 6, 0.6, seed);
+            let k = 1;
+            let all = enumerate_all(&g, k);
+            for (tl, tr) in [(2, 2), (3, 2), (2, 3)] {
+                let mut expected: Vec<Biplex> = all
+                    .iter()
+                    .filter(|b| b.left.len() >= tl && b.right.len() >= tr)
+                    .cloned()
+                    .collect();
+                expected.sort();
+                let cfg = ParallelConfig::new(k).with_threads(4).with_thresholds(tl, tr);
+                let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                got.sort();
+                assert_eq!(got, expected, "seed {seed} θ=({tl},{tr})");
+            }
+        }
+    }
+
+    #[test]
+    fn every_enum_kind_matches_in_parallel() {
+        let g = random_graph(6, 6, 0.5, 11);
+        let k = 1;
+        let expected = enumerate_all(&g, k);
+        for kind in EnumKind::ALL {
+            let cfg = ParallelConfig::new(k).with_threads(2).with_enum_kind(kind);
+            let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+            got.sort();
+            assert_eq!(got, expected, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        let got = par_collect_mbps(&g, 1, 2);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_empty());
+
+        let g = BipartiteGraph::from_edges(3, 3, &[]).unwrap();
+        for k in 0..=2usize {
+            assert_eq!(par_collect_mbps(&g, k, 2), enumerate_all(&g, k), "k {k}");
+        }
+    }
+
+    #[test]
+    fn auto_thread_count_resolves() {
+        let cfg = ParallelConfig::new(1);
+        assert!(cfg.resolved_threads() >= 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Solution sinks: where enumerated MBPs go.
+//!
+//! Every enumeration entry point takes a [`SolutionSink`]; this decouples
+//! the algorithms from what the caller wants to do with the output
+//! (count it, collect it, stop after the first N as in the paper's
+//! experiments, record inter-solution delays, …).
+
+use std::time::{Duration, Instant};
+
+use crate::biplex::Biplex;
+
+/// Whether the enumeration should continue after a solution was delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep enumerating.
+    Continue,
+    /// Stop as soon as possible (used for "first N results" experiments).
+    Stop,
+}
+
+/// Receives maximal k-biplexes as they are produced.
+pub trait SolutionSink {
+    /// Called once per reported solution.
+    fn on_solution(&mut self, solution: &Biplex) -> Control;
+}
+
+impl<F: FnMut(&Biplex) -> Control> SolutionSink for F {
+    fn on_solution(&mut self, solution: &Biplex) -> Control {
+        self(solution)
+    }
+}
+
+/// Counts solutions without storing them.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Number of solutions seen so far.
+    pub count: u64,
+}
+
+impl CountingSink {
+    /// New counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SolutionSink for CountingSink {
+    fn on_solution(&mut self, _solution: &Biplex) -> Control {
+        self.count += 1;
+        Control::Continue
+    }
+}
+
+/// Collects every solution into a vector.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The collected solutions, in the order they were reported.
+    pub solutions: Vec<Biplex>,
+}
+
+impl CollectSink {
+    /// New collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the solutions sorted canonically (handy
+    /// for comparisons in tests).
+    pub fn into_sorted(mut self) -> Vec<Biplex> {
+        self.solutions.sort();
+        self.solutions
+    }
+}
+
+impl SolutionSink for CollectSink {
+    fn on_solution(&mut self, solution: &Biplex) -> Control {
+        self.solutions.push(solution.clone());
+        Control::Continue
+    }
+}
+
+/// Collects at most `limit` solutions and then stops the enumeration — the
+/// "return the first 1,000 MBPs" setting of the paper's experiments.
+#[derive(Debug)]
+pub struct FirstN {
+    /// The collected solutions (at most `limit`).
+    pub solutions: Vec<Biplex>,
+    limit: usize,
+}
+
+impl FirstN {
+    /// Stops after `limit` solutions.
+    pub fn new(limit: usize) -> Self {
+        FirstN { solutions: Vec::new(), limit }
+    }
+
+    /// Number of solutions collected.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// `true` when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+}
+
+impl SolutionSink for FirstN {
+    fn on_solution(&mut self, solution: &Biplex) -> Control {
+        if self.solutions.len() < self.limit {
+            self.solutions.push(solution.clone());
+        }
+        if self.solutions.len() >= self.limit {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+/// Records the arrival time of every solution, from which the *delay* of the
+/// enumeration (the paper's Figure 8 metric) is derived: the maximum of the
+/// time to the first solution, the gaps between consecutive solutions, and
+/// the time from the last solution to termination.
+#[derive(Debug)]
+pub struct DelayRecorder {
+    start: Instant,
+    arrivals: Vec<Duration>,
+    count: u64,
+}
+
+impl Default for DelayRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DelayRecorder {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        DelayRecorder { start: Instant::now(), arrivals: Vec::new(), count: 0 }
+    }
+
+    /// Number of solutions observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finishes the measurement and returns the delay statistics. Call this
+    /// immediately after the enumeration returns.
+    pub fn finish(self) -> DelayReport {
+        let end = self.start.elapsed();
+        let mut max_gap = Duration::ZERO;
+        let mut prev = Duration::ZERO;
+        for &t in &self.arrivals {
+            max_gap = max_gap.max(t.saturating_sub(prev));
+            prev = t;
+        }
+        max_gap = max_gap.max(end.saturating_sub(prev));
+        let mean_gap = if self.arrivals.is_empty() {
+            end
+        } else {
+            end / (self.arrivals.len() as u32 + 1)
+        };
+        DelayReport {
+            solutions: self.count,
+            total: end,
+            max_delay: max_gap,
+            mean_delay: mean_gap,
+        }
+    }
+}
+
+impl SolutionSink for DelayRecorder {
+    fn on_solution(&mut self, _solution: &Biplex) -> Control {
+        self.count += 1;
+        self.arrivals.push(self.start.elapsed());
+        Control::Continue
+    }
+}
+
+/// Delay statistics produced by [`DelayRecorder::finish`].
+#[derive(Clone, Copy, Debug)]
+pub struct DelayReport {
+    /// Number of solutions reported.
+    pub solutions: u64,
+    /// Total running time.
+    pub total: Duration,
+    /// Maximum delay (the paper's metric).
+    pub max_delay: Duration,
+    /// Average time per solution (total / (#solutions + 1)).
+    pub mean_delay: Duration,
+}
+
+/// Wraps another sink and only forwards solutions whose sides meet minimum
+/// size thresholds — post-filtering used by baselines that cannot push the
+/// size constraint into the search itself.
+#[derive(Debug)]
+pub struct SizeFilter<S> {
+    inner: S,
+    min_left: usize,
+    min_right: usize,
+    /// How many solutions were dropped by the filter.
+    pub filtered_out: u64,
+}
+
+impl<S: SolutionSink> SizeFilter<S> {
+    /// Forwards only solutions with `|L| ≥ min_left` and `|R| ≥ min_right`.
+    pub fn new(inner: S, min_left: usize, min_right: usize) -> Self {
+        SizeFilter { inner, min_left, min_right, filtered_out: 0 }
+    }
+
+    /// Returns the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Access to the wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SolutionSink> SolutionSink for SizeFilter<S> {
+    fn on_solution(&mut self, solution: &Biplex) -> Control {
+        if solution.left.len() >= self.min_left && solution.right.len() >= self.min_right {
+            self.inner.on_solution(solution)
+        } else {
+            self.filtered_out += 1;
+            Control::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Biplex> {
+        (0..n as u32).map(|i| Biplex::new(vec![i], vec![i, i + 1])).collect()
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        for b in sample(5) {
+            assert_eq!(sink.on_solution(&b), Control::Continue);
+        }
+        assert_eq!(sink.count, 5);
+    }
+
+    #[test]
+    fn collect_sink_collects_in_order() {
+        let mut sink = CollectSink::new();
+        for b in sample(3) {
+            sink.on_solution(&b);
+        }
+        assert_eq!(sink.solutions.len(), 3);
+        assert_eq!(sink.solutions[0].left, vec![0]);
+        let sorted = sink.into_sorted();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn first_n_stops() {
+        let mut sink = FirstN::new(2);
+        let items = sample(5);
+        assert_eq!(sink.on_solution(&items[0]), Control::Continue);
+        assert_eq!(sink.on_solution(&items[1]), Control::Stop);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        // Delivering more keeps signalling stop and does not grow the buffer.
+        assert_eq!(sink.on_solution(&items[2]), Control::Stop);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn first_zero_immediately_stops() {
+        let mut sink = FirstN::new(0);
+        assert_eq!(sink.on_solution(&sample(1)[0]), Control::Stop);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn delay_recorder_reports_gaps() {
+        let mut rec = DelayRecorder::new();
+        for b in sample(3) {
+            rec.on_solution(&b);
+        }
+        assert_eq!(rec.count(), 3);
+        let report = rec.finish();
+        assert_eq!(report.solutions, 3);
+        assert!(report.max_delay <= report.total);
+        assert!(report.mean_delay <= report.total);
+    }
+
+    #[test]
+    fn delay_recorder_with_no_solutions() {
+        let rec = DelayRecorder::new();
+        let report = rec.finish();
+        assert_eq!(report.solutions, 0);
+        assert_eq!(report.max_delay, report.total);
+    }
+
+    #[test]
+    fn size_filter_forwards_only_large() {
+        let mut sink = SizeFilter::new(CollectSink::new(), 1, 2);
+        sink.on_solution(&Biplex::new(vec![1], vec![1, 2]));
+        sink.on_solution(&Biplex::new(vec![1], vec![1]));
+        sink.on_solution(&Biplex::new(vec![], vec![1, 2, 3]));
+        assert_eq!(sink.filtered_out, 2);
+        assert_eq!(sink.inner().solutions.len(), 1);
+        assert_eq!(sink.into_inner().solutions[0].right, vec![1, 2]);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = 0;
+        let mut sink = |_: &Biplex| {
+            seen += 1;
+            Control::Continue
+        };
+        for b in sample(4) {
+            SolutionSink::on_solution(&mut sink, &b);
+        }
+        assert_eq!(seen, 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! Counters describing one traversal run.
+//!
+//! The solution-graph statistics (number of nodes and links) are the metric
+//! of Figure 11; the remaining counters quantify where the work went and
+//! back the ablation discussion of Section 6.2.
+
+use crate::enum_almost_sat::AlmostSatStats;
+
+/// Counters accumulated by the traversal engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Distinct maximal k-biplexes discovered (nodes of the solution graph
+    /// reached from the initial solution).
+    pub solutions: u64,
+    /// Solutions actually reported to the sink (differs from `solutions`
+    /// when size thresholds filter the output).
+    pub reported: u64,
+    /// Links of the (pruned) solution graph that the traversal followed:
+    /// one per extended local solution that survived every pruning rule,
+    /// whether or not its target had been seen before.
+    pub links: u64,
+    /// Links that pointed at an already-known solution (`links` minus these
+    /// is the number of tree edges of the DFS).
+    pub duplicate_links: u64,
+    /// Almost-satisfying graphs formed (Step 1 executions).
+    pub almost_sat_graphs: u64,
+    /// Local solutions produced by `EnumAlmostSat` across the run.
+    pub local_solutions: u64,
+    /// Local solutions discarded by the right-shrinking rule.
+    pub pruned_right_shrinking: u64,
+    /// Candidate vertices / local solutions / extended solutions discarded
+    /// by the exclusion strategy.
+    pub pruned_exclusion: u64,
+    /// Candidates or solutions discarded by the large-MBP size thresholds.
+    pub pruned_size: u64,
+    /// Maximum depth of the DFS over the solution graph.
+    pub max_depth: usize,
+    /// Aggregated `EnumAlmostSat` work counters.
+    pub almost_sat: AlmostSatStats,
+    /// True when the run was cut short by the sink (e.g. "first 1000").
+    pub stopped_early: bool,
+}
+
+impl TraversalStats {
+    /// Number of links that discovered a new solution (the DFS tree edges).
+    pub fn tree_links(&self) -> u64 {
+        self.links - self.duplicate_links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_links_is_difference() {
+        let stats = TraversalStats { links: 10, duplicate_links: 4, ..Default::default() };
+        assert_eq!(stats.tree_links(), 6);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = TraversalStats::default();
+        assert_eq!(stats.solutions, 0);
+        assert_eq!(stats.links, 0);
+        assert!(!stats.stopped_early);
+    }
+}

@@ -1,0 +1,764 @@
+//! The reverse-search traversal engine.
+//!
+//! One engine implements both frameworks of the paper:
+//!
+//! * **bTraversal** (Algorithm 1): arbitrary initial solution, candidate
+//!   vertices from both sides, both-side extension, no pruning of the
+//!   solution graph.
+//! * **iTraversal** (Algorithm 2): designated initial solution
+//!   `H0 = (L0, R)`, left-anchored traversal, right-shrinking traversal and
+//!   the exclusion strategy, each individually toggleable so that the
+//!   ablation variants of Figure 11 (`iTraversal-ES`, `iTraversal-ES-RS`)
+//!   fall out of the same code path.
+//!
+//! The DFS over the implicit solution graph is driven by an explicit stack
+//! (no recursion), so arbitrarily deep solution graphs cannot overflow the
+//! call stack. Size thresholds for *large MBP* enumeration (Section 5) are
+//! applied inside the engine: almost-satisfying-graph pruning,
+//! local-solution pruning, solution pruning and the exclusion-based
+//! left-side pruning.
+
+use bigraph::{BipartiteGraph, Side, VertexRef};
+
+use crate::biplex::{sorted_intersection_len, Biplex, PartialBiplex};
+use crate::enum_almost_sat::{enum_almost_sat, EnumKind};
+use crate::extend::{extend_to_maximal, right_extension_candidates, ExtendMode};
+use crate::initial::{initial_arbitrary, initial_left_anchored};
+use crate::sink::{Control, SolutionSink};
+use crate::stats::TraversalStats;
+use crate::store::{HashStore, SolutionStore};
+
+/// Which designated initial solution the traversal starts from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Anchor {
+    /// `H0 = (L0, R)` — the left-anchored proposal of Section 3.2.
+    Left,
+    /// `H0 = (L, R0)` — the symmetric proposal, evaluated in Section 6.2.
+    Right,
+    /// Any maximal k-biplex (greedy extension of the empty subgraph) — what
+    /// `bTraversal` uses.
+    Arbitrary,
+}
+
+/// When solutions are handed to the sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmitMode {
+    /// As soon as a solution is discovered (best practical delay, and the
+    /// mode required for early-stopping "first N" runs).
+    Immediate,
+    /// The alternating pre/post-order output trick of Takeaki Uno used in
+    /// the paper's delay analysis: a solution is emitted when its DFS frame
+    /// is *pushed* on even depths and when it is *popped* on odd depths,
+    /// which guarantees at least one output every two recursive calls.
+    Alternating,
+}
+
+/// Full configuration of a traversal run.
+#[derive(Clone, Debug)]
+pub struct TraversalConfig {
+    /// The `k` of the k-biplex definition.
+    pub k: usize,
+    /// Which `EnumAlmostSat` implementation to use (Figure 12 knob).
+    pub enum_kind: EnumKind,
+    /// Restrict candidate vertices to the left side (left-anchored
+    /// traversal, Section 3.3).
+    pub left_anchored: bool,
+    /// Keep only right-shrinking links (Section 3.4).
+    pub right_shrinking: bool,
+    /// Enable the exclusion strategy (Section 3.5).
+    pub exclusion: bool,
+    /// Initial solution.
+    pub anchor: Anchor,
+    /// Output timing.
+    pub emit: EmitMode,
+    /// Minimum left-side size of reported MBPs (`0` disables — Section 5).
+    pub theta_left: usize,
+    /// Minimum right-side size of reported MBPs (`0` disables — Section 5).
+    pub theta_right: usize,
+}
+
+impl TraversalConfig {
+    /// The full `iTraversal` configuration (left-anchored + right-shrinking
+    /// + exclusion strategy, `L2.0+R2.0` local enumeration).
+    pub fn itraversal(k: usize) -> Self {
+        TraversalConfig {
+            k,
+            enum_kind: EnumKind::L2R2,
+            left_anchored: true,
+            right_shrinking: true,
+            exclusion: true,
+            anchor: Anchor::Left,
+            emit: EmitMode::Immediate,
+            theta_left: 0,
+            theta_right: 0,
+        }
+    }
+
+    /// `iTraversal-ES`: the full version *without* the exclusion strategy.
+    pub fn itraversal_no_exclusion(k: usize) -> Self {
+        TraversalConfig { exclusion: false, ..Self::itraversal(k) }
+    }
+
+    /// `iTraversal-ES-RS`: left-anchored traversal only (no right-shrinking,
+    /// no exclusion strategy).
+    pub fn itraversal_left_anchored_only(k: usize) -> Self {
+        TraversalConfig {
+            exclusion: false,
+            right_shrinking: false,
+            ..Self::itraversal(k)
+        }
+    }
+
+    /// The conventional `bTraversal` framework (Algorithm 1).
+    pub fn btraversal(k: usize) -> Self {
+        TraversalConfig {
+            k,
+            enum_kind: EnumKind::L2R2,
+            left_anchored: false,
+            right_shrinking: false,
+            exclusion: false,
+            anchor: Anchor::Arbitrary,
+            emit: EmitMode::Immediate,
+            theta_left: 0,
+            theta_right: 0,
+        }
+    }
+
+    /// Selects the `EnumAlmostSat` implementation.
+    pub fn with_enum_kind(mut self, kind: EnumKind) -> Self {
+        self.enum_kind = kind;
+        self
+    }
+
+    /// Selects the anchor (initial solution).
+    pub fn with_anchor(mut self, anchor: Anchor) -> Self {
+        self.anchor = anchor;
+        self
+    }
+
+    /// Selects the emission mode.
+    pub fn with_emit(mut self, emit: EmitMode) -> Self {
+        self.emit = emit;
+        self
+    }
+
+    /// Sets the large-MBP size thresholds (`0` disables a side).
+    pub fn with_thresholds(mut self, theta_left: usize, theta_right: usize) -> Self {
+        self.theta_left = theta_left;
+        self.theta_right = theta_right;
+        self
+    }
+}
+
+/// Enumerates maximal k-biplexes of `g` under `config`, delivering them to
+/// `sink`. Returns the run statistics.
+pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
+    g: &BipartiteGraph,
+    config: &TraversalConfig,
+    sink: &mut S,
+) -> TraversalStats {
+    // The right-anchored variant is the left-anchored variant on the
+    // transposed graph; solutions are flipped back on the way out.
+    if config.anchor == Anchor::Right {
+        let t = g.transpose();
+        let mut cfg = config.clone();
+        cfg.anchor = Anchor::Left;
+        std::mem::swap(&mut cfg.theta_left, &mut cfg.theta_right);
+        let mut flip_sink = |b: &Biplex| sink.on_solution(&b.clone().transpose());
+        // Coerce to a trait object so the recursive call does not create an
+        // unbounded chain of closure instantiations.
+        return enumerate_mbps(&t, &cfg, &mut flip_sink as &mut dyn SolutionSink);
+    }
+
+    let mut engine = Engine {
+        g,
+        gt: if config.left_anchored { None } else { Some(g.transpose()) },
+        config,
+        store: HashStore::new(),
+        stats: TraversalStats::default(),
+        sink,
+        stop: false,
+    };
+    let initial = match config.anchor {
+        Anchor::Left => initial_left_anchored(g, config.k),
+        Anchor::Arbitrary => initial_arbitrary(g, config.k),
+        Anchor::Right => unreachable!("handled above"),
+    };
+    engine.run(initial);
+    engine.stats
+}
+
+/// Convenience wrapper: enumerates *all* MBPs with the default `iTraversal`
+/// configuration and returns them sorted canonically.
+pub fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
+    let mut sink = crate::sink::CollectSink::new();
+    enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
+    sink.into_sorted()
+}
+
+struct Frame {
+    partial: PartialBiplex,
+    /// Snapshot + growth of the exclusion set ℰ(H) (sorted left ids).
+    exclusion: Vec<u32>,
+    /// Next candidate position in the combined order (left ids, then —
+    /// for bTraversal — right ids shifted by `num_left`).
+    next_candidate: u64,
+    /// Candidate currently being processed (left ids only are recorded for
+    /// the exclusion strategy).
+    current_candidate: Option<Option<u32>>,
+    /// New solutions found under the current candidate, awaiting DFS
+    /// descent.
+    current_children: Vec<Biplex>,
+    depth: usize,
+}
+
+struct Engine<'a, S: SolutionSink + ?Sized> {
+    g: &'a BipartiteGraph,
+    /// Transposed graph, present only when right-side candidates are needed
+    /// (bTraversal).
+    gt: Option<BipartiteGraph>,
+    config: &'a TraversalConfig,
+    store: HashStore,
+    stats: TraversalStats,
+    sink: &'a mut S,
+    stop: bool,
+}
+
+impl<S: SolutionSink + ?Sized> Engine<'_, S> {
+    fn run(&mut self, initial: Biplex) {
+        self.store.insert(&initial);
+        self.stats.solutions = 1;
+        if self.config.emit == EmitMode::Immediate {
+            self.emit(&initial);
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        if let Some(frame) = self.make_frame(initial, Vec::new(), 0) {
+            stack.push(frame);
+        }
+
+        while !self.stop {
+            let Some(mut frame) = stack.pop() else { break };
+
+            // 1. Descend into a pending child.
+            if let Some(child) = frame.current_children.pop() {
+                let exclusion = frame.exclusion.clone();
+                let depth = frame.depth + 1;
+                stack.push(frame);
+                if let Some(child_frame) = self.make_frame(child, exclusion, depth) {
+                    stack.push(child_frame);
+                }
+                continue;
+            }
+
+            // 2. Close out the candidate whose branch just completed.
+            if let Some(done) = frame.current_candidate.take() {
+                if let Some(v) = done {
+                    if self.config.exclusion {
+                        if let Err(pos) = frame.exclusion.binary_search(&v) {
+                            frame.exclusion.insert(pos, v);
+                        }
+                    }
+                }
+                stack.push(frame);
+                continue;
+            }
+
+            // 3. Move on to the next candidate vertex (or finish the frame).
+            match self.next_candidate(&mut frame) {
+                Some(cand) => {
+                    frame.current_candidate = Some(match cand.side {
+                        Side::Left => Some(cand.id),
+                        Side::Right => None,
+                    });
+                    self.process_candidate(&mut frame, cand);
+                    stack.push(frame);
+                }
+                None => {
+                    // Frame exhausted: post-order emission point.
+                    if self.config.emit == EmitMode::Alternating && frame.depth % 2 == 1 {
+                        self.emit(&frame.partial.to_biplex());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports a solution to the sink, applying the size filter.
+    fn emit(&mut self, solution: &Biplex) {
+        if solution.left.len() >= self.config.theta_left
+            && solution.right.len() >= self.config.theta_right
+        {
+            self.stats.reported += 1;
+            if self.sink.on_solution(solution) == Control::Stop {
+                self.stop = true;
+                self.stats.stopped_early = true;
+            }
+        }
+    }
+
+    /// Builds the DFS frame for a newly discovered solution, applying the
+    /// recursion-pruning rules of Section 5. Returns `None` when the
+    /// recursion from this solution is pruned (the solution itself has
+    /// already been reported).
+    fn make_frame(&mut self, solution: Biplex, exclusion: Vec<u32>, depth: usize) -> Option<Frame> {
+        let cfg = self.config;
+        // Solution pruning: with right-shrinking traversal every descendant
+        // has a right side no larger than this one.
+        if cfg.theta_right > 0 && cfg.right_shrinking && solution.right.len() < cfg.theta_right {
+            self.stats.pruned_size += 1;
+            if cfg.emit == EmitMode::Alternating {
+                self.emit(&solution);
+            }
+            return None;
+        }
+        // Left-side pruning via the exclusion set.
+        if cfg.theta_left > 0
+            && cfg.exclusion
+            && (self.g.num_left() as usize).saturating_sub(exclusion.len()) < cfg.theta_left
+        {
+            self.stats.pruned_size += 1;
+            if cfg.emit == EmitMode::Alternating {
+                self.emit(&solution);
+            }
+            return None;
+        }
+        if cfg.emit == EmitMode::Alternating && depth % 2 == 0 {
+            self.emit(&solution);
+            if self.stop {
+                return None;
+            }
+        }
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        Some(Frame {
+            partial: PartialBiplex::from_sets(self.g, &solution.left, &solution.right),
+            exclusion,
+            next_candidate: 0,
+            current_candidate: None,
+            current_children: Vec::new(),
+            depth,
+        })
+    }
+
+    /// Advances to the next candidate vertex of the frame, applying the
+    /// left-anchored restriction, the exclusion strategy and the
+    /// almost-satisfying-graph pruning of Section 5.
+    fn next_candidate(&mut self, frame: &mut Frame) -> Option<VertexRef> {
+        let num_left = self.g.num_left() as u64;
+        let num_right = self.g.num_right() as u64;
+        let limit = if self.config.left_anchored { num_left } else { num_left + num_right };
+        while frame.next_candidate < limit {
+            let pos = frame.next_candidate;
+            frame.next_candidate += 1;
+            if pos < num_left {
+                let v = pos as u32;
+                if frame.partial.contains_left(v) {
+                    continue;
+                }
+                if self.config.exclusion && frame.exclusion.binary_search(&v).is_ok() {
+                    self.stats.pruned_exclusion += 1;
+                    continue;
+                }
+                // Almost-satisfying-graph pruning: every solution reached
+                // through v keeps v on its left side and (under
+                // right-shrinking) a right side within N(v, R_H) plus at
+                // most k non-neighbours.
+                if self.config.theta_right > 0 && self.config.right_shrinking {
+                    let deg_in_r =
+                        sorted_intersection_len(self.g.left_neighbors(v), frame.partial.right());
+                    if deg_in_r + self.config.k < self.config.theta_right {
+                        self.stats.pruned_size += 1;
+                        continue;
+                    }
+                }
+                return Some(VertexRef::left(v));
+            } else {
+                let u = (pos - num_left) as u32;
+                if frame.partial.contains_right(u) {
+                    continue;
+                }
+                return Some(VertexRef::right(u));
+            }
+        }
+        None
+    }
+
+    /// Runs `EnumAlmostSat` for one candidate vertex and handles every local
+    /// solution: pruning rules, extension to a real MBP, de-duplication,
+    /// emission and scheduling of the DFS descent.
+    fn process_candidate(&mut self, frame: &mut Frame, cand: VertexRef) {
+        self.stats.almost_sat_graphs += 1;
+
+        let Engine { g, gt, config, store, stats, sink, stop } = self;
+        let g: &BipartiteGraph = g;
+        let cfg: &TraversalConfig = config;
+        let k = cfg.k;
+
+        let exclusion = &frame.exclusion;
+        let children = &mut frame.current_children;
+        let host = &frame.partial;
+
+        // For right-side candidates (bTraversal only) the left-oriented
+        // EnumAlmostSat runs on the transposed graph with the flipped host.
+        let (enum_graph, enum_host, flip): (&BipartiteGraph, PartialBiplex, bool) = match cand.side
+        {
+            Side::Left => (g, host.clone(), false),
+            Side::Right => (
+                gt.as_ref().expect("transpose is built when right candidates are enabled"),
+                host.flipped(),
+                true,
+            ),
+        };
+
+        let theta_filter_left = cfg.theta_left;
+        let theta_filter_right = cfg.theta_right;
+
+        let almost_stats = enum_almost_sat(
+            enum_graph,
+            k,
+            cfg.enum_kind,
+            &enum_host,
+            cand.id,
+            |local: Biplex| -> bool {
+                if *stop {
+                    return false;
+                }
+                let local = if flip { local.transpose() } else { local };
+                stats.local_solutions += 1;
+
+                // Exclusion strategy: discard local solutions containing an
+                // excluded vertex.
+                if cfg.exclusion
+                    && !exclusion.is_empty()
+                    && local.left.iter().any(|w| exclusion.binary_search(w).is_ok())
+                {
+                    stats.pruned_exclusion += 1;
+                    return true;
+                }
+
+                // Local-solution pruning (Section 5): under right-shrinking
+                // the final right side equals the local one.
+                if cfg.theta_right > 0
+                    && cfg.right_shrinking
+                    && local.right.len() < cfg.theta_right
+                {
+                    stats.pruned_size += 1;
+                    return true;
+                }
+
+                let mut partial = PartialBiplex::from_sets(g, &local.left, &local.right);
+
+                // Right-shrinking traversal (Algorithm 2 line 7): discard
+                // the local solution if any right vertex of G outside it can
+                // be added.
+                if cfg.right_shrinking && exists_addable_right_outside(g, &partial, host, k) {
+                    stats.pruned_right_shrinking += 1;
+                    return true;
+                }
+
+                // Step 3: extend to a maximal k-biplex of G.
+                let mode = if cfg.right_shrinking {
+                    ExtendMode::LeftOnly
+                } else {
+                    ExtendMode::BothSides
+                };
+                extend_to_maximal(g, &mut partial, k, mode);
+                let solution = partial.to_biplex();
+
+                // Exclusion strategy on the extended solution: prune links
+                // towards solutions containing an excluded vertex.
+                if cfg.exclusion
+                    && !exclusion.is_empty()
+                    && solution.left.iter().any(|w| exclusion.binary_search(w).is_ok())
+                {
+                    stats.pruned_exclusion += 1;
+                    return true;
+                }
+
+                stats.links += 1;
+                if store.insert(&solution) {
+                    stats.solutions += 1;
+                    if cfg.emit == EmitMode::Immediate
+                        && solution.left.len() >= theta_filter_left
+                        && solution.right.len() >= theta_filter_right
+                    {
+                        stats.reported += 1;
+                        if sink.on_solution(&solution) == Control::Stop {
+                            *stop = true;
+                            stats.stopped_early = true;
+                            return false;
+                        }
+                    }
+                    children.push(solution);
+                } else {
+                    stats.duplicate_links += 1;
+                }
+                true
+            },
+        );
+        self.stats.almost_sat.absorb(&almost_stats);
+    }
+}
+
+/// `true` iff some right vertex of `G` outside both the local solution and
+/// the host solution can be added to `partial` while keeping the k-biplex
+/// property (the right-shrinking test of Algorithm 2 line 7; right vertices
+/// of the host outside the local solution need not be tested because the
+/// local solution is maximal within the almost-satisfying graph).
+fn exists_addable_right_outside(
+    g: &BipartiteGraph,
+    partial: &PartialBiplex,
+    host: &PartialBiplex,
+    k: usize,
+) -> bool {
+    if g.num_right() as usize == partial.right().len() {
+        return false;
+    }
+    // A saturated left vertex (miss count = k) only tolerates additions
+    // adjacent to it, so its adjacency list bounds the candidates.
+    let saturated = (0..partial.left().len()).find(|&i| partial.left_miss(i) as usize >= k);
+    match saturated {
+        Some(i) => {
+            let anchor = partial.left()[i];
+            for &u in g.left_neighbors(anchor) {
+                if !partial.contains_right(u)
+                    && !host.contains_right(u)
+                    && partial.can_add_right(g, u, k)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+        None => {
+            if partial.left().len() <= k {
+                // No left vertex is saturated and every left vertex tolerates
+                // at least |L| ≤ k misses, so *any* right vertex outside the
+                // local solution can be added — and one exists by the size
+                // check at the top of this function.
+                true
+            } else {
+                let cands = right_extension_candidates(g, partial.left(), k);
+                for u in cands {
+                    if !partial.contains_right(u)
+                        && !host.contains_right(u)
+                        && partial.can_add_right(g, u, k)
+                    {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::brute_force_mbps;
+    use crate::sink::{CollectSink, CountingSink, FirstN};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                if rng.gen_bool(p) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    fn run_sorted(g: &BipartiteGraph, cfg: &TraversalConfig) -> Vec<Biplex> {
+        let mut sink = CollectSink::new();
+        enumerate_mbps(g, cfg, &mut sink);
+        sink.into_sorted()
+    }
+
+    fn all_configs(k: usize) -> Vec<(&'static str, TraversalConfig)> {
+        vec![
+            ("iTraversal", TraversalConfig::itraversal(k)),
+            ("iTraversal-ES", TraversalConfig::itraversal_no_exclusion(k)),
+            ("iTraversal-ES-RS", TraversalConfig::itraversal_left_anchored_only(k)),
+            ("bTraversal", TraversalConfig::btraversal(k)),
+            ("right-anchored", TraversalConfig::itraversal(k).with_anchor(Anchor::Right)),
+        ]
+    }
+
+    #[test]
+    fn every_configuration_matches_brute_force_on_random_graphs() {
+        for seed in 0..20u64 {
+            let nl = 4 + (seed % 3) as u32;
+            let nr = 4 + (seed % 4) as u32;
+            let g = random_graph(nl, nr, 0.5, seed);
+            for k in 0..=2usize {
+                let expected = brute_force_mbps(&g, k);
+                for (name, cfg) in all_configs(k) {
+                    let got = run_sorted(&g, &cfg);
+                    assert_eq!(
+                        got, expected,
+                        "{name} differs from brute force (seed {seed}, k {k}, |L|={nl}, |R|={nr})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn denser_and_sparser_random_graphs() {
+        for &p in &[0.25, 0.75] {
+            for seed in 100..108u64 {
+                let g = random_graph(5, 5, p, seed);
+                for k in 1..=2usize {
+                    let expected = brute_force_mbps(&g, k);
+                    for (name, cfg) in all_configs(k) {
+                        let got = run_sorted(&g, &cfg);
+                        assert_eq!(got, expected, "{name} seed {seed} k {k} p {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_emission_reports_the_same_set() {
+        for seed in 0..6u64 {
+            let g = random_graph(5, 5, 0.5, seed);
+            let k = 1;
+            let immediate = run_sorted(&g, &TraversalConfig::itraversal(k));
+            let alternating =
+                run_sorted(&g, &TraversalConfig::itraversal(k).with_emit(EmitMode::Alternating));
+            assert_eq!(immediate, alternating, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_enum_kind_gives_the_same_answer() {
+        let g = random_graph(6, 6, 0.5, 3);
+        let k = 1;
+        let expected = brute_force_mbps(&g, k);
+        for kind in EnumKind::ALL {
+            let cfg = TraversalConfig::itraversal(k).with_enum_kind(kind);
+            assert_eq!(run_sorted(&g, &cfg), expected, "kind {kind:?}");
+        }
+        for kind in EnumKind::ALL {
+            let cfg = TraversalConfig::btraversal(k).with_enum_kind(kind);
+            assert_eq!(run_sorted(&g, &cfg), expected, "bTraversal kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn first_n_stops_early() {
+        let g = random_graph(7, 7, 0.5, 11);
+        let k = 1;
+        let all = enumerate_all(&g, k);
+        assert!(all.len() > 3, "fixture should have enough solutions");
+        let mut sink = FirstN::new(3);
+        let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(k), &mut sink);
+        assert_eq!(sink.len(), 3);
+        assert!(stats.stopped_early);
+        assert!(stats.solutions >= 3);
+        // Everything returned is a genuine MBP.
+        for b in &sink.solutions {
+            assert!(crate::biplex::is_maximal_k_biplex(&g, &b.left, &b.right, k));
+        }
+    }
+
+    #[test]
+    fn sparser_solution_graphs_for_stronger_pruning() {
+        // The paper's Figure 11: iTraversal's solution graph has no more
+        // links than its ablations, which have no more than bTraversal.
+        for seed in 0..8u64 {
+            let g = random_graph(6, 6, 0.5, seed);
+            let k = 1;
+            let count = |cfg: &TraversalConfig| {
+                let mut sink = CountingSink::new();
+                let stats = enumerate_mbps(&g, cfg, &mut sink);
+                (stats.links, sink.count)
+            };
+            let (full, n_full) = count(&TraversalConfig::itraversal(k));
+            let (no_es, n_no_es) = count(&TraversalConfig::itraversal_no_exclusion(k));
+            let (la_only, n_la) = count(&TraversalConfig::itraversal_left_anchored_only(k));
+            let (btrav, n_b) = count(&TraversalConfig::btraversal(k));
+            assert_eq!(n_full, n_no_es);
+            assert_eq!(n_full, n_la);
+            assert_eq!(n_full, n_b);
+            assert!(full <= no_es, "seed {seed}: ES must not add links");
+            assert!(no_es <= la_only, "seed {seed}: RS must not add links");
+            assert!(la_only <= btrav, "seed {seed}: left-anchoring must not add links");
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = random_graph(6, 6, 0.5, 5);
+        let mut sink = CountingSink::new();
+        let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(1), &mut sink);
+        assert_eq!(stats.solutions, sink.count);
+        assert_eq!(stats.reported, sink.count);
+        assert_eq!(stats.links, stats.tree_links() + stats.duplicate_links);
+        assert!(stats.local_solutions >= stats.links);
+        assert!(!stats.stopped_early);
+        assert!(stats.almost_sat.local_solutions >= stats.local_solutions);
+    }
+
+    #[test]
+    fn empty_and_degenerate_graphs() {
+        // Graph with no edges: for k = 1 the MBPs pair every right vertex
+        // with at most one left vertex etc.; just check against brute force.
+        let g = BipartiteGraph::from_edges(3, 3, &[]).unwrap();
+        for k in 0..=2usize {
+            let expected = brute_force_mbps(&g, k);
+            assert_eq!(run_sorted(&g, &TraversalConfig::itraversal(k)), expected, "k {k}");
+        }
+        // Single-vertex sides.
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]).unwrap();
+        let got = run_sorted(&g, &TraversalConfig::itraversal(1));
+        assert_eq!(got, vec![Biplex::new(vec![0], vec![0])]);
+        // Empty graph.
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        let got = run_sorted(&g, &TraversalConfig::itraversal(1));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_empty());
+    }
+
+    #[test]
+    fn complete_bipartite_graph_has_one_mbp() {
+        let mut edges = Vec::new();
+        for v in 0u32..4 {
+            for u in 0u32..5 {
+                edges.push((v, u));
+            }
+        }
+        let g = BipartiteGraph::from_edges(4, 5, &edges).unwrap();
+        for k in 0..=2usize {
+            let got = run_sorted(&g, &TraversalConfig::itraversal(k));
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].left.len(), 4);
+            assert_eq!(got[0].right.len(), 5);
+        }
+    }
+
+    #[test]
+    fn size_thresholds_match_post_filtering() {
+        for seed in 0..10u64 {
+            let g = random_graph(6, 6, 0.6, seed);
+            let k = 1;
+            for (tl, tr) in [(2, 2), (3, 2), (2, 3), (3, 3)] {
+                let all = enumerate_all(&g, k);
+                let mut expected: Vec<Biplex> = all
+                    .into_iter()
+                    .filter(|b| b.left.len() >= tl && b.right.len() >= tr)
+                    .collect();
+                expected.sort();
+                let cfg = TraversalConfig::itraversal(k).with_thresholds(tl, tr);
+                let got = run_sorted(&g, &cfg);
+                assert_eq!(got, expected, "seed {seed} θ=({tl},{tr})");
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Generation of the camouflage-attack scenario.
+
+use bigraph::gen::chung_lu::chung_lu_bipartite;
+use bigraph::graph::{BipartiteBuilder, BipartiteGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic review graph + injected fraud block.
+///
+/// The defaults are a laptop-scale version of the paper's setting
+/// (375k users × 21.6k products × 459k reviews background, 2k × 2k fraud
+/// block with 200k fake + 200k camouflage comments), scaled down ~20×
+/// while keeping the densities comparable.
+#[derive(Clone, Debug)]
+pub struct ScenarioParams {
+    /// Number of genuine users (left vertices of the background graph).
+    pub real_users: u32,
+    /// Number of genuine products (right vertices of the background graph).
+    pub real_products: u32,
+    /// Number of genuine review edges.
+    pub real_reviews: u64,
+    /// Number of injected fake users.
+    pub fake_users: u32,
+    /// Number of injected fake products.
+    pub fake_products: u32,
+    /// Number of fake comments (edges between fake users and fake products).
+    pub fake_comments: u64,
+    /// Number of camouflage comments (edges between fake users and *real*
+    /// products).
+    pub camouflage_comments: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            real_users: 8_000,
+            real_products: 2_400,
+            real_reviews: 21_600,
+            fake_users: 100,
+            fake_products: 100,
+            fake_comments: 1_500,
+            camouflage_comments: 1_500,
+            seed: 2022,
+        }
+    }
+}
+
+impl ScenarioParams {
+    /// A miniature scenario for unit tests (hundreds of vertices).
+    pub fn tiny(seed: u64) -> Self {
+        ScenarioParams {
+            real_users: 300,
+            real_products: 60,
+            real_reviews: 500,
+            fake_users: 12,
+            fake_products: 12,
+            fake_comments: 130,
+            camouflage_comments: 130,
+            seed,
+        }
+    }
+}
+
+/// The generated scenario: the attacked graph plus the ground truth.
+///
+/// Vertex layout: left ids `0..real_users` are genuine users and
+/// `real_users..real_users+fake_users` are fake users; right ids likewise
+/// with products.
+#[derive(Clone, Debug)]
+pub struct CamouflageScenario {
+    /// The review graph with the fraud block injected.
+    pub graph: BipartiteGraph,
+    /// Parameters used to build the scenario.
+    pub params: ScenarioParams,
+}
+
+impl CamouflageScenario {
+    /// Generates the scenario.
+    pub fn generate(params: ScenarioParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // Background review graph (skewed degrees, like real review data).
+        // γ = 3.0 keeps the hubs of the synthetic background moderate; the
+        // extreme skew of γ ≈ 2.2 would create an artificial dense core of
+        // honest users that real review data does not have.
+        let background = chung_lu_bipartite(
+            params.real_users,
+            params.real_products,
+            params.real_reviews,
+            3.0,
+            params.seed ^ 0x5eed,
+        );
+
+        let num_left = params.real_users + params.fake_users;
+        let num_right = params.real_products + params.fake_products;
+        let mut builder = BipartiteBuilder::new(num_left, num_right);
+        for (v, u) in background.edges() {
+            builder.add_edge_unchecked(v, u);
+        }
+
+        // Fake comments: random pairs inside the fraud block, spread evenly
+        // over the fake users (each fake user posts the same number of fake
+        // comments, as in the paper's attack model).
+        let per_user_fake = (params.fake_comments / params.fake_users.max(1) as u64) as u32;
+        for fu in 0..params.fake_users {
+            let user = params.real_users + fu;
+            for _ in 0..per_user_fake {
+                let product = params.real_products + rng.gen_range(0..params.fake_products);
+                builder.add_edge_unchecked(user, product);
+            }
+        }
+
+        // Camouflage comments: random real products, again spread evenly.
+        let per_user_cam = (params.camouflage_comments / params.fake_users.max(1) as u64) as u32;
+        for fu in 0..params.fake_users {
+            let user = params.real_users + fu;
+            for _ in 0..per_user_cam {
+                let product = rng.gen_range(0..params.real_products);
+                builder.add_edge_unchecked(user, product);
+            }
+        }
+
+        CamouflageScenario { graph: builder.build(), params }
+    }
+
+    /// `true` iff left vertex `v` is a fake user.
+    pub fn is_fake_user(&self, v: u32) -> bool {
+        v >= self.params.real_users
+    }
+
+    /// `true` iff right vertex `u` is a fake product.
+    pub fn is_fake_product(&self, u: u32) -> bool {
+        u >= self.params.real_products
+    }
+
+    /// Total number of fake vertices (users + products).
+    pub fn num_fake(&self) -> u64 {
+        self.params.fake_users as u64 + self.params.fake_products as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sizes_match_parameters() {
+        let s = CamouflageScenario::generate(ScenarioParams::tiny(1));
+        assert_eq!(s.graph.num_left(), 300 + 12);
+        assert_eq!(s.graph.num_right(), 60 + 12);
+        assert!(s.graph.num_edges() > 500);
+        assert_eq!(s.num_fake(), 24);
+    }
+
+    #[test]
+    fn ground_truth_labels() {
+        let s = CamouflageScenario::generate(ScenarioParams::tiny(2));
+        assert!(!s.is_fake_user(0));
+        assert!(s.is_fake_user(300));
+        assert!(!s.is_fake_product(0));
+        assert!(s.is_fake_product(60));
+    }
+
+    #[test]
+    fn fake_block_is_denser_than_background() {
+        let s = CamouflageScenario::generate(ScenarioParams::tiny(3));
+        let p = &s.params;
+        // Average degree of fake users vs. real users.
+        let fake_avg: f64 = (p.real_users..p.real_users + p.fake_users)
+            .map(|v| s.graph.left_degree(v))
+            .sum::<usize>() as f64
+            / p.fake_users as f64;
+        let real_avg: f64 = (0..p.real_users).map(|v| s.graph.left_degree(v)).sum::<usize>()
+            as f64
+            / p.real_users as f64;
+        assert!(fake_avg > 3.0 * real_avg, "fake {fake_avg} real {real_avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CamouflageScenario::generate(ScenarioParams::tiny(7));
+        let b = CamouflageScenario::generate(ScenarioParams::tiny(7));
+        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+    }
+}

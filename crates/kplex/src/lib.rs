@@ -1,0 +1,436 @@
+//! # kplex — maximal k-plex enumeration on general graphs
+//!
+//! A *k-plex* of a general (unipartite) graph is a vertex set `S` in which
+//! every vertex has at most `k` non-neighbours **counting itself**, i.e.
+//! every `v ∈ S` has at least `|S| − k` neighbours inside `S` (the
+//! definition used by Berlowitz, Cohen & Kimelfeld and by FaPlexen, and the
+//! one quoted in the paper). k-plexes are hereditary, and a k-biplex of a
+//! bipartite graph is exactly a (k+1)-plex of its *inflation*.
+//!
+//! This crate provides a branch-and-bound maximal k-plex enumerator over
+//! the [`GraphView`] abstraction from `bigraph`, which lets it run both on
+//! explicit general graphs and on the implicit inflated view of a bipartite
+//! graph. It is the substrate for
+//!
+//! * the FaPlexen-style global baseline (`baselines::inflation`), and
+//! * the `Inflation` implementation of the `EnumAlmostSat` procedure that
+//!   the paper attributes to the original `bTraversal` (Figure 12).
+//!
+//! The enumerator is a classic set-enumeration tree with include/exclude
+//! branching, candidate filtering by the hereditary property, and a
+//! maximality check against the exclusion set — it intentionally has the
+//! *exponential delay* behaviour of the baselines it models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bigraph::general::GraphView;
+
+/// Configuration for the k-plex enumeration.
+#[derive(Clone, Debug)]
+pub struct PlexConfig {
+    /// `k` of the k-plex definition (each vertex misses at most `k`
+    /// vertices of the subgraph, itself included). Must be ≥ 1.
+    pub k: usize,
+    /// Only report k-plexes with at least this many vertices.
+    pub min_size: usize,
+    /// If set, every reported k-plex must contain this vertex and the
+    /// search is seeded with it (used for local enumeration inside
+    /// almost-satisfying graphs).
+    pub must_include: Option<u32>,
+    /// Stop after this many k-plexes have been reported (`u64::MAX` = all).
+    pub max_results: u64,
+    /// Abort after this many search-tree nodes have been expanded
+    /// (`u64::MAX` = no budget). When the budget is hit the enumeration is
+    /// truncated; [`PlexStats::budget_exhausted`] is set.
+    pub max_nodes: u64,
+}
+
+impl PlexConfig {
+    /// All maximal k-plexes, no constraints.
+    pub fn new(k: usize) -> Self {
+        PlexConfig {
+            k,
+            min_size: 0,
+            must_include: None,
+            max_results: u64::MAX,
+            max_nodes: u64::MAX,
+        }
+    }
+
+    /// Sets the minimum reported size.
+    pub fn with_min_size(mut self, min_size: usize) -> Self {
+        self.min_size = min_size;
+        self
+    }
+
+    /// Requires every reported k-plex to contain `v`.
+    pub fn with_must_include(mut self, v: u32) -> Self {
+        self.must_include = Some(v);
+        self
+    }
+
+    /// Caps the number of reported k-plexes.
+    pub fn with_max_results(mut self, n: u64) -> Self {
+        self.max_results = n;
+        self
+    }
+
+    /// Caps the number of expanded search nodes.
+    pub fn with_max_nodes(mut self, n: u64) -> Self {
+        self.max_nodes = n;
+        self
+    }
+}
+
+/// Counters describing one enumeration run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlexStats {
+    /// Number of maximal k-plexes reported.
+    pub reported: u64,
+    /// Number of search-tree nodes expanded.
+    pub nodes: u64,
+    /// True when the node budget stopped the search early.
+    pub budget_exhausted: bool,
+}
+
+/// Enumerates maximal k-plexes of `g` according to `config`, invoking
+/// `sink` for each one (vertices sorted ascending). The sink returns `true`
+/// to continue and `false` to stop the enumeration early.
+pub fn enumerate_maximal_plexes<G, F>(g: &G, config: &PlexConfig, mut sink: F) -> PlexStats
+where
+    G: GraphView,
+    F: FnMut(&[u32]) -> bool,
+{
+    assert!(config.k >= 1, "k must be at least 1 for k-plexes");
+    let n = g.num_vertices();
+    let mut stats = PlexStats::default();
+    if n == 0 {
+        return stats;
+    }
+
+    let mut state = SearchState {
+        g,
+        config,
+        stats: &mut stats,
+        stop: false,
+        sink: &mut sink,
+        scratch: Vec::new(),
+    };
+
+    let mut plex: Vec<u32> = Vec::new();
+    let mut cand: Vec<u32>;
+    let mut excl: Vec<u32> = Vec::new();
+
+    if let Some(seed) = config.must_include {
+        assert!((seed as usize) < n, "must_include vertex out of range");
+        plex.push(seed);
+        cand = (0..n as u32)
+            .filter(|&v| v != seed && state.can_add(&plex, v))
+            .collect();
+    } else {
+        cand = (0..n as u32).collect();
+    }
+
+    state.expand(&mut plex, &mut cand, &mut excl);
+    stats
+}
+
+/// Convenience wrapper collecting all maximal k-plexes into vectors.
+pub fn collect_maximal_plexes<G: GraphView>(g: &G, config: &PlexConfig) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    enumerate_maximal_plexes(g, config, |plex| {
+        out.push(plex.to_vec());
+        true
+    });
+    out
+}
+
+/// Checks whether the vertex set `s` (no duplicates) is a k-plex of `g`.
+pub fn is_k_plex<G: GraphView>(g: &G, s: &[u32], k: usize) -> bool {
+    s.iter().all(|&v| {
+        let non_nbrs = s.iter().filter(|&&w| w != v && !g.adjacent(v, w)).count();
+        non_nbrs + 1 <= k
+    })
+}
+
+/// Checks whether `s` is a *maximal* k-plex of `g`.
+pub fn is_maximal_k_plex<G: GraphView>(g: &G, s: &[u32], k: usize) -> bool {
+    if !is_k_plex(g, s, k) {
+        return false;
+    }
+    let mut sorted = s.to_vec();
+    sorted.sort_unstable();
+    (0..g.num_vertices() as u32).all(|v| {
+        if sorted.binary_search(&v).is_ok() {
+            return true;
+        }
+        let mut with_v = sorted.clone();
+        with_v.push(v);
+        !is_k_plex(g, &with_v, k)
+    })
+}
+
+struct SearchState<'a, G: GraphView, F: FnMut(&[u32]) -> bool> {
+    g: &'a G,
+    config: &'a PlexConfig,
+    stats: &'a mut PlexStats,
+    stop: bool,
+    sink: &'a mut F,
+    scratch: Vec<u32>,
+}
+
+impl<G: GraphView, F: FnMut(&[u32]) -> bool> SearchState<'_, G, F> {
+    /// `plex ∪ {v}` is still a k-plex?
+    fn can_add(&self, plex: &[u32], v: u32) -> bool {
+        let k = self.config.k;
+        let mut v_non_nbrs = 1; // itself
+        for &w in plex {
+            if !self.g.adjacent(v, w) {
+                v_non_nbrs += 1;
+                if v_non_nbrs > k {
+                    return false;
+                }
+                // w gains a non-neighbour; check w's budget.
+                let w_non_nbrs =
+                    plex.iter().filter(|&&x| x != w && !self.g.adjacent(w, x)).count() + 1;
+                if w_non_nbrs + 1 > k {
+                    return false;
+                }
+            }
+        }
+        v_non_nbrs <= k
+    }
+
+    fn expand(&mut self, plex: &mut Vec<u32>, cand: &mut Vec<u32>, excl: &mut Vec<u32>) {
+        if self.stop {
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.stats.nodes > self.config.max_nodes {
+            self.stats.budget_exhausted = true;
+            self.stop = true;
+            return;
+        }
+
+        // Prune: even taking every candidate cannot reach the minimum size.
+        if plex.len() + cand.len() < self.config.min_size {
+            return;
+        }
+
+        if cand.is_empty() {
+            // Maximality check against the exclusion set.
+            if excl.iter().any(|&v| self.can_add(plex, v)) {
+                return;
+            }
+            if plex.len() >= self.config.min_size && !plex.is_empty() {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(plex);
+                self.scratch.sort_unstable();
+                self.stats.reported += 1;
+                let keep_going = (self.sink)(&self.scratch);
+                if !keep_going || self.stats.reported >= self.config.max_results {
+                    self.stop = true;
+                }
+            }
+            return;
+        }
+
+        let v = cand[0];
+
+        // Branch 1: include v.
+        plex.push(v);
+        let mut new_cand: Vec<u32> =
+            cand[1..].iter().copied().filter(|&u| self.can_add(plex, u)).collect();
+        let mut new_excl: Vec<u32> =
+            excl.iter().copied().filter(|&u| self.can_add(plex, u)).collect();
+        self.expand(plex, &mut new_cand, &mut new_excl);
+        plex.pop();
+        if self.stop {
+            return;
+        }
+
+        // Branch 2: exclude v.
+        let mut rest: Vec<u32> = cand[1..].to_vec();
+        let mut excl_with_v: Vec<u32> = excl.clone();
+        excl_with_v.push(v);
+        self.expand(plex, &mut rest, &mut excl_with_v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::general::{DenseSubview, GeneralGraph};
+
+    /// Brute-force oracle: all maximal k-plexes by subset enumeration.
+    fn brute_force_maximal_plexes<G: GraphView>(g: &G, k: usize) -> Vec<Vec<u32>> {
+        let n = g.num_vertices();
+        assert!(n <= 16);
+        let mut plexes: Vec<Vec<u32>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let s: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            if is_k_plex(g, &s, k) {
+                plexes.push(s);
+            }
+        }
+        plexes
+            .iter()
+            .filter(|s| {
+                !plexes
+                    .iter()
+                    .any(|t| t.len() > s.len() && s.iter().all(|v| t.contains(v)))
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        v.sort();
+        v
+    }
+
+    fn triangle_plus_pendant() -> GeneralGraph {
+        // 0-1-2 triangle, 3 attached to 2.
+        GeneralGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn maximal_1_plexes_are_maximal_cliques() {
+        let g = triangle_plus_pendant();
+        let got = sorted(collect_maximal_plexes(&g, &PlexConfig::new(1)));
+        assert_eq!(got, vec![vec![0, 1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn two_plexes_of_small_graph_match_brute_force() {
+        let g = triangle_plus_pendant();
+        for k in 1..=3 {
+            let got = sorted(collect_maximal_plexes(&g, &PlexConfig::new(k)));
+            let expect = sorted(brute_force_maximal_plexes(&g, k));
+            assert_eq!(got, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(3..9usize);
+            let mut d = DenseSubview::new(n);
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.45) {
+                        d.add_edge(a, b);
+                    }
+                }
+            }
+            for k in 1..=3usize {
+                let got = sorted(collect_maximal_plexes(&d, &PlexConfig::new(k)));
+                let expect = sorted(brute_force_maximal_plexes(&d, k));
+                assert_eq!(got, expect, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reported_plexes_are_maximal() {
+        let g = GeneralGraph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4), (2, 5)],
+        );
+        for k in 1..=2 {
+            for plex in collect_maximal_plexes(&g, &PlexConfig::new(k)) {
+                assert!(is_maximal_k_plex(&g, &plex, k), "k {k} plex {plex:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_size_filter() {
+        let g = triangle_plus_pendant();
+        let got = collect_maximal_plexes(&g, &PlexConfig::new(1).with_min_size(3));
+        assert_eq!(got, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn must_include_seeding() {
+        let g = triangle_plus_pendant();
+        let got = sorted(collect_maximal_plexes(&g, &PlexConfig::new(1).with_must_include(3)));
+        // Maximal cliques containing vertex 3.
+        assert_eq!(got, vec![vec![2, 3]]);
+        let got = sorted(collect_maximal_plexes(&g, &PlexConfig::new(2).with_must_include(0)));
+        assert!(!got.is_empty());
+        for plex in &got {
+            assert!(plex.contains(&0));
+            assert!(is_k_plex(&g, plex, 2));
+        }
+    }
+
+    #[test]
+    fn max_results_stops_early() {
+        let g = triangle_plus_pendant();
+        let mut count = 0;
+        let stats = enumerate_maximal_plexes(&g, &PlexConfig::new(1).with_max_results(1), |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+        assert_eq!(stats.reported, 1);
+    }
+
+    #[test]
+    fn node_budget_truncates() {
+        let g = GeneralGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let stats = enumerate_maximal_plexes(&g, &PlexConfig::new(2).with_max_nodes(3), |_| true);
+        assert!(stats.budget_exhausted);
+        assert!(stats.nodes <= 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GeneralGraph::from_edges(0, &[]);
+        let got = collect_maximal_plexes(&g, &PlexConfig::new(1));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn graph_with_no_edges() {
+        // With no edges, a k-plex can hold at most k vertices (each vertex
+        // misses all others plus itself).
+        let g = GeneralGraph::from_edges(4, &[]);
+        let got = collect_maximal_plexes(&g, &PlexConfig::new(2));
+        // Maximal 2-plexes are all pairs.
+        assert_eq!(got.len(), 6);
+        for p in &got {
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn is_k_plex_checker() {
+        let g = triangle_plus_pendant();
+        assert!(is_k_plex(&g, &[0, 1, 2], 1));
+        assert!(!is_k_plex(&g, &[0, 1, 2, 3], 1));
+        // vertex 3 misses 0 and 1 (plus itself) so the full vertex set is a
+        // 3-plex but not a 2-plex.
+        assert!(!is_k_plex(&g, &[0, 1, 2, 3], 2));
+        assert!(is_k_plex(&g, &[0, 1, 2, 3], 3));
+        assert!(is_k_plex(&g, &[], 1));
+        assert!(is_maximal_k_plex(&g, &[0, 1, 2], 1));
+        assert!(!is_maximal_k_plex(&g, &[0, 1], 1));
+    }
+
+    #[test]
+    fn works_on_inflated_view() {
+        use bigraph::general::InflatedView;
+        use bigraph::BipartiteGraph;
+        // K_{2,2} bipartite -> inflation is K_4 -> single maximal 1-plex.
+        let b = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let inf = InflatedView::new(&b);
+        let got = collect_maximal_plexes(&inf, &PlexConfig::new(1));
+        assert_eq!(got, vec![vec![0, 1, 2, 3]]);
+    }
+}

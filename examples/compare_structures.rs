@@ -1,0 +1,52 @@
+//! Compare the cohesive-structure families on one graph: maximal bicliques,
+//! maximal k-biplexes, the (α,β)-core, δ-quasi-bicliques and the k-bitruss,
+//! reporting how many subgraphs each family finds and how dense they are.
+//!
+//! Run with: `cargo run --release --example compare_structures`
+
+use mbpe::cohesive::{collect_maximal_bicliques, find_delta_qbs, BicliqueConfig, QuasiConfig};
+use mbpe::prelude::*;
+
+fn main() {
+    // A planted workload: 3 near-biclique blocks in sparse noise.
+    let planted = mbpe::bigraph::gen::planted::planted_biplexes(120, 120, 500, 3, 8, 8, 1, 3);
+    let g = &planted.graph;
+    println!(
+        "graph: |L| = {}, |R| = {}, |E| = {}, planted blocks: {}",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges(),
+        planted.blocks.len()
+    );
+
+    let (theta_l, theta_r) = (5usize, 5usize);
+
+    let bicliques =
+        collect_maximal_bicliques(g, &BicliqueConfig::default().with_min_sizes(theta_l, theta_r));
+    println!("\nmaximal bicliques (>= {theta_l} x {theta_r}): {}", bicliques.len());
+
+    for k in [1usize, 2] {
+        let mbps = kbiplex::collect_large_mbps(
+            g,
+            &LargeMbpParams { k, theta_left: theta_l, theta_right: theta_r, core_reduction: true },
+            &TraversalConfig::itraversal(k),
+        );
+        let covered: std::collections::HashSet<u32> =
+            mbps.iter().flat_map(|b| b.left.iter().copied()).collect();
+        println!(
+            "maximal {k}-biplexes (>= {theta_l} x {theta_r}): {} (covering {} left vertices)",
+            mbps.len(),
+            covered.len()
+        );
+    }
+
+    let core = mbpe::bigraph::core_decomp::alpha_beta_core(g, theta_r, theta_l);
+    println!("({theta_r},{theta_l})-core: {} + {} vertices", core.left.len(), core.right.len());
+
+    let qbs = find_delta_qbs(g, &QuasiConfig::new(0.2, theta_l, theta_r));
+    println!("0.2-quasi-bicliques found by the greedy finder: {}", qbs.len());
+
+    let butterflies = mbpe::bigraph::stats::count_butterflies(g);
+    let truss_edges = mbpe::cohesive::k_bitruss_edges(g, 4).len();
+    println!("butterflies: {butterflies}, edges in the 4-bitruss: {truss_edges}");
+}

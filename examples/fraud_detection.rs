@@ -1,0 +1,53 @@
+//! The fraud-detection case study in miniature: inject a camouflage attack
+//! into a synthetic review graph and compare how well bicliques, 1-biplexes
+//! and the (α,β)-core recover the fake users and products.
+//!
+//! Run with: `cargo run --release --example fraud_detection`
+
+use mbpe::frauddet::{run_detector, CamouflageScenario, Detector, ScenarioParams};
+
+fn main() {
+    let params = ScenarioParams {
+        real_users: 2_000,
+        real_products: 600,
+        real_reviews: 6_000,
+        fake_users: 50,
+        fake_products: 50,
+        fake_comments: 600,
+        camouflage_comments: 600,
+        seed: 11,
+    };
+    println!(
+        "scenario: {} users x {} products, fraud block {} x {}",
+        params.real_users + params.fake_users,
+        params.real_products + params.fake_products,
+        params.fake_users,
+        params.fake_products
+    );
+    let scenario = CamouflageScenario::generate(params);
+
+    let theta_l = 4;
+    println!("\n{:<18} {:>4} {:>10} {:>8} {:>6}", "detector", "θR", "precision", "recall", "F1");
+    for detector in [
+        Detector::Biclique,
+        Detector::KBiplex { k: 1 },
+        Detector::AlphaBetaCore,
+        Detector::DeltaQuasiBiclique { delta: 0.2 },
+    ] {
+        for theta_r in [3usize, 5] {
+            let m = run_detector(&scenario, detector, theta_l, theta_r);
+            let p = m.precision.map(|p| format!("{:.2}", p)).unwrap_or_else(|| "ND".into());
+            let f1 = m.f1.map(|f| format!("{:.2}", f)).unwrap_or_else(|| "ND".into());
+            println!(
+                "{:<18} {:>4} {:>10} {:>8.2} {:>6}",
+                detector.label(),
+                theta_r,
+                p,
+                m.recall,
+                f1
+            );
+        }
+    }
+    println!("\n(1-biplexes tolerate the camouflage edges that break exact bicliques,");
+    println!(" while staying far denser than the (α,β)-core — the paper's Figure 13 story.)");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a small bipartite graph, enumerate its maximal
+//! k-biplexes with `iTraversal`, and print them.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mbpe::prelude::*;
+
+fn main() {
+    // A toy author–paper graph: 5 authors (left) × 6 papers (right).
+    let edges = [
+        (0, 0), (0, 1), (0, 2),
+        (1, 0), (1, 1), (1, 2), (1, 3),
+        (2, 1), (2, 2), (2, 3),
+        (3, 3), (3, 4), (3, 5),
+        (4, 4), (4, 5),
+    ];
+    let g = BipartiteGraph::from_edges(5, 6, &edges).expect("well-formed edge list");
+    println!(
+        "graph: |L| = {}, |R| = {}, |E| = {}",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges()
+    );
+
+    for k in 0..=2usize {
+        let mbps = enumerate_all(&g, k);
+        println!("\nmaximal {k}-biplexes ({}):", mbps.len());
+        for b in &mbps {
+            assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
+            println!("  L = {:?}, R = {:?}", b.left, b.right);
+        }
+    }
+
+    // The enumeration is streaming: stop after the first 3 solutions.
+    let mut first = FirstN::new(3);
+    let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(1), &mut first);
+    println!(
+        "\nfirst {} solutions took {} links of the solution graph to find",
+        first.len(),
+        stats.links
+    );
+}

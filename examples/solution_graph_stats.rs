@@ -1,0 +1,41 @@
+//! Inspect the *solution graph* underlying the reverse-search frameworks:
+//! compare the number of links traversed by bTraversal and by the three
+//! iTraversal ablations on a small graph, reproducing the shape of the
+//! paper's Figure 11 on a single input.
+//!
+//! Run with: `cargo run --release --example solution_graph_stats`
+
+use mbpe::prelude::*;
+
+fn main() {
+    // The Divorce-scale stand-in from the dataset registry.
+    let spec = mbpe::bigraph::gen::datasets::DatasetSpec::by_name("Divorce").unwrap();
+    let g = spec.generate_scaled();
+    println!(
+        "dataset stand-in: {} (|L| = {}, |R| = {}, |E| = {})",
+        spec.name,
+        g.num_left(),
+        g.num_right(),
+        g.num_edges()
+    );
+
+    let k = 1;
+    let variants = [
+        ("bTraversal", TraversalConfig::btraversal(k)),
+        ("iTraversal-ES-RS (left-anchored only)", TraversalConfig::itraversal_left_anchored_only(k)),
+        ("iTraversal-ES (no exclusion)", TraversalConfig::itraversal_no_exclusion(k)),
+        ("iTraversal (full)", TraversalConfig::itraversal(k)),
+    ];
+
+    println!("\n{:<40} {:>10} {:>10} {:>12}", "variant", "#MBPs", "#links", "local sols");
+    for (name, cfg) in variants {
+        let mut sink = CountingSink::new();
+        let stats = enumerate_mbps(&g, &cfg, &mut sink);
+        println!(
+            "{:<40} {:>10} {:>10} {:>12}",
+            name, stats.solutions, stats.links, stats.local_solutions
+        );
+    }
+    println!("\nEvery variant finds the same MBPs; the pruning techniques only remove");
+    println!("links from the solution graph, which is what makes iTraversal fast.");
+}

@@ -1,0 +1,51 @@
+//! # mbpe — maximal k-biplex enumeration (umbrella crate)
+//!
+//! This crate re-exports the whole workspace behind a single dependency and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The implementation reproduces
+//! *"Efficient Algorithms for Maximal k-Biplex Enumeration"* (SIGMOD 2022);
+//! see `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduction of every table and
+//! figure.
+//!
+//! ```
+//! use mbpe::prelude::*;
+//!
+//! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
+//! let mbps = enumerate_all(&g, 1);
+//! assert!(mbps.iter().all(|b| is_maximal_k_biplex(&g, &b.left, &b.right, 1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use bigraph;
+pub use cohesive;
+pub use frauddet;
+pub use kbiplex;
+pub use kplex;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use bigraph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
+    pub use kbiplex::{
+        collect_asym_mbps, enumerate_all, enumerate_mbps, is_asym_biplex, is_k_biplex,
+        is_maximal_k_biplex, par_collect_mbps, par_enumerate_mbps, Anchor, Biplex, CollectSink,
+        Control, CountingSink, DelayRecorder, EnumKind, FirstN, KPair, LargeMbpParams,
+        ParallelConfig, SolutionSink, TraversalConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let all = enumerate_all(&g, 1);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].num_vertices(), 4);
+    }
+}

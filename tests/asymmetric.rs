@@ -1,0 +1,89 @@
+//! Cross-crate integration tests for the asymmetric (k_L, k_R) extension.
+
+use mbpe::bigraph::gen::er::er_bipartite;
+use mbpe::cohesive::{collect_maximal_bicliques, BicliqueConfig};
+use mbpe::kbiplex::asym::{brute_force_asym_mbps, is_maximal_asym_biplex};
+use mbpe::prelude::*;
+
+#[test]
+fn asymmetric_enumeration_matches_brute_force_on_random_graphs() {
+    for seed in 0..8u64 {
+        let g = er_bipartite(5, 5, 12 + seed % 5, seed);
+        for (kl, kr) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
+            let kp = KPair::new(kl, kr);
+            let expected = brute_force_asym_mbps(&g, kp);
+            let got = collect_asym_mbps(&g, kp);
+            assert_eq!(got, expected, "seed {seed} budgets ({kl},{kr})");
+        }
+    }
+}
+
+#[test]
+fn symmetric_budgets_reduce_to_the_paper_algorithm() {
+    for seed in 0..5u64 {
+        let g = er_bipartite(8, 8, 30, 100 + seed);
+        for k in 0..=2usize {
+            assert_eq!(
+                collect_asym_mbps(&g, KPair::symmetric(k)),
+                enumerate_all(&g, k),
+                "seed {seed} k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_budgets_agree_with_the_maximal_biclique_enumerator() {
+    // (0,0)-biplexes are exactly bicliques, so the asymmetric enumerator with
+    // zero budgets must agree with the dedicated biclique enumerator, modulo
+    // the degenerate single-sided solutions that bicliques exclude.
+    for seed in 0..5u64 {
+        let g = er_bipartite(7, 7, 22, seed);
+        let asym: Vec<Biplex> = collect_asym_mbps(&g, KPair::new(0, 0))
+            .into_iter()
+            .filter(|b| !b.left.is_empty() && !b.right.is_empty())
+            .collect();
+        let mut bicliques = collect_maximal_bicliques(
+            &g,
+            &BicliqueConfig::default().with_min_sizes(1, 1),
+        );
+        bicliques.sort();
+        // Every non-degenerate asymmetric solution is a maximal biclique.
+        for b in &asym {
+            assert!(
+                bicliques.binary_search(b).is_ok(),
+                "seed {seed}: {:?} missing from biclique enumeration",
+                b
+            );
+        }
+    }
+}
+
+#[test]
+fn budgets_are_monotone_in_solution_coverage() {
+    // Raising either budget can only allow *larger* subgraphs: every maximal
+    // (k_L, k_R)-biplex is contained in some maximal (k_L', k_R')-biplex when
+    // k_L' >= k_L and k_R' >= k_R.
+    let g = er_bipartite(10, 10, 45, 17);
+    let small = collect_asym_mbps(&g, KPair::new(1, 0));
+    let large = collect_asym_mbps(&g, KPair::new(2, 1));
+    for b in &small {
+        assert!(
+            large.iter().any(|big| b.is_subgraph_of(big)),
+            "{b:?} is not covered by any larger-budget solution"
+        );
+    }
+}
+
+#[test]
+fn every_solution_is_maximal_for_its_budgets() {
+    let g = er_bipartite(12, 9, 50, 23);
+    for (kl, kr) in [(1, 2), (2, 1), (3, 0)] {
+        let kp = KPair::new(kl, kr);
+        let solutions = collect_asym_mbps(&g, kp);
+        assert!(!solutions.is_empty());
+        for b in &solutions {
+            assert!(is_maximal_asym_biplex(&g, &b.left, &b.right, kp), "budgets ({kl},{kr})");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: every algorithm in the workspace must
+//! agree on the set of maximal k-biplexes, and that set must match the
+//! brute-force oracle.
+
+use mbpe::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in 0..nl {
+        for u in 0..nr {
+            if rng.gen_bool(p) {
+                edges.push((v, u));
+            }
+        }
+    }
+    BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+}
+
+fn run_config(g: &BipartiteGraph, cfg: &TraversalConfig) -> Vec<Biplex> {
+    let mut sink = CollectSink::new();
+    enumerate_mbps(g, cfg, &mut sink);
+    sink.into_sorted()
+}
+
+#[test]
+fn all_five_algorithms_agree_with_the_oracle() {
+    for seed in 0..10u64 {
+        let g = random_graph(5, 6, 0.5, seed);
+        for k in 1..=2usize {
+            let oracle = mbpe::kbiplex::bruteforce::brute_force_mbps(&g, k);
+
+            let itraversal = run_config(&g, &TraversalConfig::itraversal(k));
+            let btraversal = run_config(&g, &TraversalConfig::btraversal(k));
+            let imb = mbpe::baselines::collect_imb(&g, &mbpe::baselines::ImbConfig::new(k));
+            let faplexen = mbpe::baselines::collect_inflation(
+                &g,
+                &mbpe::baselines::InflationConfig::new(k),
+            );
+            let right_anchored =
+                run_config(&g, &TraversalConfig::itraversal(k).with_anchor(Anchor::Right));
+
+            assert_eq!(itraversal, oracle, "iTraversal seed {seed} k {k}");
+            assert_eq!(btraversal, oracle, "bTraversal seed {seed} k {k}");
+            assert_eq!(imb, oracle, "iMB seed {seed} k {k}");
+            assert_eq!(faplexen, oracle, "FaPlexen seed {seed} k {k}");
+            assert_eq!(right_anchored, oracle, "right-anchored seed {seed} k {k}");
+        }
+    }
+}
+
+#[test]
+fn planted_blocks_are_covered_by_some_mbp() {
+    // Every planted k-biplex block must be contained in at least one
+    // reported MBP (by maximality of the enumeration output).
+    let planted = mbpe::bigraph::gen::planted::planted_biplexes(30, 30, 60, 2, 5, 5, 1, 9);
+    let g = &planted.graph;
+    let mbps = enumerate_all(g, 1);
+    for block in &planted.blocks {
+        let block_bp = Biplex::new(block.left.clone(), block.right.clone());
+        assert!(
+            mbps.iter().any(|m| block_bp.is_subgraph_of(m)),
+            "planted block {:?} not covered",
+            block_bp
+        );
+    }
+}
+
+#[test]
+fn mbp_count_is_monotone_in_graph_size_of_solutions() {
+    // Not a theorem about counts, but the output of every run must consist
+    // of distinct, genuinely maximal k-biplexes.
+    let g = random_graph(8, 8, 0.4, 77);
+    for k in 0..=2usize {
+        let mbps = enumerate_all(&g, k);
+        let mut keys: Vec<Vec<u32>> = mbps.iter().map(|b| b.canonical_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), mbps.len(), "duplicate solutions for k = {k}");
+        for b in &mbps {
+            assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
+        }
+    }
+}
+
+#[test]
+fn large_mbp_pipeline_agrees_with_post_filtering() {
+    let g = random_graph(7, 7, 0.55, 5);
+    let k = 1;
+    let all = enumerate_all(&g, k);
+    for theta in 2..=4usize {
+        let expected: Vec<Biplex> = all
+            .iter()
+            .filter(|b| b.left.len() >= theta && b.right.len() >= theta)
+            .cloned()
+            .collect();
+        let got = mbpe::kbiplex::collect_large_mbps(
+            &g,
+            &LargeMbpParams::symmetric(k, theta),
+            &TraversalConfig::itraversal(k),
+        );
+        assert_eq!(got, expected, "theta {theta}");
+    }
+}
+
+#[test]
+fn imb_with_thresholds_agrees_with_itraversal_large() {
+    let g = random_graph(7, 6, 0.55, 13);
+    let k = 1;
+    let theta = 3;
+    let imb = mbpe::baselines::collect_imb(
+        &g,
+        &mbpe::baselines::ImbConfig::new(k).with_thresholds(theta, theta),
+    );
+    let itr = mbpe::kbiplex::collect_large_mbps(
+        &g,
+        &LargeMbpParams::symmetric(k, theta),
+        &TraversalConfig::itraversal(k),
+    );
+    assert_eq!(imb, itr);
+}
+
+#[test]
+fn bicliques_are_the_k0_mbps() {
+    let g = random_graph(6, 6, 0.5, 21);
+    let bicliques = mbpe::cohesive::collect_maximal_bicliques(
+        &g,
+        &mbpe::cohesive::BicliqueConfig::default(),
+    );
+    let zero_biplexes: Vec<Biplex> = enumerate_all(&g, 0)
+        .into_iter()
+        .filter(|b| !b.left.is_empty() && !b.right.is_empty())
+        .collect();
+    assert_eq!(bicliques, zero_biplexes);
+}

@@ -1,0 +1,68 @@
+//! End-to-end test of the fraud-detection case study pipeline (a smaller
+//! version of the Figure 13 experiment).
+
+use mbpe::frauddet::{run_detector, CamouflageScenario, Detector, ScenarioParams};
+
+fn scenario() -> CamouflageScenario {
+    CamouflageScenario::generate(ScenarioParams {
+        real_users: 600,
+        real_products: 300,
+        real_reviews: 1_800,
+        fake_users: 60,
+        fake_products: 60,
+        fake_comments: 720,
+        camouflage_comments: 720,
+        seed: 99,
+    })
+}
+
+#[test]
+fn biplex_detector_beats_biclique_recall_at_higher_thresholds() {
+    let s = scenario();
+    let theta_l = 4;
+    let theta_r = 5;
+    let biplex = run_detector(&s, Detector::KBiplex { k: 1 }, theta_l, theta_r);
+    let biclique = run_detector(&s, Detector::Biclique, theta_l, theta_r);
+    assert!(
+        biplex.recall >= biclique.recall,
+        "1-biplex recall {} should be at least biclique recall {}",
+        biplex.recall,
+        biclique.recall
+    );
+    assert!(biplex.recall > 0.5, "1-biplex should recover most of the block: {biplex:?}");
+}
+
+#[test]
+fn alpha_beta_core_trades_precision_for_recall() {
+    // The (α,β)-core is a single coarse subgraph: it recovers the fraud
+    // block (decent recall) but also sweeps up well-connected genuine
+    // users, so its precision stays low — the qualitative finding of the
+    // paper's Figure 13. The exact numbers depend on the synthetic
+    // background, so the assertions are deliberately loose.
+    let s = scenario();
+    let core = run_detector(&s, Detector::AlphaBetaCore, 4, 5);
+    assert!(core.recall >= 0.3, "core should recover a chunk of the block: {core:?}");
+    if let Some(pc) = core.precision {
+        assert!(pc <= 0.9, "the core should not be laser-precise: {core:?}");
+    }
+}
+
+#[test]
+fn metrics_are_well_formed_for_every_detector() {
+    let s = scenario();
+    for det in [
+        Detector::Biclique,
+        Detector::KBiplex { k: 1 },
+        Detector::AlphaBetaCore,
+        Detector::DeltaQuasiBiclique { delta: 0.2 },
+    ] {
+        let m = run_detector(&s, det, 4, 4);
+        assert!((0.0..=1.0).contains(&m.recall), "{det:?} recall {m:?}");
+        if let Some(p) = m.precision {
+            assert!((0.0..=1.0).contains(&p), "{det:?} precision {m:?}");
+        }
+        if let Some(f1) = m.f1 {
+            assert!((0.0..=1.0).contains(&f1), "{det:?} f1 {m:?}");
+        }
+    }
+}

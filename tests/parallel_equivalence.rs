@@ -1,0 +1,74 @@
+//! Cross-crate integration tests: the parallel enumeration must agree with
+//! the sequential frameworks and the baselines on every input we can afford
+//! to cross-check exhaustively.
+
+use mbpe::baselines::{collect_imb, ImbConfig};
+use mbpe::bigraph::gen::er::er_bipartite;
+use mbpe::bigraph::gen::planted::planted_biplexes;
+use mbpe::prelude::*;
+
+#[test]
+fn parallel_matches_sequential_and_imb_on_er_graphs() {
+    for seed in 0..5u64 {
+        let g = er_bipartite(10, 9, 32 + seed * 3, seed);
+        for k in 1..=2usize {
+            let sequential = enumerate_all(&g, k);
+            let parallel = par_collect_mbps(&g, k, 4);
+            assert_eq!(parallel, sequential, "seed {seed} k {k} (parallel vs sequential)");
+
+            // iMB has exponential delay; keep its cross-check to k = 1.
+            if k == 1 {
+                let mut imb = collect_imb(&g, &ImbConfig::new(k));
+                imb.sort();
+                assert_eq!(imb, sequential, "seed {seed} k {k} (iMB vs sequential)");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_planted_dense_blocks() {
+    // Planted quasi-biclique blocks produce many overlapping MBPs — a harder
+    // dedup workload for the concurrent seen-set than uniform noise.
+    let g = planted_biplexes(20, 20, 25, 2, 5, 5, 1, 99).graph;
+    let k = 1;
+    let sequential = enumerate_all(&g, k);
+    for threads in [1, 3, 8] {
+        let parallel = par_collect_mbps(&g, k, threads);
+        assert_eq!(parallel, sequential, "threads {threads}");
+    }
+}
+
+#[test]
+fn parallel_thresholds_agree_with_sequential_large_mbp_enumeration() {
+    let g = er_bipartite(20, 20, 120, 7);
+    let k = 1;
+    let (theta_l, theta_r) = (3, 3);
+
+    let mut expected: Vec<Biplex> = enumerate_all(&g, k)
+        .into_iter()
+        .filter(|b| b.left.len() >= theta_l && b.right.len() >= theta_r)
+        .collect();
+    expected.sort();
+
+    let cfg = ParallelConfig::new(k).with_threads(4).with_thresholds(theta_l, theta_r);
+    let (mut got, stats) = par_enumerate_mbps(&g, &cfg);
+    got.sort();
+    assert_eq!(got, expected);
+    assert_eq!(stats.reported as usize, expected.len());
+}
+
+#[test]
+fn parallel_solutions_are_maximal_and_distinct() {
+    let g = er_bipartite(25, 25, 140, 3);
+    let k = 1;
+    let (solutions, stats) = par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(0));
+    assert_eq!(stats.solutions as usize, solutions.len());
+    let mut sorted = solutions.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), solutions.len(), "no duplicates may be reported");
+    for b in &solutions {
+        assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
+    }
+}

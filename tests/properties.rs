@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! enumeration invariants.
+
+use mbpe::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random bipartite graph given as (nl, nr, edge bitmap).
+fn graph_strategy() -> impl Strategy<Value = BipartiteGraph> {
+    (2u32..7, 2u32..7)
+        .prop_flat_map(|(nl, nr)| {
+            let m = (nl * nr) as usize;
+            (Just(nl), Just(nr), proptest::collection::vec(any::<bool>(), m))
+        })
+        .prop_map(|(nl, nr, bits)| {
+            let mut edges = Vec::new();
+            for v in 0..nl {
+                for u in 0..nr {
+                    if bits[(v * nr + u) as usize] {
+                        edges.push((v, u));
+                    }
+                }
+            }
+            BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every solution reported by iTraversal is a maximal k-biplex, and the
+    /// set matches bTraversal.
+    #[test]
+    fn itraversal_output_is_sound_and_matches_btraversal(g in graph_strategy(), k in 0usize..3) {
+        let mut a = CollectSink::new();
+        enumerate_mbps(&g, &TraversalConfig::itraversal(k), &mut a);
+        for b in &a.solutions {
+            prop_assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
+        }
+        let mut bsink = CollectSink::new();
+        enumerate_mbps(&g, &TraversalConfig::btraversal(k), &mut bsink);
+        prop_assert_eq!(a.into_sorted(), bsink.into_sorted());
+    }
+
+    /// The hereditary property (Lemma 2.2): any sub-pair of a k-biplex is a
+    /// k-biplex.
+    #[test]
+    fn hereditary_property(g in graph_strategy(), k in 0usize..3, lmask in any::<u16>(), rmask in any::<u16>()) {
+        let mbps = enumerate_all(&g, k);
+        for b in mbps.iter().take(4) {
+            let left: Vec<u32> = b.left.iter().enumerate()
+                .filter(|(i, _)| lmask & (1 << (i % 16)) != 0)
+                .map(|(_, &v)| v).collect();
+            let right: Vec<u32> = b.right.iter().enumerate()
+                .filter(|(i, _)| rmask & (1 << (i % 16)) != 0)
+                .map(|(_, &u)| u).collect();
+            prop_assert!(is_k_biplex(&g, &left, &right, k));
+        }
+    }
+
+    /// Monotonicity in k: every maximal k-biplex is contained in some
+    /// maximal (k+1)-biplex.
+    #[test]
+    fn monotone_in_k(g in graph_strategy(), k in 0usize..2) {
+        let small = enumerate_all(&g, k);
+        let big = enumerate_all(&g, k + 1);
+        for s in &small {
+            prop_assert!(big.iter().any(|b| s.is_subgraph_of(b)),
+                "MBP {:?} for k={} not contained in any (k+1)-MBP", s, k);
+        }
+    }
+
+    /// The transpose symmetry: MBPs of the transposed graph are the
+    /// transposed MBPs.
+    #[test]
+    fn transpose_symmetry(g in graph_strategy(), k in 0usize..3) {
+        let direct: Vec<Biplex> = enumerate_all(&g, k);
+        let mut transposed: Vec<Biplex> = enumerate_all(&g.transpose(), k)
+            .into_iter().map(|b| b.transpose()).collect();
+        transposed.sort();
+        prop_assert_eq!(direct, transposed);
+    }
+
+    /// Size thresholds inside the engine match post-filtering.
+    #[test]
+    fn thresholds_match_filtering(g in graph_strategy(), k in 0usize..3, theta in 1usize..4) {
+        let all = enumerate_all(&g, k);
+        let expected: Vec<Biplex> = all.into_iter()
+            .filter(|b| b.left.len() >= theta && b.right.len() >= theta)
+            .collect();
+        let mut sink = CollectSink::new();
+        enumerate_mbps(&g, &TraversalConfig::itraversal(k).with_thresholds(theta, theta), &mut sink);
+        prop_assert_eq!(sink.into_sorted(), expected);
+    }
+
+    /// The bitset behaves like a reference set implementation.
+    #[test]
+    fn bitset_matches_btreeset(ops in proptest::collection::vec((any::<bool>(), 0usize..200), 0..100)) {
+        use std::collections::BTreeSet;
+        let mut bits = mbpe::bigraph::BitSet::new(200);
+        let mut reference = BTreeSet::new();
+        for (insert, idx) in ops {
+            if insert {
+                prop_assert_eq!(bits.insert(idx), reference.insert(idx));
+            } else {
+                prop_assert_eq!(bits.remove(idx), reference.remove(&idx));
+            }
+        }
+        prop_assert_eq!(bits.len(), reference.len());
+        let collected: Vec<usize> = bits.iter().collect();
+        let expected: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Graph construction invariants: adjacency is symmetric and sorted.
+    #[test]
+    fn graph_adjacency_invariants(g in graph_strategy()) {
+        for v in 0..g.num_left() {
+            let n = g.left_neighbors(v);
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+            for &u in n {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert!(g.right_neighbors(u).contains(&v));
+            }
+        }
+        let total: usize = (0..g.num_left()).map(|v| g.left_degree(v)).sum();
+        prop_assert_eq!(total as u64, g.num_edges());
+    }
+}
