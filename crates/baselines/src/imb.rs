@@ -133,9 +133,10 @@ impl<S: SolutionSink + ?Sized> Search<'_, S> {
 
         // Pick the branching vertex: first remaining candidate, left side
         // first (a fixed order keeps the enumeration deterministic).
-        let branch = cand_left.first().map(|&v| (true, v)).or_else(|| {
-            cand_right.first().map(|&u| (false, u))
-        });
+        let branch = cand_left
+            .first()
+            .map(|&v| (true, v))
+            .or_else(|| cand_right.first().map(|&u| (false, u)));
 
         let Some((is_left, vertex)) = branch else {
             // Leaf: maximality check against the exclusion sets.
@@ -171,16 +172,10 @@ impl<S: SolutionSink + ?Sized> Search<'_, S> {
             .filter(|&u| u != vertex || is_left)
             .filter(|&u| !current.contains_right(u) && current.can_add_right(self.g, u, k))
             .collect();
-        let keep_excl_left: Vec<u32> = excl_left
-            .iter()
-            .copied()
-            .filter(|&v| current.can_add_left(self.g, v, k))
-            .collect();
-        let keep_excl_right: Vec<u32> = excl_right
-            .iter()
-            .copied()
-            .filter(|&u| current.can_add_right(self.g, u, k))
-            .collect();
+        let keep_excl_left: Vec<u32> =
+            excl_left.iter().copied().filter(|&v| current.can_add_left(self.g, v, k)).collect();
+        let keep_excl_right: Vec<u32> =
+            excl_right.iter().copied().filter(|&u| current.can_add_right(self.g, u, k)).collect();
         self.expand(current, filter_left, filter_right, keep_excl_left, keep_excl_right);
         if is_left {
             current.remove_left(self.g, vertex);

@@ -86,10 +86,8 @@ pub fn enumerate_inflation<S: SolutionSink + ?Sized>(
     sink: &mut S,
 ) -> InflationReport {
     let view = InflatedView::new(g);
-    let mut report = InflationReport {
-        inflated_edges: view.explicit_edge_count(),
-        ..Default::default()
-    };
+    let mut report =
+        InflationReport { inflated_edges: view.explicit_edge_count(), ..Default::default() };
     if report.inflated_edges > config.memory_budget_edges as u128 {
         report.out_of_memory = true;
         return report;

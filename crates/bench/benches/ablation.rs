@@ -69,9 +69,7 @@ fn bench_anchor(c: &mut Criterion) {
 }
 
 fn bench_enum_kind_end_to_end(c: &mut Criterion) {
-    let g = bigraph::gen::datasets::DatasetSpec::by_name("Cfat")
-        .unwrap()
-        .generate_scaled();
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Cfat").unwrap().generate_scaled();
     let mut group = c.benchmark_group("ablation_enumalmostsat_end_to_end");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for kind in EnumKind::ALL {

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mbpe_bench::{measure_delay, Algo};
 
 fn bench(c: &mut Criterion) {
-    let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce")
-        .unwrap()
-        .generate_scaled();
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce").unwrap().generate_scaled();
     let mut group = c.benchmark_group("fig8_delay_full_enumeration");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for algo in [Algo::ITraversal, Algo::BTraversal, Algo::Imb, Algo::FaPlexen] {

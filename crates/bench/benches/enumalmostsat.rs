@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbiplex::{EnumKind, PartialBiplex, TraversalConfig};
 
 fn bench(c: &mut Criterion) {
-    let g = bigraph::gen::datasets::DatasetSpec::by_name("Crime")
-        .unwrap()
-        .generate_scaled();
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Crime").unwrap().generate_scaled();
     // Sample a handful of (host MBP, new vertex) pairs once.
     let mut sink = kbiplex::FirstN::new(20);
     kbiplex::enumerate_mbps(&g, &TraversalConfig::itraversal(1), &mut sink);

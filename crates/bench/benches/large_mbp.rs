@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbiplex::{CountingSink, LargeMbpParams, TraversalConfig};
 
 fn bench(c: &mut Criterion) {
-    let g = bigraph::gen::datasets::DatasetSpec::by_name("Opsahl")
-        .unwrap()
-        .generate_scaled();
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Opsahl").unwrap().generate_scaled();
     let mut group = c.benchmark_group("fig10_large_mbps");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
     for theta in [4usize, 5, 6] {

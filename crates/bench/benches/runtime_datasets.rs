@@ -13,13 +13,9 @@ fn bench(c: &mut Criterion) {
         let spec = bigraph::gen::datasets::DatasetSpec::by_name(name).unwrap();
         let g = spec.generate_scaled();
         for algo in [Algo::ITraversal, Algo::BTraversal, Algo::Imb, Algo::FaPlexen] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.label(), name),
-                &g,
-                |b, g| {
-                    b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(10)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.label(), name), &g, |b, g| {
+                b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(10)));
+            });
         }
     }
     group.finish();

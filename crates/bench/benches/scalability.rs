@@ -14,9 +14,13 @@ fn bench(c: &mut Criterion) {
         let half = (n / 2) as u32;
         let g = bigraph::gen::er::er_bipartite(half, half, 10 * n, 42);
         for algo in [Algo::ITraversal, Algo::BTraversal] {
-            group.bench_with_input(BenchmarkId::new(format!("{}_vertices", algo.label()), n), &g, |b, g| {
-                b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(20)));
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_vertices", algo.label()), n),
+                &g,
+                |b, g| {
+                    b.iter(|| run_algo(g, algo, 1, 200, Duration::from_secs(20)));
+                },
+            );
         }
     }
     // (b) growing density at 10k vertices.

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbiplex::{CountingSink, TraversalConfig};
 
 fn bench(c: &mut Criterion) {
-    let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce")
-        .unwrap()
-        .generate_scaled();
+    let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce").unwrap().generate_scaled();
     let mut group = c.benchmark_group("fig11_variants");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for k in [1usize, 2] {

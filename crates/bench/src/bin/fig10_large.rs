@@ -21,7 +21,9 @@ fn main() {
         let spec = DatasetSpec::by_name(name).unwrap();
         let g = prepare_dataset(spec, scale);
         print_header(
-            &format!("Figure 10: large MBP enumeration on {name} (k = 1), time (s) and #large MBPs"),
+            &format!(
+                "Figure 10: large MBP enumeration on {name} (k = 1), time (s) and #large MBPs"
+            ),
             &["theta", "iMB", "iTraversal", "#MBPs", "core |V|"],
         );
         for &theta in &thetas {

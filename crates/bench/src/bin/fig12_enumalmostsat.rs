@@ -23,13 +23,8 @@ fn main() {
             &format!("Figure 12: EnumAlmostSat avg time (s) on {name} ({samples} almost-satisfying graphs)"),
             &["k", "Inflation", "L1.0+R1.0", "L1.0+R2.0", "L2.0+R1.0", "L2.0+R2.0"],
         );
-        let order = [
-            EnumKind::Inflation,
-            EnumKind::L1R1,
-            EnumKind::L1R2,
-            EnumKind::L2R1,
-            EnumKind::L2R2,
-        ];
+        let order =
+            [EnumKind::Inflation, EnumKind::L1R1, EnumKind::L1R2, EnumKind::L2R1, EnumKind::L2R2];
         for k in 1..=kmax {
             let mut row = format!("{k:>10}");
             for kind in order {

@@ -14,7 +14,15 @@ fn main() {
     println!("Table 1: datasets (synthetic stand-ins; paper sizes vs generated sizes)");
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8}",
-        "Name", "Category", "|L| (paper)", "|R| (paper)", "|E| (paper)", "|L| (gen)", "|R| (gen)", "|E| (gen)", "density"
+        "Name",
+        "Category",
+        "|L| (paper)",
+        "|R| (paper)",
+        "|E| (paper)",
+        "|L| (gen)",
+        "|R| (gen)",
+        "|E| (gen)",
+        "density"
     );
     for spec in DATASETS {
         // The biggest stand-ins are only generated at full size on request.

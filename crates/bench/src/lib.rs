@@ -274,11 +274,11 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args` (skipping the binary name).
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_tokens(std::env::args().skip(1))
     }
 
     /// Parses an explicit iterator (used by tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let tokens: Vec<String> = iter.into_iter().collect();
         let mut i = 0;
@@ -379,7 +379,7 @@ mod tests {
 
     #[test]
     fn args_parser() {
-        let args = Args::from_iter(
+        let args = Args::from_tokens(
             ["--k", "3", "--huge", "--dataset", "Writer"].iter().map(|s| s.to_string()),
         );
         assert_eq!(args.get::<usize>("k", 1), 3);
@@ -393,9 +393,11 @@ mod tests {
     fn outcome_cells() {
         assert_eq!(RunOutcome::TimedOut.cell().trim(), "INF");
         assert_eq!(RunOutcome::OutOfMemory.cell().trim(), "OUT");
-        assert!(RunOutcome::Finished { elapsed: Duration::from_millis(1500), results: 1 }
-            .secs()
-            .unwrap()
-            > 1.0);
+        assert!(
+            RunOutcome::Finished { elapsed: Duration::from_millis(1500), results: 1 }
+                .secs()
+                .unwrap()
+                > 1.0
+        );
     }
 }

@@ -18,10 +18,7 @@ const WORD_BITS: usize = 64;
 impl BitSet {
     /// Creates an empty bitset able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet {
-            words: vec![0u64; capacity.div_ceil(WORD_BITS)],
-            capacity,
-        }
+        BitSet { words: vec![0u64; capacity.div_ceil(WORD_BITS)], capacity }
     }
 
     /// Number of indices the set can hold.
@@ -89,11 +86,7 @@ impl BitSet {
 
     /// Iterates over the set indices in increasing order.
     pub fn iter(&self) -> Ones<'_> {
-        Ones {
-            words: &self.words,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
     }
 
     /// Inserts every index produced by the iterator.
@@ -105,28 +98,18 @@ impl BitSet {
 
     /// `self ∩ other` is empty?
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & b == 0)
     }
 
     /// Number of elements in `self ∩ other`.
     pub fn intersection_len(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// `self ⊆ other`?
     pub fn is_subset(&self, other: &BitSet) -> bool {
         if other.words.len() >= self.words.len() {
-            self.words
-                .iter()
-                .zip(other.words.iter())
-                .all(|(a, b)| a & !b == 0)
+            self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
         } else {
             self.words.iter().enumerate().all(|(i, a)| {
                 let b = other.words.get(i).copied().unwrap_or(0);
@@ -209,10 +192,7 @@ pub struct EpochSet {
 impl EpochSet {
     /// Creates a marker array for indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        EpochSet {
-            stamps: vec![0; capacity],
-            epoch: 1,
-        }
+        EpochSet { stamps: vec![0; capacity], epoch: 1 }
     }
 
     /// Grows capacity to at least `capacity`.

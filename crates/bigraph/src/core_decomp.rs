@@ -54,14 +54,14 @@ pub fn alpha_beta_core(g: &BipartiteGraph, alpha: usize, beta: usize) -> AlphaBe
 
     // Work queue of vertices that currently violate their threshold.
     let mut queue: Vec<(bool, u32)> = Vec::new();
-    for v in 0..nl {
-        if left_deg[v] < alpha {
+    for (v, &deg) in left_deg.iter().enumerate() {
+        if deg < alpha {
             queue.push((true, v as u32));
             left_removed.insert(v);
         }
     }
-    for u in 0..nr {
-        if right_deg[u] < beta {
+    for (u, &deg) in right_deg.iter().enumerate() {
+        if deg < beta {
             queue.push((false, u as u32));
             right_removed.insert(u);
         }
@@ -98,11 +98,7 @@ pub fn alpha_beta_core(g: &BipartiteGraph, alpha: usize, beta: usize) -> AlphaBe
 
 /// Computes the (α,β)-core and materializes it as an induced subgraph with
 /// the id mapping back to `g` (convenience for the large-MBP pipeline).
-pub fn alpha_beta_core_subgraph(
-    g: &BipartiteGraph,
-    alpha: usize,
-    beta: usize,
-) -> InducedSubgraph {
+pub fn alpha_beta_core_subgraph(g: &BipartiteGraph, alpha: usize, beta: usize) -> InducedSubgraph {
     let core = alpha_beta_core(g, alpha, beta);
     InducedSubgraph::new(g, &core.left, &core.right)
 }

@@ -67,12 +67,10 @@ pub fn read_konect<R: Read>(reader: R) -> Result<BipartiteGraph> {
 }
 
 fn parse_1based(token: Option<&str>, lineno: usize, line: &str) -> Result<u32> {
-    let raw = token
-        .and_then(|t| t.parse::<u64>().ok())
-        .ok_or_else(|| Error::Parse {
-            line: lineno + 1,
-            msg: format!("expected `<left> <right> [weight [ts]]`, got {line:?}"),
-        })?;
+    let raw = token.and_then(|t| t.parse::<u64>().ok()).ok_or_else(|| Error::Parse {
+        line: lineno + 1,
+        msg: format!("expected `<left> <right> [weight [ts]]`, got {line:?}"),
+    })?;
     if raw == 0 {
         return Err(Error::Parse {
             line: lineno + 1,

@@ -17,9 +17,12 @@ use crate::graph::{BipartiteBuilder, BipartiteGraph};
 /// the weights follow a power law with exponent `gamma` (typical social
 /// graphs: 2.0–2.5).
 ///
-/// Edges are sampled with the standard weighted "ball dropping" scheme and
-/// duplicates removed, so the realized edge count is slightly below the
-/// target for dense/skewed settings.
+/// Sparse targets use the standard weighted "ball dropping" scheme with
+/// duplicates removed, so the realized edge count lands near (slightly
+/// above or below) the target. Dense targets (at least a quarter of all
+/// possible pairs) deduplicate while sampling and keep drawing until the
+/// distinct target is reached, at the cost of a hash set of the sampled
+/// pairs.
 pub fn chung_lu_bipartite(
     num_left: u32,
     num_right: u32,
@@ -38,16 +41,34 @@ pub fn chung_lu_bipartite(
     let left_sampler = CumulativeSampler::new(&left_weights);
     let right_sampler = CumulativeSampler::new(&right_weights);
 
-    // Ball dropping: sample endpoints independently in proportion to their
-    // weights. Oversample modestly to compensate for duplicate removal.
-    let attempts = num_edges + num_edges / 5 + 16;
-    builder.reserve(num_edges as usize);
-    for _ in 0..attempts {
-        let v = left_sampler.sample(&mut rng) as u32;
-        let u = right_sampler.sample(&mut rng) as u32;
-        builder.add_edge_unchecked(v, u);
-        if builder.raw_edge_count() as u64 >= attempts {
-            break;
+    let possible = num_left as u64 * num_right as u64;
+    let target = num_edges.min(possible);
+    builder.reserve(target as usize);
+    if target.saturating_mul(4) >= possible {
+        // Dense regime (e.g. the Divorce stand-in fills half of L×R): plain
+        // ball dropping loses too many duplicates, so deduplicate while
+        // sampling and keep drawing until the distinct target is reached.
+        let mut seen = std::collections::HashSet::with_capacity(target as usize);
+        let max_attempts = target.saturating_mul(100) + 1024;
+        for _ in 0..max_attempts {
+            if seen.len() as u64 >= target {
+                break;
+            }
+            let v = left_sampler.sample(&mut rng) as u32;
+            let u = right_sampler.sample(&mut rng) as u32;
+            if seen.insert((v, u)) {
+                builder.add_edge_unchecked(v, u);
+            }
+        }
+    } else {
+        // Sparse regime: sample endpoints independently in proportion to
+        // their weights, oversampling modestly to compensate for the
+        // duplicates removed by `build`.
+        let attempts = target + target / 5 + 16;
+        for _ in 0..attempts {
+            let v = left_sampler.sample(&mut rng) as u32;
+            let u = right_sampler.sample(&mut rng) as u32;
+            builder.add_edge_unchecked(v, u);
         }
     }
     builder.build()
@@ -86,10 +107,7 @@ impl CumulativeSampler {
 
     fn sample(&self, rng: &mut StdRng) -> usize {
         let x = rng.gen::<f64>() * self.total;
-        match self
-            .cumulative
-            .binary_search_by(|probe| probe.partial_cmp(&x).unwrap())
-        {
+        match self.cumulative.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }

@@ -34,16 +34,86 @@ pub struct DatasetSpec {
 
 /// The ten datasets of Table 1.
 pub const DATASETS: &[DatasetSpec] = &[
-    DatasetSpec { name: "Divorce", category: "HumanSocial", num_left: 9, num_right: 50, num_edges: 225, default_scale: 1 },
-    DatasetSpec { name: "Cfat", category: "Miscellaneous", num_left: 100, num_right: 100, num_edges: 802, default_scale: 1 },
-    DatasetSpec { name: "Crime", category: "Social", num_left: 551, num_right: 829, num_edges: 1_476, default_scale: 1 },
-    DatasetSpec { name: "Opsahl", category: "Authorship", num_left: 2_865, num_right: 4_558, num_edges: 16_910, default_scale: 1 },
-    DatasetSpec { name: "Marvel", category: "Collaboration", num_left: 19_428, num_right: 6_486, num_edges: 96_662, default_scale: 1 },
-    DatasetSpec { name: "Writer", category: "Affiliation", num_left: 89_356, num_right: 46_213, num_edges: 144_340, default_scale: 1 },
-    DatasetSpec { name: "Actors", category: "Affiliation", num_left: 392_400, num_right: 127_823, num_edges: 1_470_404, default_scale: 4 },
-    DatasetSpec { name: "IMDB", category: "Communication", num_left: 428_440, num_right: 896_308, num_edges: 3_782_463, default_scale: 8 },
-    DatasetSpec { name: "DBLP", category: "Authorship", num_left: 1_425_813, num_right: 4_000_150, num_edges: 8_649_016, default_scale: 16 },
-    DatasetSpec { name: "Google", category: "Hyperlink", num_left: 17_091_929, num_right: 3_108_141, num_edges: 14_693_125, default_scale: 64 },
+    DatasetSpec {
+        name: "Divorce",
+        category: "HumanSocial",
+        num_left: 9,
+        num_right: 50,
+        num_edges: 225,
+        default_scale: 1,
+    },
+    DatasetSpec {
+        name: "Cfat",
+        category: "Miscellaneous",
+        num_left: 100,
+        num_right: 100,
+        num_edges: 802,
+        default_scale: 1,
+    },
+    DatasetSpec {
+        name: "Crime",
+        category: "Social",
+        num_left: 551,
+        num_right: 829,
+        num_edges: 1_476,
+        default_scale: 1,
+    },
+    DatasetSpec {
+        name: "Opsahl",
+        category: "Authorship",
+        num_left: 2_865,
+        num_right: 4_558,
+        num_edges: 16_910,
+        default_scale: 1,
+    },
+    DatasetSpec {
+        name: "Marvel",
+        category: "Collaboration",
+        num_left: 19_428,
+        num_right: 6_486,
+        num_edges: 96_662,
+        default_scale: 1,
+    },
+    DatasetSpec {
+        name: "Writer",
+        category: "Affiliation",
+        num_left: 89_356,
+        num_right: 46_213,
+        num_edges: 144_340,
+        default_scale: 1,
+    },
+    DatasetSpec {
+        name: "Actors",
+        category: "Affiliation",
+        num_left: 392_400,
+        num_right: 127_823,
+        num_edges: 1_470_404,
+        default_scale: 4,
+    },
+    DatasetSpec {
+        name: "IMDB",
+        category: "Communication",
+        num_left: 428_440,
+        num_right: 896_308,
+        num_edges: 3_782_463,
+        default_scale: 8,
+    },
+    DatasetSpec {
+        name: "DBLP",
+        category: "Authorship",
+        num_left: 1_425_813,
+        num_right: 4_000_150,
+        num_edges: 8_649_016,
+        default_scale: 16,
+    },
+    DatasetSpec {
+        name: "Google",
+        category: "Hyperlink",
+        num_left: 17_091_929,
+        num_right: 3_108_141,
+        num_edges: 14_693_125,
+        default_scale: 64,
+    },
 ];
 
 impl DatasetSpec {

@@ -41,6 +41,7 @@ pub struct PlantedGraph {
 ///
 /// * `background_edges` — number of uniform noise edges.
 /// * Blocks occupy disjoint vertex ranges at the beginning of each side.
+#[allow(clippy::too_many_arguments)] // mirrors the generator's natural parameter list
 pub fn planted_biplexes(
     num_left: u32,
     num_right: u32,
@@ -51,10 +52,14 @@ pub fn planted_biplexes(
     k: usize,
     seed: u64,
 ) -> PlantedGraph {
-    assert!(num_blocks as u64 * block_left as u64 <= num_left as u64,
-        "planted blocks exceed the left side");
-    assert!(num_blocks as u64 * block_right as u64 <= num_right as u64,
-        "planted blocks exceed the right side");
+    assert!(
+        num_blocks as u64 * block_left as u64 <= num_left as u64,
+        "planted blocks exceed the left side"
+    );
+    assert!(
+        num_blocks as u64 * block_right as u64 <= num_right as u64,
+        "planted blocks exceed the right side"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = BipartiteBuilder::new(num_left, num_right);
@@ -97,17 +102,10 @@ pub fn planted_biplexes(
             }
         }
 
-        blocks.push(PlantedBlock {
-            left,
-            right,
-            missing_per_vertex: k,
-        });
+        blocks.push(PlantedBlock { left, right, missing_per_vertex: k });
     }
 
-    PlantedGraph {
-        graph: builder.build(),
-        blocks,
-    }
+    PlantedGraph { graph: builder.build(), blocks }
 }
 
 #[cfg(test)]
@@ -158,10 +156,7 @@ mod tests {
     fn deterministic() {
         let a = planted_biplexes(80, 80, 200, 2, 5, 5, 1, 7);
         let b = planted_biplexes(80, 80, 200, 2, 5, 5, 1, 7);
-        assert_eq!(
-            a.graph.edges().collect::<Vec<_>>(),
-            b.graph.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
     }
 
     #[test]

@@ -171,9 +171,7 @@ impl BipartiteGraph {
 
     /// Iterates over all edges as `(left, right)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_left()).flat_map(move |v| {
-            self.left_neighbors(v).iter().map(move |&u| (v, u))
-        })
+        (0..self.num_left()).flat_map(move |v| self.left_neighbors(v).iter().map(move |&u| (v, u)))
     }
 
     /// Returns the transposed graph (left and right sides swapped). Used to
@@ -211,11 +209,7 @@ impl BipartiteBuilder {
     /// New builder for a graph with `num_left` left and `num_right` right
     /// vertices (ids are `0..num_left` and `0..num_right`).
     pub fn new(num_left: u32, num_right: u32) -> Self {
-        BipartiteBuilder {
-            num_left,
-            num_right,
-            edges: Vec::new(),
-        }
+        BipartiteBuilder { num_left, num_right, edges: Vec::new() }
     }
 
     /// Pre-allocates space for `n` more edges.
@@ -227,18 +221,10 @@ impl BipartiteBuilder {
     /// [`build`](Self::build) time.
     pub fn add_edge(&mut self, v: u32, u: u32) -> Result<()> {
         if v >= self.num_left {
-            return Err(Error::VertexOutOfRange {
-                side: Side::Left,
-                id: v,
-                len: self.num_left,
-            });
+            return Err(Error::VertexOutOfRange { side: Side::Left, id: v, len: self.num_left });
         }
         if u >= self.num_right {
-            return Err(Error::VertexOutOfRange {
-                side: Side::Right,
-                id: u,
-                len: self.num_right,
-            });
+            return Err(Error::VertexOutOfRange { side: Side::Right, id: u, len: self.num_right });
         }
         self.edges.push((v, u));
         Ok(())
@@ -249,11 +235,6 @@ impl BipartiteBuilder {
     pub fn add_edge_unchecked(&mut self, v: u32, u: u32) {
         debug_assert!(v < self.num_left && u < self.num_right);
         self.edges.push((v, u));
-    }
-
-    /// Number of edges added so far (before deduplication).
-    pub fn raw_edge_count(&self) -> usize {
-        self.edges.len()
     }
 
     /// Finalizes the CSR representation (sorts and deduplicates the edges).
@@ -291,12 +272,7 @@ impl BipartiteBuilder {
         // already sorted; right adjacency lists are filled in increasing v
         // order so they are sorted too.
 
-        BipartiteGraph {
-            left_offsets,
-            left_neighbors,
-            right_offsets,
-            right_neighbors,
-        }
+        BipartiteGraph { left_offsets, left_neighbors, right_offsets, right_neighbors }
     }
 }
 

@@ -49,31 +49,22 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let v = it
-            .next()
-            .and_then(|t| t.parse::<u32>().ok())
-            .ok_or_else(|| Error::Parse {
-                line: lineno + 1,
-                msg: format!("expected `<left> <right>`, got {line:?}"),
-            })?;
-        let u = it
-            .next()
-            .and_then(|t| t.parse::<u32>().ok())
-            .ok_or_else(|| Error::Parse {
-                line: lineno + 1,
-                msg: format!("expected `<left> <right>`, got {line:?}"),
-            })?;
+        let v = it.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            msg: format!("expected `<left> <right>`, got {line:?}"),
+        })?;
+        let u = it.next().and_then(|t| t.parse::<u32>().ok()).ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            msg: format!("expected `<left> <right>`, got {line:?}"),
+        })?;
         saw_edge = true;
         max_left = max_left.max(v);
         max_right = max_right.max(u);
         edges.push((v, u));
     }
 
-    let (num_left, num_right) = declared.unwrap_or(if saw_edge {
-        (max_left + 1, max_right + 1)
-    } else {
-        (0, 0)
-    });
+    let (num_left, num_right) =
+        declared.unwrap_or(if saw_edge { (max_left + 1, max_right + 1) } else { (0, 0) });
 
     let mut builder = BipartiteBuilder::new(num_left, num_right);
     builder.reserve(edges.len());

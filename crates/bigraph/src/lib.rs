@@ -24,6 +24,25 @@
 //!
 //! The crate has no dependency on the enumeration algorithms; it is a pure
 //! substrate and can be reused on its own.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bigraph::{BipartiteGraph, BitSet};
+//!
+//! // 2 users × 3 products, with user 0 buying everything.
+//! let g = BipartiteGraph::from_edges(2, 3, &[(0, 0), (0, 1), (0, 2), (1, 2)]).unwrap();
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.left_neighbors(0), &[0, 1, 2]);
+//! assert!(g.has_edge(1, 2) && !g.has_edge(1, 0));
+//!
+//! // Bitsets track vertex subsets during enumeration.
+//! let mut picked = BitSet::new(g.num_right() as usize);
+//! for &u in g.left_neighbors(1) {
+//!     picked.insert(u as usize);
+//! }
+//! assert_eq!(picked.iter().collect::<Vec<_>>(), vec![2]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +50,8 @@
 pub mod bitset;
 pub mod core_decomp;
 pub mod formats;
-pub mod general;
 pub mod gen;
+pub mod general;
 pub mod graph;
 pub mod io;
 pub mod stats;

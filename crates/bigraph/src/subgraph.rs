@@ -46,11 +46,7 @@ impl InducedSubgraph {
             }
         }
 
-        InducedSubgraph {
-            graph: builder.build(),
-            left_map,
-            right_map,
-        }
+        InducedSubgraph { graph: builder.build(), left_map, right_map }
     }
 
     /// Translates a left id of the subgraph back to the original graph.

@@ -42,9 +42,9 @@ impl Args {
                     args.options.entry(name.to_string()).or_default().push(String::new());
                     continue;
                 }
-                let value = it.next().ok_or_else(|| {
-                    CliError::Usage(format!("option --{name} requires a value"))
-                })?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("option --{name} requires a value")))?;
                 args.options.entry(name.to_string()).or_default().push(value.clone());
             } else {
                 args.positionals.push(tok.clone());
@@ -79,7 +79,9 @@ impl Args {
         match self.value(name) {
             None => Ok(default),
             Some(raw) => raw.parse::<T>().map_err(|_| {
-                CliError::Usage(format!("option --{name} expects a value like the default, got {raw:?}"))
+                CliError::Usage(format!(
+                    "option --{name} expects a value like the default, got {raw:?}"
+                ))
             }),
         }
     }

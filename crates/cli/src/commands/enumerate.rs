@@ -34,8 +34,17 @@ OPTIONS:
     --dataset/--scale/--full   Input selection, as for `mbpe stats`";
 
 const OPTIONS: &[&str] = &[
-    "k", "algo", "first", "theta-left", "theta-right", "threads", "count-only", "print",
-    "dataset", "scale", "full",
+    "k",
+    "algo",
+    "first",
+    "theta-left",
+    "theta-right",
+    "threads",
+    "count-only",
+    "print",
+    "dataset",
+    "scale",
+    "full",
 ];
 const FLAGS: &[&str] = &["count-only", "print", "full"];
 
@@ -170,9 +179,17 @@ mod tests {
     #[test]
     fn thresholds_reduce_the_count() {
         let all = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
-        let large =
-            capture(&["--dataset", "Divorce", "--k", "1", "--theta-left", "3", "--theta-right", "3"])
-                .unwrap();
+        let large = capture(&[
+            "--dataset",
+            "Divorce",
+            "--k",
+            "1",
+            "--theta-left",
+            "3",
+            "--theta-right",
+            "3",
+        ])
+        .unwrap();
         let parse = |text: &str| -> u64 {
             text.lines()
                 .find_map(|l| l.strip_prefix("solutions: "))
@@ -186,7 +203,8 @@ mod tests {
 
     #[test]
     fn first_limits_output_and_parallel_rejects_it() {
-        let text = capture(&["--dataset", "Divorce", "--k", "1", "--first", "2", "--print"]).unwrap();
+        let text =
+            capture(&["--dataset", "Divorce", "--k", "1", "--first", "2", "--print"]).unwrap();
         assert!(text.lines().filter(|l| l.starts_with("L=")).count() <= 2);
         assert!(capture(&["--dataset", "Divorce", "--algo", "parallel", "--first", "2"]).is_err());
     }

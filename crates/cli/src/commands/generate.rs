@@ -35,8 +35,8 @@ OPTIONS:
     --format <F>       edgelist (default) | konect | adjacency";
 
 const OPTIONS: &[&str] = &[
-    "dataset", "scale", "full", "er", "chung-lu", "left", "right", "edges", "gamma", "seed",
-    "out", "format",
+    "dataset", "scale", "full", "er", "chung-lu", "left", "right", "edges", "gamma", "seed", "out",
+    "format",
 ];
 const FLAGS: &[&str] = &["full", "er", "chung-lu"];
 
@@ -120,7 +120,9 @@ mod tests {
     fn requires_a_generator_and_out() {
         let mut sink = Vec::new();
         assert!(run(&raw(&["--out", "/tmp/x.txt"]), &mut sink).is_err());
-        assert!(run(&raw(&["--er", "--left", "3", "--right", "3", "--edges", "4"]), &mut sink).is_err());
+        assert!(
+            run(&raw(&["--er", "--left", "3", "--right", "3", "--edges", "4"]), &mut sink).is_err()
+        );
     }
 
     #[test]
@@ -133,8 +135,19 @@ mod tests {
             let mut sink = Vec::new();
             run(
                 &raw(&[
-                    "--chung-lu", "--left", "20", "--right", "15", "--edges", "60", "--seed", "9",
-                    "--format", format, "--out", &path_str,
+                    "--chung-lu",
+                    "--left",
+                    "20",
+                    "--right",
+                    "15",
+                    "--edges",
+                    "60",
+                    "--seed",
+                    "9",
+                    "--format",
+                    format,
+                    "--out",
+                    &path_str,
                 ]),
                 &mut sink,
             )
@@ -164,7 +177,10 @@ mod tests {
         let mut sink = Vec::new();
         assert!(run(&raw(&["--dataset", "NotADataset", "--out", "/tmp/x"]), &mut sink).is_err());
         assert!(run(
-            &raw(&["--er", "--left", "2", "--right", "2", "--edges", "1", "--out", "/tmp/x", "--format", "xml"]),
+            &raw(&[
+                "--er", "--left", "2", "--right", "2", "--edges", "1", "--out", "/tmp/x",
+                "--format", "xml"
+            ]),
             &mut sink
         )
         .is_err());

@@ -48,8 +48,6 @@ pub fn load_graph(args: &Args) -> Result<(BipartiteGraph, String), CliError> {
             let graph = bigraph::formats::read_auto(path)?;
             Ok((graph, path.clone()))
         }
-        None => Err(CliError::Usage(
-            "expected an input file or --dataset <name>".to_string(),
-        )),
+        None => Err(CliError::Usage("expected an input file or --dataset <name>".to_string())),
     }
 }

@@ -170,8 +170,9 @@ mod tests {
         .unwrap();
 
         let count_of = |algo: &str| -> u64 {
-            let text = run_capture(&["enumerate", path_str, "--k", "1", "--algo", algo, "--count-only"])
-                .unwrap();
+            let text =
+                run_capture(&["enumerate", path_str, "--k", "1", "--algo", algo, "--count-only"])
+                    .unwrap();
             text.lines()
                 .find_map(|l| l.strip_prefix("solutions: "))
                 .and_then(|v| v.trim().parse().ok())

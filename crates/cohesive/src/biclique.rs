@@ -49,7 +49,11 @@ impl BicliqueConfig {
 /// Enumerates maximal bicliques of `g` with both sides non-empty, calling
 /// `sink` for each; the sink returns `false` to stop early. Returns the
 /// number of bicliques reported.
-pub fn enumerate_maximal_bicliques<F>(g: &BipartiteGraph, config: &BicliqueConfig, mut sink: F) -> u64
+pub fn enumerate_maximal_bicliques<F>(
+    g: &BipartiteGraph,
+    config: &BicliqueConfig,
+    mut sink: F,
+) -> u64
 where
     F: FnMut(&Biplex) -> bool,
 {
@@ -93,11 +97,8 @@ impl<F: FnMut(&Biplex) -> bool> Mbea<'_, F> {
             cand.remove(0);
 
             // L' = left ∩ N(u)
-            let new_left: Vec<u32> = left
-                .iter()
-                .copied()
-                .filter(|&v| self.g.has_edge(v, u))
-                .collect();
+            let new_left: Vec<u32> =
+                left.iter().copied().filter(|&v| self.g.has_edge(v, u)).collect();
             if new_left.is_empty() || new_left.len() < self.config.min_left {
                 excl.push(u);
                 continue;
@@ -105,9 +106,7 @@ impl<F: FnMut(&Biplex) -> bool> Mbea<'_, F> {
 
             // Duplicate check: an excluded right vertex adjacent to all of
             // L' means this biclique was (or will be) found elsewhere.
-            let dominated = excl
-                .iter()
-                .any(|&q| new_left.iter().all(|&v| self.g.has_edge(v, q)));
+            let dominated = excl.iter().any(|&q| new_left.iter().all(|&v| self.g.has_edge(v, q)));
             if dominated {
                 excl.push(u);
                 continue;
@@ -208,10 +207,8 @@ mod tests {
             let all = collect_maximal_bicliques(&g, &BicliqueConfig::default());
             let cfg = BicliqueConfig::default().with_min_sizes(2, 2);
             let constrained = collect_maximal_bicliques(&g, &cfg);
-            let expected: Vec<Biplex> = all
-                .into_iter()
-                .filter(|b| b.left.len() >= 2 && b.right.len() >= 2)
-                .collect();
+            let expected: Vec<Biplex> =
+                all.into_iter().filter(|b| b.left.len() >= 2 && b.right.len() >= 2).collect();
             assert_eq!(constrained, expected, "seed {seed}");
         }
     }

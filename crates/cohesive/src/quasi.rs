@@ -47,11 +47,10 @@ impl QuasiConfig {
 pub fn is_delta_qb(g: &BipartiteGraph, left: &[u32], right: &[u32], delta: f64) -> bool {
     let max_left_miss = (delta * right.len() as f64).floor() as usize;
     let max_right_miss = (delta * left.len() as f64).floor() as usize;
-    left.iter().all(|&v| {
-        right.iter().filter(|&&u| !g.has_edge(v, u)).count() <= max_left_miss
-    }) && right.iter().all(|&u| {
-        left.iter().filter(|&&v| !g.has_edge(v, u)).count() <= max_right_miss
-    })
+    left.iter().all(|&v| right.iter().filter(|&&u| !g.has_edge(v, u)).count() <= max_left_miss)
+        && right
+            .iter()
+            .all(|&u| left.iter().filter(|&&v| !g.has_edge(v, u)).count() <= max_right_miss)
 }
 
 /// Greedy δ-QB finder. Every right vertex with degree at least `min_left`
@@ -63,9 +62,8 @@ pub fn find_delta_qbs(g: &BipartiteGraph, config: &QuasiConfig) -> Vec<Biplex> {
     let mut results: Vec<Biplex> = Vec::new();
     let mut seen = std::collections::HashSet::new();
 
-    let mut seeds: Vec<u32> = (0..g.num_right())
-        .filter(|&u| g.right_degree(u) >= config.min_left)
-        .collect();
+    let mut seeds: Vec<u32> =
+        (0..g.num_right()).filter(|&u| g.right_degree(u) >= config.min_left).collect();
     // Densest seeds first: they yield the most cohesive blocks.
     seeds.sort_by_key(|&u| std::cmp::Reverse(g.right_degree(u)));
     seeds.truncate(config.max_seeds);
@@ -79,11 +77,8 @@ pub fn find_delta_qbs(g: &BipartiteGraph, config: &QuasiConfig) -> Vec<Biplex> {
         let mut candidates: Vec<(usize, u32)> = (0..g.num_right())
             .filter(|&u| u != seed)
             .map(|u| {
-                let conn = g
-                    .right_neighbors(u)
-                    .iter()
-                    .filter(|v| left.binary_search(v).is_ok())
-                    .count();
+                let conn =
+                    g.right_neighbors(u).iter().filter(|v| left.binary_search(v).is_ok()).count();
                 (conn, u)
             })
             .filter(|&(conn, _)| conn > 0)
@@ -103,9 +98,7 @@ pub fn find_delta_qbs(g: &BipartiteGraph, config: &QuasiConfig) -> Vec<Biplex> {
         // right side (can happen because δ-QBs are not hereditary), then
         // re-check.
         let max_left_miss = (config.delta * right.len() as f64).floor() as usize;
-        left.retain(|&v| {
-            right.iter().filter(|&&u| !g.has_edge(v, u)).count() <= max_left_miss
-        });
+        left.retain(|&v| right.iter().filter(|&&u| !g.has_edge(v, u)).count() <= max_left_miss);
 
         if left.len() >= config.min_left
             && right.len() >= config.min_right

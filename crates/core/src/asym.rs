@@ -231,10 +231,12 @@ pub fn enumerate_asym_mbps<S: SolutionSink + ?Sized>(
             // budgets swapped and the result flipped back.
             let locals = match side {
                 Side::Left => local_solutions_asym(g, kp, &host_partial, id),
-                Side::Right => local_solutions_asym(&gt, kp.transpose(), &host_partial.flipped(), id)
-                    .into_iter()
-                    .map(Biplex::transpose)
-                    .collect(),
+                Side::Right => {
+                    local_solutions_asym(&gt, kp.transpose(), &host_partial.flipped(), id)
+                        .into_iter()
+                        .map(Biplex::transpose)
+                        .collect()
+                }
             };
 
             for local in locals {
@@ -322,11 +324,8 @@ fn local_solutions_asym(
             Ok(_) => {}
             Err(pos) => l_with_v.insert(pos, v),
         }
-        let over: Vec<u32> = r2
-            .iter()
-            .copied()
-            .filter(|&u| right_misses(g, u, &l_with_v) > kp.right)
-            .collect();
+        let over: Vec<u32> =
+            r2.iter().copied().filter(|&u| right_misses(g, u, &l_with_v) > kp.right).collect();
 
         if over.is_empty() {
             // L' = L works; check validity and maximality within the
@@ -350,10 +349,7 @@ fn local_solutions_asym(
         let mut found_minimal: Vec<Vec<u32>> = Vec::new();
         enumerate_subsets(&l_remo, budget, &mut removal, &mut |rem: &[u32]| {
             // Skip supersets of an already-accepted removal set (Section 4.4).
-            if found_minimal
-                .iter()
-                .any(|m| m.iter().all(|x| rem.contains(x)))
-            {
+            if found_minimal.iter().any(|m| m.iter().all(|x| rem.contains(x))) {
                 return;
             }
             let l_prime: Vec<u32> = left.iter().copied().filter(|w| !rem.contains(w)).collect();
@@ -530,10 +526,8 @@ mod tests {
         let gt = g.transpose();
         let kp = KPair::new(1, 2);
         let direct = collect_asym_mbps(&g, kp);
-        let mut via_transpose: Vec<Biplex> = collect_asym_mbps(&gt, kp.transpose())
-            .into_iter()
-            .map(Biplex::transpose)
-            .collect();
+        let mut via_transpose: Vec<Biplex> =
+            collect_asym_mbps(&gt, kp.transpose()).into_iter().map(Biplex::transpose).collect();
         via_transpose.sort();
         assert_eq!(direct, via_transpose);
     }

@@ -54,10 +54,7 @@ impl Biplex {
     /// Number of edges of `G` present inside the biplex (used by the case
     /// study to report densities).
     pub fn num_edges(&self, g: &BipartiteGraph) -> usize {
-        self.left
-            .iter()
-            .map(|&v| self.right.iter().filter(|&&u| g.has_edge(v, u)).count())
-            .sum()
+        self.left.iter().map(|&v| self.right.iter().filter(|&&u| g.has_edge(v, u)).count()).sum()
     }
 
     /// Canonical key used by the solution store: left ids, a separator, then
@@ -174,14 +171,8 @@ impl PartialBiplex {
         let mut right = right.to_vec();
         right.sort_unstable();
         right.dedup();
-        let left_miss = left
-            .iter()
-            .map(|&v| left_misses(g, v, &right) as u32)
-            .collect();
-        let right_miss = right
-            .iter()
-            .map(|&u| right_misses(g, u, &left) as u32)
-            .collect();
+        let left_miss = left.iter().map(|&v| left_misses(g, v, &right) as u32).collect();
+        let right_miss = right.iter().map(|&u| right_misses(g, u, &left) as u32).collect();
         PartialBiplex { left, right, left_miss, right_miss }
     }
 

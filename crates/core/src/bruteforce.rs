@@ -65,12 +65,7 @@ mod tests {
     use crate::biplex::is_maximal_k_biplex;
 
     fn small_graph() -> BipartiteGraph {
-        BipartiteGraph::from_edges(
-            3,
-            3,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2)],
-        )
-        .unwrap()
+        BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2)]).unwrap()
     }
 
     #[test]

@@ -70,9 +70,7 @@ impl GraphView for LocalInflatedView<'_> {
     }
 
     fn degree(&self, a: u32) -> usize {
-        (0..self.num_vertices() as u32)
-            .filter(|&b| b != a && self.adjacent(a, b))
-            .count()
+        (0..self.num_vertices() as u32).filter(|&b| b != a && self.adjacent(a, b)).count()
     }
 
     fn neighbors_into(&self, a: u32, out: &mut Vec<u32>) {
@@ -185,7 +183,7 @@ mod tests {
         assert!(!view.adjacent(2, 3)); // (2,0) missing
         assert!(!view.adjacent(2, 2));
         assert_eq!(view.left_count(), 3);
-        assert_eq!(view.degree(2), 2 + 0); // adjacent to the two left vertices only
+        assert_eq!(view.degree(2), 2); // adjacent to the two left vertices only
         let mut out = Vec::new();
         view.neighbors_into(2, &mut out);
         assert_eq!(out, vec![0, 1]);

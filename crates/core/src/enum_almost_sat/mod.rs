@@ -240,14 +240,14 @@ mod tests {
                 // Pick a left vertex outside the host, if any.
                 let v = (0..g.num_left()).find(|&v| !host.contains_left(v));
                 let Some(v) = v else { continue };
-                let expected =
-                    brute_force_local_solutions(&g, k, host.left(), host.right(), v);
+                let expected = brute_force_local_solutions(&g, k, host.left(), host.right(), v);
                 for kind in EnumKind::ALL {
                     let (mut got, _) = collect_local_solutions(&g, k, kind, &host, v);
                     got.sort();
                     got.dedup();
                     assert_eq!(
-                        got, expected,
+                        got,
+                        expected,
                         "seed {seed} k {k} kind {kind:?} host=({:?},{:?}) v={v}",
                         host.left(),
                         host.right()

@@ -60,10 +60,8 @@ where
     }
 
     // R¹ (slack remaining) and R² (saturated) within R_enum.
-    let r1: Vec<u32> =
-        r_enum.iter().filter(|&&(_, m)| (m as usize) < k).map(|&(u, _)| u).collect();
-    let r2: Vec<u32> =
-        r_enum.iter().filter(|&&(_, m)| m as usize == k).map(|&(u, _)| u).collect();
+    let r1: Vec<u32> = r_enum.iter().filter(|&&(_, m)| (m as usize) < k).map(|&(u, _)| u).collect();
+    let r2: Vec<u32> = r_enum.iter().filter(|&&(_, m)| m as usize == k).map(|&(u, _)| u).collect();
 
     // Precompute |N(w) ∩ R²| for every host-left vertex `w` (by position in
     // host.left()). Used by the O(k²) right-maximality test.
@@ -239,11 +237,7 @@ impl ComboContext<'_> {
                 // L2.0 superset pruning: a superset of a successful removal
                 // set yields a strictly smaller left side with the same R',
                 // hence cannot be maximal.
-                if self.l2
-                    && successes
-                        .iter()
-                        .any(|s| s.iter().all(|x| removal.contains(x)))
-                {
+                if self.l2 && successes.iter().any(|s| s.iter().all(|x| removal.contains(x))) {
                     return true;
                 }
                 if !self.candidate_is_local_solution(total, v2, removal) {
@@ -254,13 +248,8 @@ impl ComboContext<'_> {
                     successes.push(removal.to_vec());
                 }
                 // Assemble the local solution (host.left \ removal ∪ {v}, R').
-                let mut left: Vec<u32> = self
-                    .host
-                    .left()
-                    .iter()
-                    .copied()
-                    .filter(|w| !removal.contains(w))
-                    .collect();
+                let mut left: Vec<u32> =
+                    self.host.left().iter().copied().filter(|w| !removal.contains(w)).collect();
                 let pos = left.binary_search(&self.v).unwrap_or_else(|p| p);
                 left.insert(pos, self.v);
                 if !emit(Biplex { left, right: r_prime.clone() }) {
@@ -293,10 +282,7 @@ impl ComboContext<'_> {
         // vertex (u stays saturated at k once w returns).
         for &w in removal {
             let blocked = v2.iter().any(|&u| {
-                !g.has_edge(w, u)
-                    && removal
-                        .iter()
-                        .all(|&w2| w2 == w || g.has_edge(w2, u))
+                !g.has_edge(w, u) && removal.iter().all(|&w2| w2 == w || g.has_edge(w2, u))
             });
             if !blocked {
                 return false;
@@ -317,8 +303,7 @@ impl ComboContext<'_> {
                     .expect("removal vertices come from the host left side");
                 // non-neighbours of w inside R² \ R''₂
                 let miss_in_r2_all = self.r2_all.len() as u32 - self.adj_r2[pos];
-                let miss_in_r2_part =
-                    v2.iter().filter(|&&u| !g.has_edge(w, u)).count() as u32;
+                let miss_in_r2_part = v2.iter().filter(|&&u| !g.has_edge(w, u)).count() as u32;
                 if miss_in_r2_all > miss_in_r2_part {
                     // Some outside saturated vertex regained slack: addable.
                     return false;

@@ -42,10 +42,8 @@ pub fn left_extension_candidates(g: &BipartiteGraph, right: &[u32], k: usize) ->
             *counts.entry(v).or_insert(0) += 1;
         }
     }
-    let mut cands: Vec<u32> = counts
-        .into_iter()
-        .filter_map(|(v, c)| (c >= need).then_some(v))
-        .collect();
+    let mut cands: Vec<u32> =
+        counts.into_iter().filter_map(|(v, c)| (c >= need).then_some(v)).collect();
     cands.sort_unstable();
     cands
 }
@@ -62,10 +60,8 @@ pub fn right_extension_candidates(g: &BipartiteGraph, left: &[u32], k: usize) ->
             *counts.entry(u).or_insert(0) += 1;
         }
     }
-    let mut cands: Vec<u32> = counts
-        .into_iter()
-        .filter_map(|(u, c)| (c >= need).then_some(u))
-        .collect();
+    let mut cands: Vec<u32> =
+        counts.into_iter().filter_map(|(u, c)| (c >= need).then_some(u)).collect();
     cands.sort_unstable();
     cands
 }

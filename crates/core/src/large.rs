@@ -150,8 +150,7 @@ mod tests {
                             theta_right: theta,
                             core_reduction: core,
                         };
-                        let got =
-                            collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+                        let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
                         assert_eq!(got, expected, "seed {seed} k {k} θ {theta} core {core}");
                     }
                 }
@@ -169,8 +168,7 @@ mod tests {
                 e.sort();
                 e
             };
-            let params =
-                LargeMbpParams { k, theta_left: 3, theta_right: 2, core_reduction: true };
+            let params = LargeMbpParams { k, theta_left: 3, theta_right: 2, core_reduction: true };
             let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
             assert_eq!(got, expected, "seed {seed}");
         }
@@ -181,8 +179,7 @@ mod tests {
         let g = random_graph(40, 40, 0.08, 3);
         let params = LargeMbpParams::symmetric(1, 4);
         let mut sink = crate::sink::CountingSink::new();
-        let report =
-            enumerate_large_mbps(&g, &params, &TraversalConfig::itraversal(1), &mut sink);
+        let report = enumerate_large_mbps(&g, &params, &TraversalConfig::itraversal(1), &mut sink);
         assert!(report.reduced_size.0 <= g.num_left());
         assert!(report.reduced_size.1 <= g.num_right());
         assert!(report.reduced_edges <= g.num_edges());

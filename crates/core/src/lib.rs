@@ -64,7 +64,9 @@ pub use asym::{collect_asym_mbps, enumerate_asym_mbps, is_asym_biplex, KPair};
 pub use biplex::{is_k_biplex, is_maximal_k_biplex, Biplex, PartialBiplex};
 pub use enum_almost_sat::{enum_almost_sat, AlmostSatStats, EnumKind};
 pub use large::{collect_large_mbps, enumerate_large_mbps, LargeMbpParams, LargeMbpReport};
-pub use parallel::{par_collect_mbps, par_count_mbps, par_enumerate_mbps, ParallelConfig, ParallelStats};
+pub use parallel::{
+    par_collect_mbps, par_count_mbps, par_enumerate_mbps, ParallelConfig, ParallelStats,
+};
 pub use sink::{
     CollectSink, Control, CountingSink, DelayRecorder, DelayReport, FirstN, SizeFilter,
     SolutionSink,

@@ -207,7 +207,10 @@ fn fnv1a(key: &[u32]) -> u64 {
 /// solutions passing the size thresholds together with the run statistics.
 /// The returned vector is in nondeterministic (discovery) order; use
 /// [`par_collect_mbps`] for the canonically sorted set.
-pub fn par_enumerate_mbps(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, ParallelStats) {
+pub fn par_enumerate_mbps(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+) -> (Vec<Biplex>, ParallelStats) {
     let threads = config.resolved_threads().max(1);
     let shared = Shared::new();
 
@@ -275,11 +278,8 @@ fn expand(g: &BipartiteGraph, config: &ParallelConfig, shared: &Shared, host: &B
         // every solution reached through v keeps v and, under
         // right-shrinking, at most deg(v, R_H) + k right vertices.
         if config.theta_right > 0 {
-            let deg_in_r = g
-                .left_neighbors(v)
-                .iter()
-                .filter(|&&u| host_partial.contains_right(u))
-                .count();
+            let deg_in_r =
+                g.left_neighbors(v).iter().filter(|&&u| host_partial.contains_right(u)).count();
             if deg_in_r + k < config.theta_right {
                 continue;
             }

@@ -157,17 +157,9 @@ impl DelayRecorder {
             prev = t;
         }
         max_gap = max_gap.max(end.saturating_sub(prev));
-        let mean_gap = if self.arrivals.is_empty() {
-            end
-        } else {
-            end / (self.arrivals.len() as u32 + 1)
-        };
-        DelayReport {
-            solutions: self.count,
-            total: end,
-            max_delay: max_gap,
-            mean_delay: mean_gap,
-        }
+        let mean_gap =
+            if self.arrivals.is_empty() { end } else { end / (self.arrivals.len() as u32 + 1) };
+        DelayReport { solutions: self.count, total: end, max_delay: max_gap, mean_delay: mean_gap }
     }
 }
 

@@ -102,11 +102,7 @@ impl TraversalConfig {
     /// `iTraversal-ES-RS`: left-anchored traversal only (no right-shrinking,
     /// no exclusion strategy).
     pub fn itraversal_left_anchored_only(k: usize) -> Self {
-        TraversalConfig {
-            exclusion: false,
-            right_shrinking: false,
-            ..Self::itraversal(k)
-        }
+        TraversalConfig { exclusion: false, right_shrinking: false, ..Self::itraversal(k) }
     }
 
     /// The conventional `bTraversal` framework (Algorithm 1).
@@ -437,9 +433,7 @@ impl<S: SolutionSink + ?Sized> Engine<'_, S> {
 
                 // Local-solution pruning (Section 5): under right-shrinking
                 // the final right side equals the local one.
-                if cfg.theta_right > 0
-                    && cfg.right_shrinking
-                    && local.right.len() < cfg.theta_right
+                if cfg.theta_right > 0 && cfg.right_shrinking && local.right.len() < cfg.theta_right
                 {
                     stats.pruned_size += 1;
                     return true;
@@ -456,11 +450,8 @@ impl<S: SolutionSink + ?Sized> Engine<'_, S> {
                 }
 
                 // Step 3: extend to a maximal k-biplex of G.
-                let mode = if cfg.right_shrinking {
-                    ExtendMode::LeftOnly
-                } else {
-                    ExtendMode::BothSides
-                };
+                let mode =
+                    if cfg.right_shrinking { ExtendMode::LeftOnly } else { ExtendMode::BothSides };
                 extend_to_maximal(g, &mut partial, k, mode);
                 let solution = partial.to_biplex();
 
@@ -750,10 +741,8 @@ mod tests {
             let k = 1;
             for (tl, tr) in [(2, 2), (3, 2), (2, 3), (3, 3)] {
                 let all = enumerate_all(&g, k);
-                let mut expected: Vec<Biplex> = all
-                    .into_iter()
-                    .filter(|b| b.left.len() >= tl && b.right.len() >= tr)
-                    .collect();
+                let mut expected: Vec<Biplex> =
+                    all.into_iter().filter(|b| b.left.len() >= tl && b.right.len() >= tr).collect();
                 expected.sort();
                 let cfg = TraversalConfig::itraversal(k).with_thresholds(tl, tr);
                 let got = run_sorted(&g, &cfg);

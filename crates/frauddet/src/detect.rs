@@ -133,8 +133,7 @@ pub fn evaluate(
 
     let precision =
         if predicted > 0 { Some(true_positive as f64 / predicted as f64) } else { None };
-    let recall =
-        if actual_fake > 0 { true_positive as f64 / actual_fake as f64 } else { 0.0 };
+    let recall = if actual_fake > 0 { true_positive as f64 / actual_fake as f64 } else { 0.0 };
     let f1 = match precision {
         Some(p) if p + recall > 0.0 => Some(2.0 * p * recall / (p + recall)),
         _ => None,

@@ -172,8 +172,7 @@ mod tests {
             .map(|v| s.graph.left_degree(v))
             .sum::<usize>() as f64
             / p.fake_users as f64;
-        let real_avg: f64 = (0..p.real_users).map(|v| s.graph.left_degree(v)).sum::<usize>()
-            as f64
+        let real_avg: f64 = (0..p.real_users).map(|v| s.graph.left_degree(v)).sum::<usize>() as f64
             / p.real_users as f64;
         assert!(fake_avg > 3.0 * real_avg, "fake {fake_avg} real {real_avg}");
     }

@@ -119,20 +119,18 @@ where
     };
 
     let mut plex: Vec<u32> = Vec::new();
-    let mut cand: Vec<u32>;
-    let mut excl: Vec<u32> = Vec::new();
+    let cand: Vec<u32>;
+    let excl: Vec<u32> = Vec::new();
 
     if let Some(seed) = config.must_include {
         assert!((seed as usize) < n, "must_include vertex out of range");
         plex.push(seed);
-        cand = (0..n as u32)
-            .filter(|&v| v != seed && state.can_add(&plex, v))
-            .collect();
+        cand = (0..n as u32).filter(|&v| v != seed && state.can_add(&plex, v)).collect();
     } else {
         cand = (0..n as u32).collect();
     }
 
-    state.expand(&mut plex, &mut cand, &mut excl);
+    state.expand(&mut plex, &cand, &excl);
     stats
 }
 
@@ -150,7 +148,7 @@ pub fn collect_maximal_plexes<G: GraphView>(g: &G, config: &PlexConfig) -> Vec<V
 pub fn is_k_plex<G: GraphView>(g: &G, s: &[u32], k: usize) -> bool {
     s.iter().all(|&v| {
         let non_nbrs = s.iter().filter(|&&w| w != v && !g.adjacent(v, w)).count();
-        non_nbrs + 1 <= k
+        non_nbrs < k
     })
 }
 
@@ -202,7 +200,7 @@ impl<G: GraphView, F: FnMut(&[u32]) -> bool> SearchState<'_, G, F> {
         v_non_nbrs <= k
     }
 
-    fn expand(&mut self, plex: &mut Vec<u32>, cand: &mut Vec<u32>, excl: &mut Vec<u32>) {
+    fn expand(&mut self, plex: &mut Vec<u32>, cand: &[u32], excl: &[u32]) {
         if self.stop {
             return;
         }
@@ -240,21 +238,20 @@ impl<G: GraphView, F: FnMut(&[u32]) -> bool> SearchState<'_, G, F> {
 
         // Branch 1: include v.
         plex.push(v);
-        let mut new_cand: Vec<u32> =
+        let new_cand: Vec<u32> =
             cand[1..].iter().copied().filter(|&u| self.can_add(plex, u)).collect();
-        let mut new_excl: Vec<u32> =
-            excl.iter().copied().filter(|&u| self.can_add(plex, u)).collect();
-        self.expand(plex, &mut new_cand, &mut new_excl);
+        let new_excl: Vec<u32> = excl.iter().copied().filter(|&u| self.can_add(plex, u)).collect();
+        self.expand(plex, &new_cand, &new_excl);
         plex.pop();
         if self.stop {
             return;
         }
 
         // Branch 2: exclude v.
-        let mut rest: Vec<u32> = cand[1..].to_vec();
-        let mut excl_with_v: Vec<u32> = excl.clone();
+        let rest: Vec<u32> = cand[1..].to_vec();
+        let mut excl_with_v: Vec<u32> = excl.to_vec();
         excl_with_v.push(v);
-        self.expand(plex, &mut rest, &mut excl_with_v);
+        self.expand(plex, &rest, &excl_with_v);
     }
 }
 
@@ -277,9 +274,7 @@ mod tests {
         plexes
             .iter()
             .filter(|s| {
-                !plexes
-                    .iter()
-                    .any(|t| t.len() > s.len() && s.iter().all(|v| t.contains(v)))
+                !plexes.iter().any(|t| t.len() > s.len() && s.iter().all(|v| t.contains(v)))
             })
             .cloned()
             .collect()

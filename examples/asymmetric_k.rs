@@ -15,12 +15,7 @@ use mbpe::prelude::*;
 
 fn main() {
     let g = er_bipartite(14, 14, 80, 7);
-    println!(
-        "graph: |L| = {}, |R| = {}, |E| = {}",
-        g.num_left(),
-        g.num_right(),
-        g.num_edges()
-    );
+    println!("graph: |L| = {}, |R| = {}, |E| = {}", g.num_left(), g.num_right(), g.num_edges());
 
     // The symmetric budget is the special case k_L = k_R.
     let symmetric = enumerate_all(&g, 1);
@@ -33,11 +28,7 @@ fn main() {
     for (kl, kr) in [(0, 0), (0, 2), (2, 0), (1, 2), (2, 1), (2, 2)] {
         let kp = KPair::new(kl, kr);
         let mbps = collect_asym_mbps(&g, kp);
-        let largest = mbps
-            .iter()
-            .max_by_key(|b| b.num_vertices())
-            .cloned()
-            .unwrap_or_default();
+        let largest = mbps.iter().max_by_key(|b| b.num_vertices()).cloned().unwrap_or_default();
         for b in &mbps {
             assert!(is_maximal_asym_biplex(&g, &b.left, &b.right, kp));
         }

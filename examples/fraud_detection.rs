@@ -7,14 +7,16 @@
 use mbpe::frauddet::{run_detector, CamouflageScenario, Detector, ScenarioParams};
 
 fn main() {
+    // Kept small enough that the exhaustive detectors finish in seconds —
+    // the full-scale sweep lives in the `fig13_fraud` bench binary.
     let params = ScenarioParams {
-        real_users: 2_000,
-        real_products: 600,
-        real_reviews: 6_000,
-        fake_users: 50,
-        fake_products: 50,
-        fake_comments: 600,
-        camouflage_comments: 600,
+        real_users: 400,
+        real_products: 120,
+        real_reviews: 1_200,
+        fake_users: 30,
+        fake_products: 30,
+        fake_comments: 360,
+        camouflage_comments: 360,
         seed: 11,
     };
     println!(

@@ -11,8 +11,10 @@ fn main() {
     let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
     let theta: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
 
-    // A skewed synthetic graph standing in for a review network.
-    let g = mbpe::bigraph::gen::chung_lu_bipartite(4_000, 1_500, 25_000, 2.1, 7);
+    // A skewed synthetic graph standing in for a review network, sized so
+    // the demo finishes in seconds (the scalability sweeps live in the
+    // bench harness).
+    let g = mbpe::bigraph::gen::chung_lu_bipartite(300, 120, 1_500, 2.1, 7);
     println!(
         "graph: |L| = {}, |R| = {}, |E| = {} (Chung-Lu, gamma = 2.1)",
         g.num_left(),

@@ -12,23 +12,14 @@ use mbpe::prelude::*;
 fn main() {
     // An Erdős–Rényi bipartite graph sized so that both runs finish in a few
     // seconds while still containing tens of thousands of solutions.
-    let g = er_bipartite(600, 600, 2_400, 20_22);
-    println!(
-        "graph: |L| = {}, |R| = {}, |E| = {}",
-        g.num_left(),
-        g.num_right(),
-        g.num_edges()
-    );
+    let g = er_bipartite(60, 60, 280, 20_22);
+    println!("graph: |L| = {}, |R| = {}, |E| = {}", g.num_left(), g.num_right(), g.num_edges());
     let k = 1;
 
     let start = Instant::now();
     let sequential = enumerate_all(&g, k);
     let seq_time = start.elapsed();
-    println!(
-        "sequential iTraversal: {} MBPs in {:.3} s",
-        sequential.len(),
-        seq_time.as_secs_f64()
-    );
+    println!("sequential iTraversal: {} MBPs in {:.3} s", sequential.len(), seq_time.as_secs_f64());
 
     for threads in [1, 2, 4, 8] {
         let start = Instant::now();
@@ -47,9 +38,7 @@ fn main() {
     }
 
     // The parallel engine also honours the large-MBP thresholds of Section 5.
-    let (large, _) = par_enumerate_mbps(
-        &g,
-        &ParallelConfig::new(k).with_threads(0).with_thresholds(3, 3),
-    );
+    let (large, _) =
+        par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(0).with_thresholds(3, 3));
     println!("MBPs with both sides of size >= 3: {}", large.len());
 }

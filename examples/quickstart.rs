@@ -8,19 +8,24 @@ use mbpe::prelude::*;
 fn main() {
     // A toy author–paper graph: 5 authors (left) × 6 papers (right).
     let edges = [
-        (0, 0), (0, 1), (0, 2),
-        (1, 0), (1, 1), (1, 2), (1, 3),
-        (2, 1), (2, 2), (2, 3),
-        (3, 3), (3, 4), (3, 5),
-        (4, 4), (4, 5),
+        (0, 0),
+        (0, 1),
+        (0, 2),
+        (1, 0),
+        (1, 1),
+        (1, 2),
+        (1, 3),
+        (2, 1),
+        (2, 2),
+        (2, 3),
+        (3, 3),
+        (3, 4),
+        (3, 5),
+        (4, 4),
+        (4, 5),
     ];
     let g = BipartiteGraph::from_edges(5, 6, &edges).expect("well-formed edge list");
-    println!(
-        "graph: |L| = {}, |R| = {}, |E| = {}",
-        g.num_left(),
-        g.num_right(),
-        g.num_edges()
-    );
+    println!("graph: |L| = {}, |R| = {}, |E| = {}", g.num_left(), g.num_right(), g.num_edges());
 
     for k in 0..=2usize {
         let mbps = enumerate_all(&g, k);

@@ -22,7 +22,10 @@ fn main() {
     let k = 1;
     let variants = [
         ("bTraversal", TraversalConfig::btraversal(k)),
-        ("iTraversal-ES-RS (left-anchored only)", TraversalConfig::itraversal_left_anchored_only(k)),
+        (
+            "iTraversal-ES-RS (left-anchored only)",
+            TraversalConfig::itraversal_left_anchored_only(k),
+        ),
         ("iTraversal-ES (no exclusion)", TraversalConfig::itraversal_no_exclusion(k)),
         ("iTraversal (full)", TraversalConfig::itraversal(k)),
     ];

@@ -43,10 +43,8 @@ fn zero_budgets_agree_with_the_maximal_biclique_enumerator() {
             .into_iter()
             .filter(|b| !b.left.is_empty() && !b.right.is_empty())
             .collect();
-        let mut bicliques = collect_maximal_bicliques(
-            &g,
-            &BicliqueConfig::default().with_min_sizes(1, 1),
-        );
+        let mut bicliques =
+            collect_maximal_bicliques(&g, &BicliqueConfig::default().with_min_sizes(1, 1));
         bicliques.sort();
         // Every non-degenerate asymmetric solution is a maximal biclique.
         for b in &asym {

@@ -35,10 +35,8 @@ fn all_five_algorithms_agree_with_the_oracle() {
             let itraversal = run_config(&g, &TraversalConfig::itraversal(k));
             let btraversal = run_config(&g, &TraversalConfig::btraversal(k));
             let imb = mbpe::baselines::collect_imb(&g, &mbpe::baselines::ImbConfig::new(k));
-            let faplexen = mbpe::baselines::collect_inflation(
-                &g,
-                &mbpe::baselines::InflationConfig::new(k),
-            );
+            let faplexen =
+                mbpe::baselines::collect_inflation(&g, &mbpe::baselines::InflationConfig::new(k));
             let right_anchored =
                 run_config(&g, &TraversalConfig::itraversal(k).with_anchor(Anchor::Right));
 
@@ -125,10 +123,8 @@ fn imb_with_thresholds_agrees_with_itraversal_large() {
 #[test]
 fn bicliques_are_the_k0_mbps() {
     let g = random_graph(6, 6, 0.5, 21);
-    let bicliques = mbpe::cohesive::collect_maximal_bicliques(
-        &g,
-        &mbpe::cohesive::BicliqueConfig::default(),
-    );
+    let bicliques =
+        mbpe::cohesive::collect_maximal_bicliques(&g, &mbpe::cohesive::BicliqueConfig::default());
     let zero_biplexes: Vec<Biplex> = enumerate_all(&g, 0)
         .into_iter()
         .filter(|b| !b.left.is_empty() && !b.right.is_empty())

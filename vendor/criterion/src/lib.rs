@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the subset of criterion's API that the `mbpe-bench` crate
+//! uses: [`Criterion`], [`BenchmarkGroup`] (with `sample_size`,
+//! `measurement_time`, `bench_function`, `bench_with_input`, `finish`),
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it runs each benchmark body
+//! a small fixed number of times and prints the mean wall-clock time — the
+//! bench binaries stay runnable and their timings comparable, without the
+//! dependency. Pass `--bench` on the command line as usual; it is ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark inside a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Names accepted by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Converts into the printable id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `iterations` times and records the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed() / self.iterations;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    iterations: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion samples `n` times; this shim scales its fixed iteration
+        // count so cheap benches still iterate more than expensive ones.
+        self.iterations = (n as u32).clamp(1, 100);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the target time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the warm-up time.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&label, self.iterations, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&label, self.iterations, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), iterations: 10 }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        self.run_one(&label, 10, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, iterations: u32, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { iterations: iterations.max(1), elapsed: Duration::ZERO };
+        f(&mut bencher);
+        println!("{label:<60} {:>12.3?}/iter", bencher.elapsed);
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(10).measurement_time(Duration::from_secs(1));
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        assert!(ran >= 10);
+    }
+}
