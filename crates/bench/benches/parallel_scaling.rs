@@ -1,11 +1,16 @@
 //! Ablation bench (extension, not a paper figure): scaling of the parallel
-//! full enumeration with the worker-thread count, against the sequential
-//! `iTraversal` baseline on the same input.
+//! full enumeration with the worker-thread count, for both scheduler
+//! engines (work-stealing vs the legacy global queue), against the
+//! sequential `iTraversal` baseline on the same input. The machine-readable
+//! variant of this comparison is `src/bin/bench_parallel.rs`, which CI runs
+//! as the `bench-smoke` job.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kbiplex::{par_enumerate_mbps, CountingSink, ParallelConfig, TraversalConfig};
+use kbiplex::{
+    par_enumerate_mbps, CountingSink, ParallelConfig, ParallelEngine, TraversalConfig, VertexOrder,
+};
 
 fn bench(c: &mut Criterion) {
     let g = bigraph::gen::er::er_bipartite(400, 400, 1_600, 11);
@@ -22,15 +27,28 @@ fn bench(c: &mut Criterion) {
         });
     });
 
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let (_, stats) =
-                    par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(threads));
-                stats.solutions
+    for (engine, label) in
+        [(ParallelEngine::GlobalQueue, "global_queue"), (ParallelEngine::WorkSteal, "work_steal")]
+    {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let cfg = ParallelConfig::new(k).with_threads(threads).with_engine(engine);
+                    let (_, stats) = par_enumerate_mbps(&g, &cfg);
+                    stats.solutions
+                });
             });
-        });
+        }
     }
+
+    // The ordering pass composed with the fastest engine.
+    group.bench_function("work_steal_4t_degeneracy", |b| {
+        b.iter(|| {
+            let cfg = ParallelConfig::new(k).with_threads(4).with_order(VertexOrder::Degeneracy);
+            let (_, stats) = par_enumerate_mbps(&g, &cfg);
+            stats.solutions
+        });
+    });
     group.finish();
 }
 

@@ -1,0 +1,174 @@
+//! Parallel-scaling benchmark with machine-readable output.
+//!
+//! Runs the sequential `iTraversal`, the legacy global-queue parallel
+//! engine and the work-stealing engine over a Chung–Lu stand-in graph at a
+//! list of thread counts, and writes the wall-clock numbers to a JSON file
+//! (`BENCH_parallel.json` by default). The CI `bench-smoke` job runs this on
+//! a tiny graph and uploads the JSON as a workflow artifact, so the
+//! performance trajectory of the scheduler accumulates across commits.
+//!
+//! Usage: `cargo run --release -p mbpe-bench --bin bench_parallel --
+//!         [--left 60] [--right 60] [--edges 240] [--gamma 2.2]
+//!         [--seed 7] [--k 1] [--iters 3] [--threads 1,2,4,8]
+//!         [--order degeneracy] [--out BENCH_parallel.json]`
+//!
+//! Power-law stand-ins pack a lot of MBPs per edge: the 60×60/240-edge
+//! default already enumerates ~20k solutions per run. Scale with care.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bigraph::gen::chung_lu::chung_lu_bipartite;
+use bigraph::order::VertexOrder;
+use bigraph::BipartiteGraph;
+use kbiplex::{
+    enumerate_mbps, par_enumerate_mbps, CountingSink, ParallelConfig, ParallelEngine,
+    TraversalConfig,
+};
+use mbpe_bench::Args;
+
+/// One measured configuration.
+struct Row {
+    engine: &'static str,
+    threads: usize,
+    order: VertexOrder,
+    secs: f64,
+    solutions: u64,
+    steals: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let left: u32 = args.get("left", 60u32);
+    let right: u32 = args.get("right", 60u32);
+    let edges: u64 = args.get("edges", 240u64);
+    let gamma: f64 = args.get("gamma", 2.2f64);
+    let seed: u64 = args.get("seed", 7u64);
+    let k: usize = args.get("k", 1usize);
+    let iters: u32 = args.get("iters", 3u32);
+    let out_path = args.get_str("out").unwrap_or("BENCH_parallel.json").to_string();
+    let threads_list: Vec<usize> = args
+        .get_str("threads")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads takes a comma-separated list"))
+        .collect();
+    let order: VertexOrder = args.get_str("order").unwrap_or("input").parse().expect("bad --order");
+
+    let g = chung_lu_bipartite(left, right, edges, gamma, seed);
+    eprintln!(
+        "graph: chung_lu |L|={} |R|={} |E|={} k={} iters={} order={}",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges(),
+        k,
+        iters,
+        order
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Sequential baseline (the full iTraversal, exclusion strategy on).
+    let (secs, solutions, _) = best_of(iters, || {
+        let mut sink = CountingSink::new();
+        enumerate_mbps(&g, &TraversalConfig::itraversal(k).with_order(order), &mut sink);
+        (sink.count, 0)
+    });
+    eprintln!("sequential_itraversal: {secs:.4}s  {solutions} solutions");
+    rows.push(Row { engine: "sequential", threads: 1, order, secs, solutions, steals: 0 });
+
+    for (engine, label) in
+        [(ParallelEngine::GlobalQueue, "global_queue"), (ParallelEngine::WorkSteal, "work_steal")]
+    {
+        for &threads in &threads_list {
+            let (secs, solutions, steals) = best_of(iters, || {
+                let cfg = ParallelConfig::new(k)
+                    .with_threads(threads)
+                    .with_engine(engine)
+                    .with_order(order);
+                let (_, stats) = par_enumerate_mbps(&g, &cfg);
+                (stats.solutions, stats.steals)
+            });
+            eprintln!("{label} x{threads}: {secs:.4}s  {solutions} solutions  {steals} steals");
+            rows.push(Row { engine: label, threads, order, secs, solutions, steals });
+        }
+    }
+
+    let json = render_json(&g, k, iters, &rows);
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}
+
+/// Runs `f` (returning `(solutions, steals)`) `iters` times; returns the
+/// best wall-clock time, the solution count (asserted identical across
+/// runs) and the steal count *of the best-timed run*, so every JSON row
+/// pairs measurements from the same iteration.
+fn best_of(iters: u32, mut f: impl FnMut() -> (u64, u64)) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut best_steals = 0u64;
+    let mut value = None;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let (v, steals) = f();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+            best_steals = steals;
+        }
+        if let Some(prev) = value.replace(v) {
+            assert_eq!(prev, v, "nondeterministic solution count");
+        }
+    }
+    (best, value.unwrap(), best_steals)
+}
+
+/// Renders the measurements as a small self-describing JSON document; the
+/// workspace has no serde, so the document is assembled by hand.
+fn render_json(g: &BipartiteGraph, k: usize, iters: u32, rows: &[Row]) -> String {
+    let secs_of = |engine: &str, threads: usize| -> Option<f64> {
+        rows.iter().find(|r| r.engine == engine && r.threads == threads).map(|r| r.secs)
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"graph\": {{\"generator\": \"chung_lu\", \"num_left\": {}, \"num_right\": {}, \"num_edges\": {}}},",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges()
+    );
+    let _ = writeln!(s, "  \"k\": {k},");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"order\": \"{}\", \"secs\": {:.6}, \"solutions\": {}, \"steals\": {}}}{}",
+            r.engine, r.threads, r.order, r.secs, r.solutions, r.steals, comma
+        );
+    }
+    s.push_str("  ],\n");
+    // Headline ratios: work-steal speedup over the global queue at the same
+    // thread count, and over the sequential baseline.
+    let seq = secs_of("sequential", 1);
+    s.push_str("  \"speedups\": {");
+    let mut first = true;
+    for r in rows.iter().filter(|r| r.engine == "work_steal") {
+        let vs_global = secs_of("global_queue", r.threads).map(|g| g / r.secs);
+        let vs_seq = seq.map(|g| g / r.secs);
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "\n    \"t{}\": {{\"vs_global_queue\": {}, \"vs_sequential\": {}}}",
+            r.threads,
+            vs_global.map_or("null".to_string(), |v| format!("{v:.3}")),
+            vs_seq.map_or("null".to_string(), |v| format!("{v:.3}"))
+        );
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}

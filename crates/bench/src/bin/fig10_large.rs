@@ -2,29 +2,45 @@
 //! iMB versus iTraversal, both preceded by a (θ−k)-core reduction, on the
 //! Writer and DBLP stand-ins for varying θ.
 //!
+//! With `--threads` other than 1, the iTraversal column runs the parallel
+//! engine (work-stealing scheduler, `0` = auto thread count) instead of the
+//! sequential one, so the bench exercises the same path the CLI's
+//! `--algo parallel` uses. `--budget-secs` only bounds the sequential
+//! paths — the parallel engine has no cancellation and runs to completion.
+//!
 //! Usage: `cargo run --release -p mbpe-bench --bin fig10_large --
-//!         [--budget-secs 120] [--scale 1]`
+//!         [--budget-secs 120] [--scale 1] [--threads 1]`
 
 use std::time::{Duration, Instant};
 
 use bigraph::gen::datasets::DatasetSpec;
-use kbiplex::{LargeMbpParams, TraversalConfig};
+use kbiplex::{par_collect_large_mbps, LargeMbpParams, ParallelConfig, TraversalConfig};
 use mbpe_bench::{prepare_dataset, print_header, Args, BudgetSink};
 
 fn main() {
     let args = Args::parse();
     let budget = Duration::from_secs(args.get("budget-secs", 120u64));
     let scale: u32 = args.get("scale", 1u32);
+    let threads: usize = args.get("threads", 1usize);
     let k = 1usize;
+    if threads != 1 && args.get_str("budget-secs").is_some() {
+        eprintln!(
+            "note: --budget-secs only bounds the iMB column and the sequential \
+             iTraversal path; the parallel engine has no cancellation and runs to \
+             completion"
+        );
+    }
 
     for (name, thetas) in [("Writer", vec![5usize, 6, 7, 8]), ("DBLP", vec![8usize, 9, 10, 11])] {
         let spec = DatasetSpec::by_name(name).unwrap();
         let g = prepare_dataset(spec, scale);
+        let engine_label =
+            if threads == 1 { "iTraversal".to_string() } else { format!("iTrav x{threads}") };
         print_header(
             &format!(
                 "Figure 10: large MBP enumeration on {name} (k = 1), time (s) and #large MBPs"
             ),
-            &["theta", "iMB", "iTraversal", "#MBPs", "core |V|"],
+            &["theta", "iMB", &engine_label, "#MBPs", "core |V|"],
         );
         for &theta in &thetas {
             // iMB with the same (θ−k)-core preprocessing the paper applies.
@@ -48,20 +64,29 @@ fn main() {
                 format!("{:>10.4}", imb_start.elapsed().as_secs_f64())
             };
 
-            // iTraversal with the built-in large-MBP pipeline.
-            let it_start = Instant::now();
-            let mut it_sink = BudgetSink::new(u64::MAX, budget);
+            // iTraversal with the built-in large-MBP pipeline: sequential
+            // when --threads 1, the parallel engine otherwise.
             let params = LargeMbpParams::symmetric(k, theta);
-            let report = kbiplex::enumerate_large_mbps(
-                &g,
-                &params,
-                &TraversalConfig::itraversal(k),
-                &mut it_sink,
-            );
-            let it_cell = if it_sink.timed_out {
-                format!("{:>10}", "INF")
+            let it_start = Instant::now();
+            let (it_cell, count, reduced) = if threads == 1 {
+                let mut it_sink = BudgetSink::new(u64::MAX, budget);
+                let report = kbiplex::enumerate_large_mbps(
+                    &g,
+                    &params,
+                    &TraversalConfig::itraversal(k),
+                    &mut it_sink,
+                );
+                let cell = if it_sink.timed_out {
+                    format!("{:>10}", "INF")
+                } else {
+                    format!("{:>10.4}", it_start.elapsed().as_secs_f64())
+                };
+                (cell, it_sink.count, report.reduced_size)
             } else {
-                format!("{:>10.4}", it_start.elapsed().as_secs_f64())
+                let cfg = ParallelConfig::new(k).with_threads(threads);
+                let (solutions, report) = par_collect_large_mbps(&g, &params, &cfg);
+                let cell = format!("{:>10.4}", it_start.elapsed().as_secs_f64());
+                (cell, solutions.len() as u64, report.reduced_size)
             };
 
             println!(
@@ -69,8 +94,8 @@ fn main() {
                 theta,
                 imb_cell,
                 it_cell,
-                it_sink.count,
-                report.reduced_size.0 as u64 + report.reduced_size.1 as u64
+                count,
+                reduced.0 as u64 + reduced.1 as u64
             );
         }
     }

@@ -2,18 +2,27 @@
 //! paper's KONECT datasets) with the generated graph statistics at the
 //! default laptop scale.
 //!
-//! Usage: `cargo run --release -p mbpe-bench --bin table1_datasets [--full]`
+//! With `--mbps`, a `#MBPs (k=1)` column is added for the small datasets;
+//! the engine is selected by `--threads` (1 = sequential iTraversal,
+//! anything else = the parallel work-stealing engine, 0 = auto threads).
+//!
+//! Usage: `cargo run --release -p mbpe-bench --bin table1_datasets --
+//!         [--full] [--mbps] [--threads 1]`
 
 use bigraph::gen::datasets::DATASETS;
 use bigraph::stats::GraphStats;
+use bigraph::BipartiteGraph;
+use kbiplex::{enumerate_mbps, CountingSink, ParallelConfig, TraversalConfig};
 use mbpe_bench::Args;
 
 fn main() {
     let args = Args::parse();
     let full = args.has("full");
+    let count_mbps = args.has("mbps");
+    let threads: usize = args.get("threads", 1usize);
     println!("Table 1: datasets (synthetic stand-ins; paper sizes vs generated sizes)");
     println!(
-        "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8}",
+        "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8}{}",
         "Name",
         "Category",
         "|L| (paper)",
@@ -22,14 +31,17 @@ fn main() {
         "|L| (gen)",
         "|R| (gen)",
         "|E| (gen)",
-        "density"
+        "density",
+        if count_mbps { "  #MBPs (k=1)" } else { "" }
     );
     for spec in DATASETS {
         // The biggest stand-ins are only generated at full size on request.
         let g = if full { spec.generate_full() } else { spec.generate_scaled() };
         let s = GraphStats::of(&g);
+        let mbps_cell =
+            if count_mbps { format!("  {:>11}", count_column(&g, threads)) } else { String::new() };
         println!(
-            "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8.2}",
+            "{:<10} {:<14} {:>12} {:>12} {:>12} | {:>10} {:>10} {:>12} {:>8.2}{}",
             spec.name,
             spec.category,
             spec.num_left,
@@ -38,10 +50,33 @@ fn main() {
             s.num_left,
             s.num_right,
             s.num_edges,
-            s.edge_density
+            s.edge_density,
+            mbps_cell
         );
     }
     if !full {
         println!("\n(stand-ins above Writer are down-scaled; pass --full for Table-1 sizes)");
     }
+}
+
+/// The `#MBPs (k=1)` cell: counted with the engine selected by `--threads`.
+/// Full enumeration explodes combinatorially with the edge count (even the
+/// 730-edge Cfat stand-in runs for minutes), so the count is only filled
+/// for stand-ins at Divorce scale and "-" is printed otherwise.
+fn count_column(g: &BipartiteGraph, threads: usize) -> String {
+    const SMALL_EDGE_LIMIT: u64 = 300;
+    if g.num_edges() > SMALL_EDGE_LIMIT {
+        return "-".to_string();
+    }
+    let k = 1usize;
+    let count = if threads == 1 {
+        let mut sink = CountingSink::new();
+        enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
+        sink.count
+    } else {
+        let cfg = ParallelConfig::new(k).with_threads(threads);
+        let (_, stats) = kbiplex::par_enumerate_mbps(g, &cfg);
+        stats.solutions
+    };
+    count.to_string()
 }

@@ -1,0 +1,221 @@
+//! One-sided compressed-sparse-row adjacency and slice-set primitives.
+//!
+//! [`Csr`] stores the out-neighbourhoods of a dense `u32` id space as one
+//! contiguous `targets` array indexed by an `offsets` array, so iterating a
+//! neighbourhood is a contiguous slice scan and the whole structure is two
+//! allocations regardless of the vertex count. [`BipartiteGraph`] is two of
+//! these (left→right and right→left); the enumeration kernels additionally
+//! use the free functions below for sorted-slice intersections, which is
+//! where most of the inner-loop time of `iTraversal` goes.
+//!
+//! [`BipartiteGraph`]: crate::graph::BipartiteGraph
+
+/// A compressed-sparse-row adjacency structure over `0..len()` source ids.
+///
+/// Neighbour lists are stored back-to-back in `targets`; the list of source
+/// `v` is `targets[offsets[v]..offsets[v + 1]]`. Lists are sorted ascending
+/// when built through [`Csr::from_sorted_pairs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Default for Csr {
+    /// An empty CSR over zero sources.
+    fn default() -> Self {
+        Csr { offsets: vec![0], targets: Vec::new() }
+    }
+}
+
+impl Csr {
+    /// Assembles a CSR from raw parts produced by a counting sort. The
+    /// invariants (`offsets` monotone, `offsets[len] == targets.len()`,
+    /// per-source slices sorted) are debug-asserted, not re-checked.
+    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<u32>) -> Csr {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
+    /// Builds from `(source, target)` pairs that are sorted by source and,
+    /// within a source, by target (the builder of `BipartiteGraph` produces
+    /// exactly this shape). `num_sources` fixes the id space even when
+    /// trailing sources have no pairs.
+    pub fn from_sorted_pairs(num_sources: u32, pairs: &[(u32, u32)]) -> Csr {
+        debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]), "pairs must be sorted");
+        let n = num_sources as usize;
+        let mut offsets = vec![0usize; n + 1];
+        for &(s, _) in pairs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.iter().map(|&(_, t)| t).collect();
+        Csr { offsets, targets }
+    }
+
+    /// Number of source vertices.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// `true` when there are no source vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total number of stored adjacencies.
+    #[inline]
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted neighbour slice of source `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of source `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+}
+
+/// Length of the intersection of two sorted `u32` slices.
+///
+/// When the lengths are within a small factor of each other a linear merge
+/// walk is used; when one side is much shorter the scan *gallops* (binary
+/// searches the long side per short element), so intersecting a hub
+/// neighbourhood with a small working set costs `O(|short| · log |long|)`.
+#[inline]
+pub fn intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    if long.len() / 16 > short.len() {
+        return gallop_intersection_len(short, long);
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < short.len() && j < long.len() {
+        match short[i].cmp(&long[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Galloping variant of [`intersection_len`] for heavily skewed sizes:
+/// `short` must be the smaller slice.
+fn gallop_intersection_len(short: &[u32], long: &[u32]) -> usize {
+    let mut rest = long;
+    let mut count = 0;
+    for &x in short {
+        // Exponential probe to bound the search window, then binary search.
+        // The probe stops at the first index with `rest[hi] >= x`, so the
+        // window must include that index.
+        let mut hi = 1;
+        while hi < rest.len() && rest[hi] < x {
+            hi *= 2;
+        }
+        let window = &rest[..(hi + 1).min(rest.len())];
+        match window.binary_search(&x) {
+            Ok(pos) => {
+                count += 1;
+                rest = &rest[pos + 1..];
+            }
+            Err(pos) => {
+                rest = &rest[pos..];
+                if rest.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sorted_pairs_builds_slices() {
+        let csr = Csr::from_sorted_pairs(4, &[(0, 1), (0, 3), (2, 0), (2, 1), (2, 2)]);
+        assert_eq!(csr.len(), 4);
+        assert_eq!(csr.num_targets(), 5);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0, 1, 2]);
+        assert_eq!(csr.neighbors(3), &[] as &[u32]);
+        assert_eq!(csr.degree(2), 3);
+        assert_eq!(csr.degree(3), 0);
+        assert!(!csr.is_empty());
+        assert!(Csr::from_sorted_pairs(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn intersection_len_matches_naive() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[0, 5, 9], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]),
+            (&[7], &(0..100).collect::<Vec<u32>>()),
+        ];
+        for (a, b) in cases {
+            let naive = a.iter().filter(|x| b.contains(x)).count();
+            assert_eq!(intersection_len(a, b), naive, "a={a:?} b={b:?}");
+            assert_eq!(intersection_len(b, a), naive, "swapped a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn galloping_path_is_exact() {
+        // Long side >> short side so the galloping branch is exercised.
+        let long: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        let short: Vec<u32> = vec![0, 3, 4, 2_997, 29_997, 29_998];
+        let naive = short.iter().filter(|x| long.binary_search(x).is_ok()).count();
+        assert_eq!(intersection_len(&short, &long), naive);
+        assert_eq!(naive, 4);
+    }
+
+    #[test]
+    fn galloping_probe_boundary_is_included() {
+        // Regression: the element sitting exactly at the first probe index
+        // (`rest[hi] == x`) must be found. gallop_intersection_len requires
+        // `short` to be the strictly smaller side, so call it directly.
+        assert_eq!(gallop_intersection_len(&[6], &[0, 6]), 1);
+        assert_eq!(gallop_intersection_len(&[3], &[0, 1, 3, 9]), 1);
+        // Exhaustive cross-check against the merge walk on stride patterns.
+        let long: Vec<u32> = (0..512).collect();
+        for start in 0..8u32 {
+            for stride in 1..8u32 {
+                let short: Vec<u32> = (0..6).map(|i| start + i * stride).collect();
+                let naive = short.iter().filter(|x| long.binary_search(x).is_ok()).count();
+                assert_eq!(
+                    gallop_intersection_len(&short, &long),
+                    naive,
+                    "start {start} stride {stride}"
+                );
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! neighbour lists, so `has_edge` is a binary search over the smaller of the
 //! two adjacency lists.
 
+use crate::csr::Csr;
 use crate::{Error, Result};
 
 /// Which side of the bipartition a vertex belongs to.
@@ -52,13 +53,12 @@ impl VertexRef {
     }
 }
 
-/// An immutable, undirected, unweighted bipartite graph in CSR form.
+/// An immutable, undirected, unweighted bipartite graph stored as two
+/// [`Csr`] halves (left→right and right→left).
 #[derive(Clone, Debug, Default)]
 pub struct BipartiteGraph {
-    left_offsets: Vec<usize>,
-    left_neighbors: Vec<u32>,
-    right_offsets: Vec<usize>,
-    right_neighbors: Vec<u32>,
+    left: Csr,
+    right: Csr,
 }
 
 impl BipartiteGraph {
@@ -75,13 +75,13 @@ impl BipartiteGraph {
     /// Number of left vertices `|L|`.
     #[inline]
     pub fn num_left(&self) -> u32 {
-        (self.left_offsets.len() - 1) as u32
+        self.left.len()
     }
 
     /// Number of right vertices `|R|`.
     #[inline]
     pub fn num_right(&self) -> u32 {
-        (self.right_offsets.len() - 1) as u32
+        self.right.len()
     }
 
     /// Total number of vertices `|L| + |R|`.
@@ -93,7 +93,7 @@ impl BipartiteGraph {
     /// Number of (undirected) edges `|E|`.
     #[inline]
     pub fn num_edges(&self) -> u64 {
-        self.left_neighbors.len() as u64
+        self.left.num_targets() as u64
     }
 
     /// Edge density `|E| / (|L| + |R|)` as defined in the paper's
@@ -109,15 +109,13 @@ impl BipartiteGraph {
     /// Sorted neighbours (right ids) of left vertex `v`.
     #[inline]
     pub fn left_neighbors(&self, v: u32) -> &[u32] {
-        let v = v as usize;
-        &self.left_neighbors[self.left_offsets[v]..self.left_offsets[v + 1]]
+        self.left.neighbors(v)
     }
 
     /// Sorted neighbours (left ids) of right vertex `u`.
     #[inline]
     pub fn right_neighbors(&self, u: u32) -> &[u32] {
-        let u = u as usize;
-        &self.right_neighbors[self.right_offsets[u]..self.right_offsets[u + 1]]
+        self.right.neighbors(u)
     }
 
     /// Sorted neighbours of a side-tagged vertex (ids live on the other side).
@@ -132,13 +130,13 @@ impl BipartiteGraph {
     /// Degree of left vertex `v`.
     #[inline]
     pub fn left_degree(&self, v: u32) -> usize {
-        self.left_neighbors(v).len()
+        self.left.degree(v)
     }
 
     /// Degree of right vertex `u`.
     #[inline]
     pub fn right_degree(&self, u: u32) -> usize {
-        self.right_neighbors(u).len()
+        self.right.degree(u)
     }
 
     /// Degree of a side-tagged vertex.
@@ -178,12 +176,7 @@ impl BipartiteGraph {
     /// run the "right-anchored" symmetric variant of the traversal by
     /// re-using the left-anchored implementation.
     pub fn transpose(&self) -> BipartiteGraph {
-        BipartiteGraph {
-            left_offsets: self.right_offsets.clone(),
-            left_neighbors: self.right_neighbors.clone(),
-            right_offsets: self.left_offsets.clone(),
-            right_neighbors: self.left_neighbors.clone(),
-        }
+        BipartiteGraph { left: self.right.clone(), right: self.left.clone() }
     }
 
     /// Maximum degree over the left side (0 for an empty side).
@@ -272,7 +265,10 @@ impl BipartiteBuilder {
         // already sorted; right adjacency lists are filled in increasing v
         // order so they are sorted too.
 
-        BipartiteGraph { left_offsets, left_neighbors, right_offsets, right_neighbors }
+        BipartiteGraph {
+            left: Csr::from_parts(left_offsets, left_neighbors),
+            right: Csr::from_parts(right_offsets, right_neighbors),
+        }
     }
 }
 

@@ -7,6 +7,10 @@
 //!   with sorted adjacency lists on both sides and O(log d) edge queries.
 //! * [`BipartiteBuilder`] — incremental construction from edge pairs with
 //!   duplicate removal.
+//! * [`csr::Csr`] — the one-sided compressed-sparse-row half underlying the
+//!   graph, plus galloping sorted-slice intersection primitives.
+//! * [`order`] — degeneracy/degree vertex relabelings ([`VertexOrder`]) that
+//!   pack the dense core into a contiguous low-id range before enumeration.
 //! * [`bitset::BitSet`] — a fixed-capacity bitset used pervasively for vertex
 //!   set membership in the enumeration algorithms.
 //! * [`gen`] — deterministic random generators (Erdős–Rényi, Chung–Lu
@@ -49,16 +53,20 @@
 
 pub mod bitset;
 pub mod core_decomp;
+pub mod csr;
 pub mod formats;
 pub mod gen;
 pub mod general;
 pub mod graph;
 pub mod io;
+pub mod order;
 pub mod stats;
 pub mod subgraph;
 
 pub use bitset::BitSet;
+pub use csr::Csr;
 pub use graph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
+pub use order::{bipartite_degeneracy, Relabeling, VertexOrder};
 pub use subgraph::InducedSubgraph;
 
 /// Crate-wide result alias.

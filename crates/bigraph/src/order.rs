@@ -1,0 +1,326 @@
+//! Vertex-ordering passes: degeneracy (core) and degree relabelings.
+//!
+//! The enumeration kernels spend most of their time intersecting CSR
+//! neighbour slices. Relabeling vertices so that the dense core of the graph
+//! occupies a contiguous low-id range shrinks the working set of those
+//! scans (hub adjacency lists reference nearby ids) and lets the traversal
+//! meet its hardest candidates first. The *solution set* of a maximal
+//! k-biplex enumeration is a property of the graph, not of its labeling, so
+//! a run on the relabeled graph followed by [`Relabeling`]'s inverse maps
+//! returns exactly the same canonical solutions.
+
+use crate::graph::{BipartiteBuilder, BipartiteGraph};
+
+/// Which relabeling pass to apply before running an enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VertexOrder {
+    /// Keep the input ids (no relabeling).
+    #[default]
+    Input,
+    /// Sort each side by descending degree (cheap, one pass).
+    Degree,
+    /// Bipartite degeneracy order: iteratively peel the minimum-degree
+    /// vertex of either side; ids are assigned in *reverse* peel order so
+    /// the innermost core starts at id 0.
+    Degeneracy,
+}
+
+impl std::fmt::Display for VertexOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VertexOrder::Input => "input",
+            VertexOrder::Degree => "degree",
+            VertexOrder::Degeneracy => "degeneracy",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for VertexOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "input" => Ok(VertexOrder::Input),
+            "degree" => Ok(VertexOrder::Degree),
+            "degeneracy" => Ok(VertexOrder::Degeneracy),
+            other => Err(format!(
+                "unknown vertex order {other:?} (expected input, degree or degeneracy)"
+            )),
+        }
+    }
+}
+
+/// A bijective relabeling of both sides of a bipartite graph, with the
+/// forward and inverse maps materialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relabeling {
+    /// `left_new_to_old[new] = old` left id.
+    pub left_new_to_old: Vec<u32>,
+    /// `right_new_to_old[new] = old` right id.
+    pub right_new_to_old: Vec<u32>,
+    /// `left_old_to_new[old] = new` left id.
+    pub left_old_to_new: Vec<u32>,
+    /// `right_old_to_new[old] = new` right id.
+    pub right_old_to_new: Vec<u32>,
+}
+
+impl Relabeling {
+    /// Computes the relabeling selected by `order` for `g`.
+    /// [`VertexOrder::Input`] yields the identity.
+    pub fn compute(g: &BipartiteGraph, order: VertexOrder) -> Relabeling {
+        match order {
+            VertexOrder::Input => Self::identity(g),
+            VertexOrder::Degree => Self::by_degree(g),
+            VertexOrder::Degeneracy => Self::by_degeneracy(g),
+        }
+    }
+
+    /// The identity relabeling of `g`.
+    pub fn identity(g: &BipartiteGraph) -> Relabeling {
+        let left: Vec<u32> = (0..g.num_left()).collect();
+        let right: Vec<u32> = (0..g.num_right()).collect();
+        Relabeling {
+            left_old_to_new: left.clone(),
+            right_old_to_new: right.clone(),
+            left_new_to_old: left,
+            right_new_to_old: right,
+        }
+    }
+
+    fn by_degree(g: &BipartiteGraph) -> Relabeling {
+        let mut left: Vec<u32> = (0..g.num_left()).collect();
+        left.sort_by_key(|&v| (std::cmp::Reverse(g.left_degree(v)), v));
+        let mut right: Vec<u32> = (0..g.num_right()).collect();
+        right.sort_by_key(|&u| (std::cmp::Reverse(g.right_degree(u)), u));
+        Self::from_new_to_old(left, right)
+    }
+
+    fn by_degeneracy(g: &BipartiteGraph) -> Relabeling {
+        let (peel, _) = degeneracy_peel(g);
+        // Reverse peel order: the innermost core (peeled last) gets the
+        // smallest ids on its side.
+        let mut left = Vec::with_capacity(g.num_left() as usize);
+        let mut right = Vec::with_capacity(g.num_right() as usize);
+        for &combined in peel.iter().rev() {
+            if combined < g.num_left() {
+                left.push(combined);
+            } else {
+                right.push(combined - g.num_left());
+            }
+        }
+        Self::from_new_to_old(left, right)
+    }
+
+    fn from_new_to_old(left_new_to_old: Vec<u32>, right_new_to_old: Vec<u32>) -> Relabeling {
+        let mut left_old_to_new = vec![0u32; left_new_to_old.len()];
+        for (new, &old) in left_new_to_old.iter().enumerate() {
+            left_old_to_new[old as usize] = new as u32;
+        }
+        let mut right_old_to_new = vec![0u32; right_new_to_old.len()];
+        for (new, &old) in right_new_to_old.iter().enumerate() {
+            right_old_to_new[old as usize] = new as u32;
+        }
+        Relabeling { left_new_to_old, right_new_to_old, left_old_to_new, right_old_to_new }
+    }
+
+    /// Materializes the relabeled graph: vertex `new` of the result is
+    /// vertex `self.*_new_to_old[new]` of `g`.
+    pub fn apply(&self, g: &BipartiteGraph) -> BipartiteGraph {
+        let mut builder = BipartiteBuilder::new(g.num_left(), g.num_right());
+        builder.reserve(g.num_edges() as usize);
+        for (v, u) in g.edges() {
+            builder.add_edge_unchecked(
+                self.left_old_to_new[v as usize],
+                self.right_old_to_new[u as usize],
+            );
+        }
+        builder.build()
+    }
+
+    /// Maps a set of *relabeled* left ids back to sorted original ids.
+    pub fn original_left_ids(&self, new_ids: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = new_ids.iter().map(|&v| self.left_new_to_old[v as usize]).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Maps a set of *relabeled* right ids back to sorted original ids.
+    pub fn original_right_ids(&self, new_ids: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> =
+            new_ids.iter().map(|&u| self.right_new_to_old[u as usize]).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` when the relabeling is the identity on both sides.
+    pub fn is_identity(&self) -> bool {
+        self.left_new_to_old.iter().enumerate().all(|(i, &v)| i as u32 == v)
+            && self.right_new_to_old.iter().enumerate().all(|(i, &u)| i as u32 == u)
+    }
+}
+
+/// The bipartite degeneracy of `g`: the maximum over the peeling process of
+/// the minimum degree at the moment of removal (both sides pooled).
+pub fn bipartite_degeneracy(g: &BipartiteGraph) -> usize {
+    degeneracy_peel(g).1
+}
+
+/// Runs the O(|V| + |E|) min-degree peeling over the pooled vertex set.
+/// Returns the peel sequence (left vertex `v` encoded as `v`, right vertex
+/// `u` as `num_left + u`) and the degeneracy.
+fn degeneracy_peel(g: &BipartiteGraph) -> (Vec<u32>, usize) {
+    let nl = g.num_left() as usize;
+    let nr = g.num_right() as usize;
+    let total = nl + nr;
+    let mut deg: Vec<usize> = (0..nl)
+        .map(|v| g.left_degree(v as u32))
+        .chain((0..nr).map(|u| g.right_degree(u as u32)))
+        .collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+    // Bucket queue with lazy deletion: stale entries are skipped when their
+    // recorded degree no longer matches.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (x, &d) in deg.iter().enumerate() {
+        buckets[d].push(x as u32);
+    }
+    let mut removed = vec![false; total];
+    let mut peel = Vec::with_capacity(total);
+    let mut degeneracy = 0usize;
+    let mut d = 0usize;
+    while peel.len() < total {
+        let Some(x) = buckets.get_mut(d).and_then(Vec::pop) else {
+            d += 1;
+            continue;
+        };
+        let xi = x as usize;
+        if removed[xi] || deg[xi] != d {
+            continue; // stale bucket entry
+        }
+        removed[xi] = true;
+        degeneracy = degeneracy.max(d);
+        peel.push(x);
+        let neighbors: &[u32] =
+            if xi < nl { g.left_neighbors(x) } else { g.right_neighbors(x - nl as u32) };
+        for &w in neighbors {
+            let wi = if xi < nl { nl + w as usize } else { w as usize };
+            if !removed[wi] {
+                deg[wi] -= 1;
+                buckets[deg[wi]].push(wi as u32);
+            }
+        }
+        d = d.saturating_sub(1);
+    }
+    (peel, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_core() -> BipartiteGraph {
+        // A 3×3 complete core (v0..v2 × u0..u2) plus pendant leaves v3–u3
+        // and a degree-1 left leaf v4 attached to the core.
+        let mut edges = Vec::new();
+        for v in 0u32..3 {
+            for u in 0u32..3 {
+                edges.push((v, u));
+            }
+        }
+        edges.push((3, 3));
+        edges.push((4, 0));
+        BipartiteGraph::from_edges(5, 4, &edges).unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let g = star_plus_core();
+        let relab = Relabeling::compute(&g, VertexOrder::Input);
+        assert!(relab.is_identity());
+        let rg = relab.apply(&g);
+        assert_eq!(rg.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        let g = star_plus_core();
+        // The 3×3 biclique core forces degeneracy 3 (a vertex of it is only
+        // removed once its side of the core shrinks, at degree 3).
+        assert_eq!(bipartite_degeneracy(&g), 3);
+        let empty = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        assert_eq!(bipartite_degeneracy(&empty), 0);
+        let matching = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        assert_eq!(bipartite_degeneracy(&matching), 1);
+    }
+
+    #[test]
+    fn degeneracy_relabel_puts_core_first() {
+        let g = star_plus_core();
+        let relab = Relabeling::compute(&g, VertexOrder::Degeneracy);
+        // The pendant leaves are peeled first, so they end with the largest
+        // new ids; the core occupies the low ids.
+        assert!(relab.left_old_to_new[3] >= 3, "pendant v3 must leave the core range");
+        assert!(relab.left_old_to_new[4] >= 3, "leaf v4 must leave the core range");
+        assert!(relab.right_old_to_new[3] == 3, "pendant u3 gets the last right id");
+        for v in 0..3 {
+            assert!(relab.left_old_to_new[v] < 3, "core left vertex {v} stays low");
+        }
+    }
+
+    #[test]
+    fn degree_relabel_sorts_by_degree() {
+        let g = star_plus_core();
+        let relab = Relabeling::compute(&g, VertexOrder::Degree);
+        let rg = relab.apply(&g);
+        for v in 1..rg.num_left() {
+            assert!(rg.left_degree(v - 1) >= rg.left_degree(v));
+        }
+        for u in 1..rg.num_right() {
+            assert!(rg.right_degree(u - 1) >= rg.right_degree(u));
+        }
+    }
+
+    #[test]
+    fn relabeled_graph_is_isomorphic() {
+        let g = star_plus_core();
+        for order in [VertexOrder::Degree, VertexOrder::Degeneracy] {
+            let relab = Relabeling::compute(&g, order);
+            let rg = relab.apply(&g);
+            assert_eq!(rg.num_edges(), g.num_edges(), "{order}");
+            for v in 0..g.num_left() {
+                for u in 0..g.num_right() {
+                    let nv = relab.left_old_to_new[v as usize];
+                    let nu = relab.right_old_to_new[u as usize];
+                    assert_eq!(g.has_edge(v, u), rg.has_edge(nv, nu), "{order} ({v},{u})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_maps_roundtrip() {
+        let g = star_plus_core();
+        let relab = Relabeling::compute(&g, VertexOrder::Degeneracy);
+        for v in 0..g.num_left() {
+            assert_eq!(relab.left_new_to_old[relab.left_old_to_new[v as usize] as usize], v);
+        }
+        for u in 0..g.num_right() {
+            assert_eq!(relab.right_new_to_old[relab.right_old_to_new[u as usize] as usize], u);
+        }
+        let news = vec![relab.left_old_to_new[2], relab.left_old_to_new[0]];
+        assert_eq!(relab.original_left_ids(&news), vec![0, 2]);
+        let news = vec![relab.right_old_to_new[1]];
+        assert_eq!(relab.original_right_ids(&news), vec![1]);
+    }
+
+    #[test]
+    fn order_parsing() {
+        assert_eq!("input".parse::<VertexOrder>().unwrap(), VertexOrder::Input);
+        assert_eq!("degree".parse::<VertexOrder>().unwrap(), VertexOrder::Degree);
+        assert_eq!("degeneracy".parse::<VertexOrder>().unwrap(), VertexOrder::Degeneracy);
+        assert!("fancy".parse::<VertexOrder>().is_err());
+        assert_eq!(VertexOrder::Degeneracy.to_string(), "degeneracy");
+        assert_eq!(VertexOrder::default(), VertexOrder::Input);
+    }
+}

@@ -7,7 +7,7 @@ use std::time::Instant;
 use baselines::{collect_imb, collect_inflation, ImbConfig, InflationConfig};
 use kbiplex::{
     enumerate_mbps, par_enumerate_mbps, Biplex, CollectSink, Control, FirstN, ParallelConfig,
-    SolutionSink, TraversalConfig,
+    ParallelEngine, SolutionSink, TraversalConfig, VertexOrder,
 };
 
 use crate::args::Args;
@@ -29,6 +29,9 @@ OPTIONS:
     --theta-left <N>    Only report MBPs with at least N left vertices
     --theta-right <N>   Only report MBPs with at least N right vertices
     --threads <T>       Worker threads for --algo parallel (0 = auto)
+    --order <O>         Vertex relabeling pass: input (default) | degree |
+                        degeneracy (itraversal, btraversal, parallel)
+    --engine <E>        Parallel scheduler: steal (default) | global
     --count-only        Print only the number of solutions
     --print             Print every reported solution (L= ... R= ...)
     --dataset/--scale/--full   Input selection, as for `mbpe stats`";
@@ -40,6 +43,8 @@ const OPTIONS: &[&str] = &[
     "theta-left",
     "theta-right",
     "threads",
+    "order",
+    "engine",
     "count-only",
     "print",
     "dataset",
@@ -88,8 +93,27 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let algo = args.value("algo").unwrap_or("itraversal");
     let threads: usize = args.parse_or("threads", 0)?;
+    let order: VertexOrder = match args.value("order") {
+        None => VertexOrder::Input,
+        Some(raw) => raw.parse().map_err(CliError::Usage)?,
+    };
+    let engine: ParallelEngine = match args.value("engine") {
+        None => ParallelEngine::WorkSteal,
+        Some(raw) => raw.parse().map_err(CliError::Usage)?,
+    };
+    if order != VertexOrder::Input && matches!(algo, "imb" | "inflation") {
+        return Err(CliError::Usage(format!(
+            "--order is not supported by --algo {algo} (use itraversal, btraversal or parallel)"
+        )));
+    }
+    if args.value("engine").is_some() && algo != "parallel" {
+        return Err(CliError::Usage(format!(
+            "--engine only applies to --algo parallel (got --algo {algo})"
+        )));
+    }
 
     let start = Instant::now();
+    let mut parallel_info: Option<String> = None;
     let solutions: Vec<Biplex> = match algo {
         "itraversal" | "btraversal" => {
             let config = if algo == "itraversal" {
@@ -97,7 +121,8 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             } else {
                 TraversalConfig::btraversal(k)
             }
-            .with_thresholds(theta_left, theta_right);
+            .with_thresholds(theta_left, theta_right)
+            .with_order(order);
             let mut sink = match first {
                 Some(n) => Collector::Limited(FirstN::new(n)),
                 None => Collector::All(CollectSink::new()),
@@ -132,8 +157,14 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
             let config = ParallelConfig::new(k)
                 .with_threads(threads)
-                .with_thresholds(theta_left, theta_right);
-            let (mut solutions, _) = par_enumerate_mbps(&graph, &config);
+                .with_thresholds(theta_left, theta_right)
+                .with_order(order)
+                .with_engine(engine);
+            let (mut solutions, stats) = par_enumerate_mbps(&graph, &config);
+            parallel_info = Some(format!(
+                "parallel: threads = {}  engine = {:?}  order = {}  steals = {}",
+                stats.threads, engine, order, stats.steals
+            ));
             solutions.sort();
             solutions
         }
@@ -146,6 +177,9 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let elapsed = start.elapsed();
 
     writeln!(out, "graph: {label}  k = {k}  algorithm = {algo}")?;
+    if let Some(info) = parallel_info {
+        writeln!(out, "{info}")?;
+    }
     writeln!(out, "solutions: {}", solutions.len())?;
     writeln!(out, "elapsed: {:.3} s", elapsed.as_secs_f64())?;
     if args.flag("print") && !args.flag("count-only") {
@@ -212,5 +246,48 @@ mod tests {
     #[test]
     fn bad_algorithm_is_rejected() {
         assert!(capture(&["--dataset", "Divorce", "--algo", "quantum"]).is_err());
+    }
+
+    #[test]
+    fn order_and_engine_flags() {
+        let baseline = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
+        let parse = |text: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix("solutions: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        for order in ["degree", "degeneracy"] {
+            let text = capture(&["--dataset", "Divorce", "--k", "1", "--order", order]).unwrap();
+            assert_eq!(parse(&text), parse(&baseline), "order {order}");
+        }
+        for engine in ["steal", "global"] {
+            let text = capture(&[
+                "--dataset",
+                "Divorce",
+                "--k",
+                "1",
+                "--algo",
+                "parallel",
+                "--threads",
+                "2",
+                "--engine",
+                engine,
+                "--order",
+                "degeneracy",
+            ])
+            .unwrap();
+            assert_eq!(parse(&text), parse(&baseline), "engine {engine}");
+            assert!(text.contains("parallel: threads = 2"), "engine {engine}");
+        }
+        assert!(capture(&["--dataset", "Divorce", "--order", "fancy"]).is_err());
+        assert!(capture(&["--dataset", "Divorce", "--algo", "imb", "--order", "degree"]).is_err());
+        assert!(
+            capture(&["--dataset", "Divorce", "--algo", "parallel", "--engine", "bogus"]).is_err()
+        );
+        // --engine on a sequential algorithm is a usage error, not a no-op.
+        assert!(capture(&["--dataset", "Divorce", "--engine", "steal"]).is_err());
     }
 }

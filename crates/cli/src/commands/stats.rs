@@ -22,10 +22,12 @@ OPTIONS:
     --full             Generate the dataset at full size
     --butterflies      Also count butterflies (2x2 bicliques); quadratic in
                        the wedge count, intended for the smaller datasets
+    --degeneracy       Also compute the bipartite degeneracy (min-degree
+                       peeling over both sides)
     --histogram        Also print the left/right degree histograms";
 
-const OPTIONS: &[&str] = &["dataset", "scale", "full", "butterflies", "histogram"];
-const FLAGS: &[&str] = &["full", "butterflies", "histogram"];
+const OPTIONS: &[&str] = &["dataset", "scale", "full", "butterflies", "degeneracy", "histogram"];
+const FLAGS: &[&str] = &["full", "butterflies", "degeneracy", "histogram"];
 
 /// Runs the command.
 pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -52,6 +54,9 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     if args.flag("butterflies") {
         writeln!(out, "  butterflies = {}", bigraph::stats::count_butterflies(&graph))?;
+    }
+    if args.flag("degeneracy") {
+        writeln!(out, "  degeneracy = {}", bigraph::order::bipartite_degeneracy(&graph))?;
     }
     if args.flag("histogram") {
         print_histogram(out, "left", &bigraph::stats::left_degree_histogram(&graph))?;

@@ -78,25 +78,24 @@ impl Biplex {
     pub fn transpose(self) -> Biplex {
         Biplex { left: self.right, right: self.left }
     }
-}
 
-/// Length of the intersection of two sorted slices.
-pub(crate) fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
-    let mut i = 0;
-    let mut j = 0;
-    let mut count = 0;
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
+    /// Maps a solution found on a relabeled graph back to the original
+    /// vertex ids. Both the sequential and the parallel engines route their
+    /// [`VertexOrder`](bigraph::order::VertexOrder) handling through this,
+    /// so the inverse mapping lives in exactly one place.
+    pub fn map_back(&self, relabeling: &bigraph::order::Relabeling) -> Biplex {
+        Biplex {
+            left: relabeling.original_left_ids(&self.left),
+            right: relabeling.original_right_ids(&self.right),
         }
     }
-    count
+}
+
+/// Length of the intersection of two sorted slices. Delegates to the CSR
+/// primitive, which gallops when the sizes are heavily skewed (intersecting
+/// a hub neighbourhood with a small working set).
+pub(crate) fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    bigraph::csr::intersection_len(a, b)
 }
 
 /// Number of vertices of the sorted set `right` that are *not* neighbours of

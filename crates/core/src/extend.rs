@@ -36,16 +36,7 @@ pub fn left_extension_candidates(g: &BipartiteGraph, right: &[u32], k: usize) ->
         return (0..g.num_left()).collect();
     }
     let need = right.len() - k;
-    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-    for &u in right {
-        for &v in g.right_neighbors(u) {
-            *counts.entry(v).or_insert(0) += 1;
-        }
-    }
-    let mut cands: Vec<u32> =
-        counts.into_iter().filter_map(|(v, c)| (c >= need).then_some(v)).collect();
-    cands.sort_unstable();
-    cands
+    count_candidates(right.iter().map(|&u| g.right_neighbors(u)), need)
 }
 
 /// Symmetric to [`left_extension_candidates`] for the right side.
@@ -54,15 +45,33 @@ pub fn right_extension_candidates(g: &BipartiteGraph, left: &[u32], k: usize) ->
         return (0..g.num_right()).collect();
     }
     let need = left.len() - k;
-    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-    for &v in left {
-        for &u in g.left_neighbors(v) {
-            *counts.entry(u).or_insert(0) += 1;
-        }
+    count_candidates(left.iter().map(|&v| g.left_neighbors(v)), need)
+}
+
+/// Concatenates the given sorted CSR neighbour slices, sorts the pool once
+/// and scans it for ids occurring at least `need` times. Everything is a
+/// contiguous array pass (gather, sort, run-length scan) — measurably
+/// cheaper than the hash-map histogram it replaces, whose random probes
+/// dominated the extension step on skewed graphs.
+fn count_candidates<'a, I: Iterator<Item = &'a [u32]>>(lists: I, need: usize) -> Vec<u32> {
+    let mut pool: Vec<u32> = Vec::new();
+    for list in lists {
+        pool.extend_from_slice(list);
     }
-    let mut cands: Vec<u32> =
-        counts.into_iter().filter_map(|(u, c)| (c >= need).then_some(u)).collect();
-    cands.sort_unstable();
+    pool.sort_unstable();
+    let mut cands = Vec::new();
+    let mut i = 0;
+    while i < pool.len() {
+        let id = pool[i];
+        let mut j = i + 1;
+        while j < pool.len() && pool[j] == id {
+            j += 1;
+        }
+        if j - i >= need {
+            cands.push(id);
+        }
+        i = j;
+    }
     cands
 }
 

@@ -96,6 +96,62 @@ pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
     }
 }
 
+/// Report of a parallel large-MBP run (see [`par_collect_large_mbps`]).
+#[derive(Debug)]
+pub struct ParLargeMbpReport {
+    /// Parallel run statistics (on the reduced graph).
+    pub stats: crate::parallel::ParallelStats,
+    /// Vertices of the reduced graph (left, right).
+    pub reduced_size: (u32, u32),
+    /// Edges of the reduced graph.
+    pub reduced_edges: u64,
+}
+
+/// Parallel variant of [`enumerate_large_mbps`]: the same (θ−k)-core
+/// reduction, then the parallel engine with the size thresholds pushed into
+/// the search. Returns the large MBPs in original ids (sorted canonically)
+/// together with the run report.
+pub fn par_collect_large_mbps(
+    g: &BipartiteGraph,
+    params: &LargeMbpParams,
+    base_config: &crate::parallel::ParallelConfig,
+) -> (Vec<Biplex>, ParLargeMbpReport) {
+    let mut config = base_config.clone();
+    config.k = params.k;
+    config.theta_left = params.theta_left;
+    config.theta_right = params.theta_right;
+
+    if !params.core_reduction {
+        let (mut solutions, stats) = crate::parallel::par_enumerate_mbps(g, &config);
+        solutions.sort();
+        let report = ParLargeMbpReport {
+            stats,
+            reduced_size: (g.num_left(), g.num_right()),
+            reduced_edges: g.num_edges(),
+        };
+        return (solutions, report);
+    }
+
+    let alpha = params.theta_right.saturating_sub(params.k);
+    let beta = params.theta_left.saturating_sub(params.k);
+    let reduced = alpha_beta_core_subgraph(g, alpha, beta);
+    let (solutions, stats) = crate::parallel::par_enumerate_mbps(&reduced.graph, &config);
+    let mut mapped: Vec<Biplex> = solutions
+        .into_iter()
+        .map(|b| {
+            let (left, right) = reduced.original_pair(&b.left, &b.right);
+            Biplex::new(left, right)
+        })
+        .collect();
+    mapped.sort();
+    let report = ParLargeMbpReport {
+        stats,
+        reduced_size: (reduced.graph.num_left(), reduced.graph.num_right()),
+        reduced_edges: reduced.graph.num_edges(),
+    };
+    (mapped, report)
+}
+
 /// Convenience wrapper returning the large MBPs sorted canonically.
 pub fn collect_large_mbps(
     g: &BipartiteGraph,
@@ -153,6 +209,34 @@ mod tests {
                         let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
                         assert_eq!(got, expected, "seed {seed} k {k} θ {theta} core {core}");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_large_mbps_match_sequential() {
+        use crate::parallel::ParallelConfig;
+        for seed in 0..6u64 {
+            let g = random_graph(7, 7, 0.55, seed);
+            let k = 1;
+            for theta in 2..=3usize {
+                for core in [true, false] {
+                    let params = LargeMbpParams {
+                        k,
+                        theta_left: theta,
+                        theta_right: theta,
+                        core_reduction: core,
+                    };
+                    let expected = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+                    let (got, report) = par_collect_large_mbps(
+                        &g,
+                        &params,
+                        &ParallelConfig::new(k).with_threads(3),
+                    );
+                    assert_eq!(got, expected, "seed {seed} θ {theta} core {core}");
+                    assert_eq!(report.stats.reported as usize, got.len());
+                    assert!(report.reduced_size.0 <= g.num_left());
                 }
             }
         }

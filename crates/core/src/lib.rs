@@ -29,7 +29,7 @@
 //!   `bTraversal` (Algorithm 1) and `iTraversal` (Algorithm 2) with the
 //!   left-anchored, right-shrinking and exclusion-strategy prunings as
 //!   individually toggleable options.
-//! * [`enum_almost_sat`] — the `EnumAlmostSat` procedure (Section 4) in its
+//! * [`mod@enum_almost_sat`] — the `EnumAlmostSat` procedure (Section 4) in its
 //!   four refined variants plus the inflation-based baseline (Figure 12).
 //! * [`large`] — large-MBP enumeration with size thresholds (Section 5).
 //! * [`asym`] — asymmetric `(k_L, k_R)` budgets (the generalisation the
@@ -61,11 +61,16 @@ pub mod store;
 pub mod traversal;
 
 pub use asym::{collect_asym_mbps, enumerate_asym_mbps, is_asym_biplex, KPair};
+pub use bigraph::order::VertexOrder;
 pub use biplex::{is_k_biplex, is_maximal_k_biplex, Biplex, PartialBiplex};
 pub use enum_almost_sat::{enum_almost_sat, AlmostSatStats, EnumKind};
-pub use large::{collect_large_mbps, enumerate_large_mbps, LargeMbpParams, LargeMbpReport};
+pub use large::{
+    collect_large_mbps, enumerate_large_mbps, par_collect_large_mbps, LargeMbpParams,
+    LargeMbpReport, ParLargeMbpReport,
+};
 pub use parallel::{
-    par_collect_mbps, par_count_mbps, par_enumerate_mbps, ParallelConfig, ParallelStats,
+    par_collect_mbps, par_count_mbps, par_enumerate_mbps, ParallelConfig, ParallelEngine,
+    ParallelStats,
 };
 pub use sink::{
     CollectSink, Control, CountingSink, DelayRecorder, DelayReport, FirstN, SizeFilter,

@@ -1,0 +1,146 @@
+//! The original global-queue scheduler, kept as the measured baseline.
+//!
+//! One LIFO work queue protected by a mutex plus a condition variable;
+//! workers go to sleep when the queue is empty and the run terminates when
+//! the queue is empty *and* no worker is mid-expansion (tracked by an
+//! in-flight counter under the same lock). The seen-set is sharded into 64
+//! independently locked hash sets. Every scheduling decision crosses the
+//! single queue lock, which is exactly the serialisation the work-stealing
+//! engine removes — the `parallel_scaling` bench and `BENCH_parallel.json`
+//! quantify the difference.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use bigraph::BipartiteGraph;
+
+use super::seen::fnv1a;
+use super::{expand_solution, ParallelConfig, ParallelStats, WorkerCounters};
+use crate::biplex::Biplex;
+use crate::initial::initial_left_anchored;
+
+/// Number of independently locked shards of the seen-set.
+const SHARDS: usize = 64;
+
+/// Shared state of one global-queue run.
+struct Shared {
+    /// Pending solutions awaiting expansion + count of in-flight expansions.
+    queue: Mutex<(VecDeque<Biplex>, usize)>,
+    /// Wakes idle workers when work arrives or the run finishes.
+    wake: Condvar,
+    /// Sharded seen-set keyed on canonical keys.
+    seen: Vec<Mutex<HashSet<Vec<u32>>>>,
+    /// Solutions passing the size filter, collected across workers.
+    results: Mutex<Vec<Biplex>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            queue: Mutex::new((VecDeque::new(), 0)),
+            wake: Condvar::new(),
+            seen: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            results: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Inserts `solution` into the sharded seen-set; `true` if it was new.
+    fn insert(&self, solution: &Biplex) -> bool {
+        let key = solution.canonical_key();
+        let shard = fnv1a(&key) as usize % SHARDS;
+        self.seen[shard].lock().expect("seen shard poisoned").insert(key)
+    }
+
+    /// Pushes a freshly discovered solution onto the work queue.
+    fn push_work(&self, solution: Biplex) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.0.push_back(solution);
+        drop(q);
+        self.wake.notify_one();
+    }
+
+    /// Pops a work item, blocking until one is available or the run is
+    /// complete (queue empty and nothing in flight). Maintains the in-flight
+    /// counter: the caller *must* call [`Shared::finish_work`] after
+    /// processing a returned item.
+    fn pop_work(&self) -> Option<Biplex> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = q.0.pop_back() {
+                q.1 += 1;
+                return Some(item);
+            }
+            if q.1 == 0 {
+                // Nothing queued and nothing in flight: the traversal is
+                // complete. Wake everyone so they observe the same state.
+                self.wake.notify_all();
+                return None;
+            }
+            q = self.wake.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Marks the current work item as fully expanded.
+    fn finish_work(&self) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.1 -= 1;
+        if q.0.is_empty() && q.1 == 0 {
+            drop(q);
+            self.wake.notify_all();
+        }
+    }
+}
+
+/// Runs the global-queue enumeration. Called through
+/// [`super::par_enumerate_mbps`] with
+/// [`ParallelEngine::GlobalQueue`](super::ParallelEngine::GlobalQueue).
+pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, ParallelStats) {
+    let threads = config.resolved_threads().max(1);
+    let shared = Shared::new();
+    let mut stats = ParallelStats { threads, ..ParallelStats::default() };
+
+    let initial = initial_left_anchored(g, config.k);
+    shared.insert(&initial);
+    stats.solutions = 1;
+    if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
+        stats.reported = 1;
+        shared.results.lock().expect("results poisoned").push(initial.clone());
+    }
+    shared.push_work(initial);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..threads).map(|_| scope.spawn(|| worker(g, config, &shared))).collect();
+        for handle in handles {
+            handle.join().expect("worker panicked").merge_into(&mut stats);
+        }
+    });
+
+    let results = shared.results.into_inner().expect("results poisoned");
+    (results, stats)
+}
+
+/// One worker: repeatedly pops a solution and expands it.
+fn worker(g: &BipartiteGraph, config: &ParallelConfig, shared: &Shared) -> WorkerCounters {
+    let mut counters = WorkerCounters::default();
+    while let Some(host) = shared.pop_work() {
+        let mut on_new = |solution: Biplex, report: bool, expandable: bool| {
+            if report {
+                shared.results.lock().expect("results poisoned").push(solution.clone());
+            }
+            if expandable {
+                shared.push_work(solution);
+            }
+        };
+        expand_solution(
+            g,
+            config,
+            &host,
+            &mut counters,
+            &|s: &Biplex| shared.insert(s),
+            &mut on_new,
+        );
+        shared.finish_work();
+    }
+    counters
+}

@@ -1,0 +1,459 @@
+//! Thread-parallel maximal k-biplex enumeration.
+//!
+//! The paper's conclusion lists *"efficient parallel and distributed
+//! implementations"* as future work; this module provides two shared-memory
+//! parallel engines for `iTraversal`. The solution-graph exploration is an
+//! irregular graph traversal, which parallelises naturally: every discovered
+//! solution becomes a work item, and expanding a solution (one `iThreeStep`
+//! invocation — forming almost-satisfying graphs, enumerating local
+//! solutions, extending them and de-duplicating) is independent of every
+//! other expansion apart from the shared *seen* set.
+//!
+//! Engines ([`ParallelEngine`]):
+//!
+//! * **Work stealing** (default, [`work_steal`]) — per-worker LIFO deques;
+//!   a worker pushes the solutions it discovers onto its own deque and pops
+//!   from the same end (depth-first, cache-warm), and steals the *oldest*
+//!   half of a random victim's deque when it runs dry. De-duplication goes
+//!   through a lock-free [`seen::ConcurrentSeenSet`] (atomic-swap bucket
+//!   chains), and results are handed to the shared output vector in batches
+//!   to keep the output lock out of the hot path.
+//! * **Global queue** ([`global_queue`]) — the original engine: one
+//!   mutex+condvar-protected LIFO work queue and a 64-way mutex-sharded
+//!   seen-set. Kept as the measured baseline of the scaling benchmarks
+//!   (`BENCH_parallel.json`).
+//!
+//! Both engines run the `iTraversal-ES` configuration: the left-anchored
+//! and right-shrinking prunings apply unchanged (their correctness argument
+//! never references the order in which solutions are expanded), while the
+//! *exclusion strategy* is inherently order-dependent (the set ℰ(H) grows
+//! as sibling branches complete) and is therefore disabled. The *set* of
+//! solutions returned is deterministic and identical to the sequential
+//! enumeration; the discovery order is not. [`par_collect_mbps`] returns
+//! the canonically sorted set.
+//!
+//! A [`VertexOrder`] relabeling pass can be applied up front (see
+//! [`bigraph::order`]): the engines then run on the relabeled graph and the
+//! solutions are mapped back to the original ids on the way out.
+//!
+//! Only the full enumeration is parallelised. Early-stopping "first N" runs
+//! are a latency problem, not a throughput problem, and stay sequential.
+
+pub mod global_queue;
+pub mod seen;
+pub mod work_steal;
+
+use bigraph::order::{Relabeling, VertexOrder};
+use bigraph::BipartiteGraph;
+
+use crate::biplex::{sorted_intersection_len, Biplex, PartialBiplex};
+use crate::enum_almost_sat::{enum_almost_sat, EnumKind};
+use crate::extend::{extend_to_maximal, ExtendMode};
+
+/// Which parallel scheduler executes the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelEngine {
+    /// Per-worker LIFO deques with random stealing (default).
+    #[default]
+    WorkSteal,
+    /// The original single mutex+condvar work queue (benchmark baseline).
+    GlobalQueue,
+}
+
+impl std::str::FromStr for ParallelEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "steal" | "work-steal" => Ok(ParallelEngine::WorkSteal),
+            "global" | "global-queue" => Ok(ParallelEngine::GlobalQueue),
+            other => Err(format!("unknown parallel engine {other:?} (expected steal or global)")),
+        }
+    }
+}
+
+/// Configuration of a parallel enumeration run.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// The `k` of the k-biplex definition.
+    pub k: usize,
+    /// Worker thread count. `0` means "use the available parallelism
+    /// reported by the operating system".
+    pub threads: usize,
+    /// Which `EnumAlmostSat` implementation each worker uses.
+    pub enum_kind: EnumKind,
+    /// Minimum left-side size of reported MBPs (`0` disables).
+    pub theta_left: usize,
+    /// Minimum right-side size of reported MBPs (`0` disables).
+    pub theta_right: usize,
+    /// Vertex relabeling applied before the run (solutions are mapped back).
+    pub order: VertexOrder,
+    /// Scheduler implementation.
+    pub engine: ParallelEngine,
+    /// Number of reported solutions a worker buffers locally before taking
+    /// the shared output lock (work-stealing engine only).
+    pub result_batch: usize,
+}
+
+impl ParallelConfig {
+    /// Default configuration: `L2.0+R2.0` local enumeration, OS-chosen
+    /// thread count, no size thresholds, input order, work stealing.
+    pub fn new(k: usize) -> Self {
+        ParallelConfig {
+            k,
+            threads: 0,
+            enum_kind: EnumKind::L2R2,
+            theta_left: 0,
+            theta_right: 0,
+            order: VertexOrder::Input,
+            engine: ParallelEngine::WorkSteal,
+            result_batch: 64,
+        }
+    }
+
+    /// Sets the number of worker threads (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the `EnumAlmostSat` implementation.
+    pub fn with_enum_kind(mut self, kind: EnumKind) -> Self {
+        self.enum_kind = kind;
+        self
+    }
+
+    /// Sets the large-MBP size thresholds (`0` disables a side).
+    pub fn with_thresholds(mut self, theta_left: usize, theta_right: usize) -> Self {
+        self.theta_left = theta_left;
+        self.theta_right = theta_right;
+        self
+    }
+
+    /// Selects the vertex relabeling pass.
+    pub fn with_order(mut self, order: VertexOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Selects the scheduler engine.
+    pub fn with_engine(mut self, engine: ParallelEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    pub(crate) fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Aggregate statistics of a parallel run.
+#[derive(Debug, Default)]
+pub struct ParallelStats {
+    /// Distinct maximal k-biplexes discovered.
+    pub solutions: u64,
+    /// Solutions passing the size thresholds (what the caller received).
+    pub reported: u64,
+    /// Almost-satisfying graphs formed across all workers.
+    pub almost_sat_graphs: u64,
+    /// Local solutions produced across all workers.
+    pub local_solutions: u64,
+    /// Solution-graph links followed (including duplicates).
+    pub links: u64,
+    /// Successful steal operations (work-stealing engine; 0 otherwise).
+    pub steals: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Per-worker tallies, merged into [`ParallelStats`] when the worker joins
+/// so the hot loop never touches shared atomics.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WorkerCounters {
+    pub solutions: u64,
+    pub reported: u64,
+    pub almost_sat_graphs: u64,
+    pub local_solutions: u64,
+    pub links: u64,
+    pub steals: u64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn merge_into(&self, stats: &mut ParallelStats) {
+        stats.solutions += self.solutions;
+        stats.reported += self.reported;
+        stats.almost_sat_graphs += self.almost_sat_graphs;
+        stats.local_solutions += self.local_solutions;
+        stats.links += self.links;
+        stats.steals += self.steals;
+    }
+}
+
+/// Expands one solution — the parallel `iThreeStep`: left-anchored candidate
+/// loop, local enumeration, right-shrinking filter, left-only extension,
+/// de-duplication. Shared by both engines; the scheduler-specific parts are
+/// injected:
+///
+/// * `seen_insert` claims a solution in the concurrent seen-set, returning
+///   `true` exactly once per distinct solution across all workers;
+/// * `on_new(solution, report, expandable)` is called for every solution
+///   claimed by this worker — `report` says it passed the size thresholds,
+///   `expandable` that its expansion is not pruned and it must be scheduled.
+pub(crate) fn expand_solution(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+    host: &Biplex,
+    counters: &mut WorkerCounters,
+    seen_insert: &dyn Fn(&Biplex) -> bool,
+    on_new: &mut dyn FnMut(Biplex, bool, bool),
+) {
+    let k = config.k;
+    let host_partial = PartialBiplex::from_sets(g, &host.left, &host.right);
+
+    for v in 0..g.num_left() {
+        if host_partial.contains_left(v) {
+            continue;
+        }
+        // Almost-satisfying-graph pruning for large-MBP runs (Section 5):
+        // every solution reached through v keeps v and, under
+        // right-shrinking, at most deg(v, R_H) + k right vertices.
+        if config.theta_right > 0 {
+            let deg_in_r = sorted_intersection_len(g.left_neighbors(v), host_partial.right());
+            if deg_in_r + k < config.theta_right {
+                continue;
+            }
+        }
+        counters.almost_sat_graphs += 1;
+
+        enum_almost_sat(g, k, config.enum_kind, &host_partial, v, |local: Biplex| -> bool {
+            counters.local_solutions += 1;
+
+            // Local-solution pruning (Section 5): under right-shrinking the
+            // final right side equals the local one.
+            if config.theta_right > 0 && local.right.len() < config.theta_right {
+                return true;
+            }
+
+            let mut partial = PartialBiplex::from_sets(g, &local.left, &local.right);
+
+            // Right-shrinking traversal (Algorithm 2 line 7): discard the
+            // local solution if any right vertex of G outside it can be
+            // added while preserving the k-biplex property.
+            if exists_addable_right(g, &partial, k) {
+                return true;
+            }
+
+            extend_to_maximal(g, &mut partial, k, ExtendMode::LeftOnly);
+            let solution = partial.to_biplex();
+            counters.links += 1;
+
+            if seen_insert(&solution) {
+                counters.solutions += 1;
+                let report = solution.left.len() >= config.theta_left
+                    && solution.right.len() >= config.theta_right;
+                if report {
+                    counters.reported += 1;
+                }
+                // Solution pruning (Section 5): descendants cannot regain
+                // right-side size under right-shrinking.
+                let expandable =
+                    !(config.theta_right > 0 && solution.right.len() < config.theta_right);
+                on_new(solution, report, expandable);
+            }
+            true
+        });
+    }
+}
+
+/// The literal right-shrinking test of Algorithm 2 line 7: does a right
+/// vertex of `G` outside the local solution exist whose addition preserves
+/// the k-biplex property?
+fn exists_addable_right(g: &BipartiteGraph, partial: &PartialBiplex, k: usize) -> bool {
+    for u in 0..g.num_right() {
+        if !partial.contains_right(u) && partial.can_add_right(g, u, k) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Enumerates all maximal k-biplexes of `g` in parallel and returns the
+/// solutions passing the size thresholds together with the run statistics.
+/// The returned vector is in nondeterministic (discovery) order; use
+/// [`par_collect_mbps`] for the canonically sorted set.
+pub fn par_enumerate_mbps(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+) -> (Vec<Biplex>, ParallelStats) {
+    // A relabeling pass runs the engines on the permuted graph and maps the
+    // solutions back; the canonical solution set is unchanged.
+    if config.order != VertexOrder::Input {
+        let relab = Relabeling::compute(g, config.order);
+        let rg = relab.apply(g);
+        let cfg = ParallelConfig { order: VertexOrder::Input, ..config.clone() };
+        let (solutions, stats) = par_enumerate_mbps(&rg, &cfg);
+        let mapped = solutions.iter().map(|b| b.map_back(&relab)).collect();
+        return (mapped, stats);
+    }
+    match config.engine {
+        ParallelEngine::WorkSteal => work_steal::run(g, config),
+        ParallelEngine::GlobalQueue => global_queue::run(g, config),
+    }
+}
+
+/// Convenience wrapper: parallel enumeration returning the canonically
+/// sorted solution set.
+pub fn par_collect_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> Vec<Biplex> {
+    let (mut out, _) = par_enumerate_mbps(g, &ParallelConfig::new(k).with_threads(threads));
+    out.sort();
+    out
+}
+
+/// Convenience wrapper: parallel count of all maximal k-biplexes.
+pub fn par_count_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> u64 {
+    let (_, stats) = par_enumerate_mbps(g, &ParallelConfig::new(k).with_threads(threads));
+    stats.solutions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::enumerate_all;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                if rng.gen_bool(p) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    const ENGINES: [ParallelEngine; 2] = [ParallelEngine::WorkSteal, ParallelEngine::GlobalQueue];
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graphs() {
+        for seed in 0..10u64 {
+            let g = random_graph(6, 6, 0.5, seed);
+            for k in 1..=2usize {
+                let expected = enumerate_all(&g, k);
+                for engine in ENGINES {
+                    for threads in [1, 2, 4] {
+                        let cfg = ParallelConfig::new(k).with_threads(threads).with_engine(engine);
+                        let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                        got.sort();
+                        assert_eq!(got, expected, "seed {seed} k {k} threads {threads} {engine:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_orders_return_the_same_set() {
+        for seed in 0..6u64 {
+            let g = random_graph(7, 6, 0.45, seed);
+            let k = 1;
+            let expected = enumerate_all(&g, k);
+            for order in [VertexOrder::Degree, VertexOrder::Degeneracy] {
+                let cfg = ParallelConfig::new(k).with_threads(3).with_order(order);
+                let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                got.sort();
+                assert_eq!(got, expected, "seed {seed} order {order}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_are_consistent() {
+        let g = random_graph(7, 7, 0.5, 3);
+        for engine in ENGINES {
+            let cfg = ParallelConfig::new(1).with_threads(3).with_engine(engine);
+            let (results, stats) = par_enumerate_mbps(&g, &cfg);
+            assert_eq!(stats.solutions, results.len() as u64, "{engine:?}");
+            assert_eq!(stats.reported, stats.solutions, "{engine:?}");
+            assert!(stats.links >= stats.solutions.saturating_sub(1), "{engine:?}");
+            assert_eq!(stats.threads, 3, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_size_thresholds_match_post_filtering() {
+        for seed in 0..6u64 {
+            let g = random_graph(6, 6, 0.6, seed);
+            let k = 1;
+            let all = enumerate_all(&g, k);
+            for (tl, tr) in [(2, 2), (3, 2), (2, 3)] {
+                let mut expected: Vec<Biplex> = all
+                    .iter()
+                    .filter(|b| b.left.len() >= tl && b.right.len() >= tr)
+                    .cloned()
+                    .collect();
+                expected.sort();
+                for engine in ENGINES {
+                    let cfg = ParallelConfig::new(k)
+                        .with_threads(4)
+                        .with_thresholds(tl, tr)
+                        .with_engine(engine);
+                    let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                    got.sort();
+                    assert_eq!(got, expected, "seed {seed} θ=({tl},{tr}) {engine:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_enum_kind_matches_in_parallel() {
+        let g = random_graph(6, 6, 0.5, 11);
+        let k = 1;
+        let expected = enumerate_all(&g, k);
+        for kind in EnumKind::ALL {
+            let cfg = ParallelConfig::new(k).with_threads(2).with_enum_kind(kind);
+            let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+            got.sort();
+            assert_eq!(got, expected, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        for engine in ENGINES {
+            let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+            let cfg = ParallelConfig::new(1).with_threads(2).with_engine(engine);
+            let (got, _) = par_enumerate_mbps(&g, &cfg);
+            assert_eq!(got.len(), 1, "{engine:?}");
+            assert!(got[0].is_empty(), "{engine:?}");
+
+            let g = BipartiteGraph::from_edges(3, 3, &[]).unwrap();
+            for k in 0..=2usize {
+                let cfg = ParallelConfig::new(k).with_threads(2).with_engine(engine);
+                let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                got.sort();
+                assert_eq!(got, enumerate_all(&g, k), "k {k} {engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_thread_count_resolves() {
+        let cfg = ParallelConfig::new(1);
+        assert!(cfg.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn engine_parsing() {
+        assert_eq!("steal".parse::<ParallelEngine>().unwrap(), ParallelEngine::WorkSteal);
+        assert_eq!("global".parse::<ParallelEngine>().unwrap(), ParallelEngine::GlobalQueue);
+        assert!("quantum".parse::<ParallelEngine>().is_err());
+    }
+}

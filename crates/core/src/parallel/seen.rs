@@ -1,0 +1,177 @@
+//! A lock-free, insert-only concurrent set of canonical solution keys.
+//!
+//! The set is a fixed array of bucket heads; each bucket is a singly linked
+//! chain of immutable nodes whose `next` pointers are [`OnceLock`]s. An
+//! insert walks the chain comparing keys and, at the tail, *atomically
+//! swaps* its freshly allocated node into the empty `next` slot; losing the
+//! swap race simply means another thread extended the chain first, and the
+//! walk continues from the node that won. No entry is ever removed or
+//! mutated, so readers need no synchronisation beyond the atomic pointer
+//! loads `OnceLock::get` performs.
+//!
+//! Compared with the previous design (64 `Mutex<HashSet>` shards) this
+//! removes the lock acquisition from every dedup probe: the common path —
+//! the key is already present, or the bucket tail swap succeeds first try —
+//! executes no blocking operation at all. Contention is limited to two
+//! threads racing to extend the *same* bucket chain in the same instant,
+//! and the loser re-uses its allocation on the next link.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One chain link holding a canonical solution key (plus its full 64-bit
+/// hash, so chain walks only compare vectors on a hash match).
+struct Node {
+    hash: u64,
+    key: Vec<u32>,
+    next: OnceLock<Box<Node>>,
+}
+
+/// The concurrent seen-set. See the module docs for the design.
+pub struct ConcurrentSeenSet {
+    buckets: Vec<OnceLock<Box<Node>>>,
+    mask: u64,
+    len: AtomicU64,
+}
+
+impl ConcurrentSeenSet {
+    /// Creates a set with at least `expected` buckets (rounded up to a power
+    /// of two, minimum 2¹⁶). The bucket count is fixed for the lifetime of
+    /// the set; chains absorb any excess load gracefully. Solution counts
+    /// are not predictable from the graph size, so the floor is chosen
+    /// large (1 MiB of bucket heads) to keep chains near length one on
+    /// enumeration workloads in the millions.
+    pub fn new(expected: usize) -> Self {
+        let buckets = expected.max(1 << 16).next_power_of_two();
+        ConcurrentSeenSet {
+            buckets: (0..buckets).map(|_| OnceLock::new()).collect(),
+            mask: buckets as u64 - 1,
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts `key`; returns `true` iff this call added it (exactly one of
+    /// any number of concurrent inserts of the same key returns `true`).
+    pub fn insert(&self, key: Vec<u32>) -> bool {
+        let h = fnv1a(&key);
+        let mut slot = &self.buckets[(h & self.mask) as usize];
+        // Walk the chain allocation-free first: the overwhelmingly common
+        // outcomes are "duplicate found" or "tail reached".
+        loop {
+            match slot.get() {
+                Some(node) if node.hash == h && node.key == key => return false,
+                Some(node) => slot = &node.next,
+                None => break,
+            }
+        }
+        // Tail reached: allocate once and race for empty slots from here on.
+        let mut node = Box::new(Node { hash: h, key, next: OnceLock::new() });
+        loop {
+            match slot.set(node) {
+                Ok(()) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(returned) => {
+                    node = returned;
+                    let occupant = slot.get().expect("slot observed occupied");
+                    if occupant.hash == node.hash && occupant.key == node.key {
+                        return false;
+                    }
+                    slot = &occupant.next;
+                }
+            }
+        }
+    }
+
+    /// Test-only constructor without the bucket floor, so chain behaviour
+    /// can be exercised with a handful of keys.
+    #[cfg(test)]
+    fn with_buckets(buckets: usize) -> Self {
+        let buckets = buckets.max(1).next_power_of_two();
+        ConcurrentSeenSet {
+            buckets: (0..buckets).map(|_| OnceLock::new()).collect(),
+            mask: buckets as u64 - 1,
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of distinct keys inserted so far.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when nothing has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over a slice of `u32` keys (bucket selector — speed over quality).
+pub(crate) fn fnv1a(key: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in key {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_first_only() {
+        let set = ConcurrentSeenSet::new(0);
+        assert!(set.is_empty());
+        assert!(set.insert(vec![1, 2, 3]));
+        assert!(!set.insert(vec![1, 2, 3]));
+        assert!(set.insert(vec![1, 2]));
+        assert!(set.insert(vec![]));
+        assert!(!set.insert(vec![]));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        // Far more keys than buckets forces every bucket into multi-node
+        // chains.
+        let set = ConcurrentSeenSet::with_buckets(16);
+        for i in 0..10_000u32 {
+            assert!(set.insert(vec![i, i + 1]));
+        }
+        for i in 0..10_000u32 {
+            assert!(!set.insert(vec![i, i + 1]));
+        }
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn concurrent_inserts_claim_each_key_once() {
+        let set = ConcurrentSeenSet::with_buckets(64);
+        let threads = 8;
+        let keys = 2_000u32;
+        let claimed: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let set = &set;
+                    scope.spawn(move || {
+                        let mut wins = 0u64;
+                        for i in 0..keys {
+                            if set.insert(vec![i]) {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(claimed, keys as u64, "every key claimed exactly once");
+        assert_eq!(set.len(), keys as u64);
+    }
+}

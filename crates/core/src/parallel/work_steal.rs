@@ -1,0 +1,205 @@
+//! The work-stealing scheduler.
+//!
+//! Every worker owns a LIFO deque of pending solutions. Expanding a
+//! solution pushes the newly discovered solutions onto the *owner's* deque;
+//! the owner pops from the same end, so each worker runs a depth-first
+//! exploration over its private region of the solution graph and its
+//! working set stays cache-warm. A worker whose deque runs dry picks a
+//! random victim and steals the *oldest* half of its deque — the items
+//! closest to the root of the victim's DFS, which head the largest
+//! unexplored subtrees — amortising one steal over many subsequent local
+//! pops.
+//!
+//! Termination uses a single pending-work counter: it is incremented
+//! *before* an item becomes visible in any deque and decremented only
+//! *after* the item's expansion has completed, so `pending == 0` proves
+//! that no queued item and no in-flight expansion exists anywhere and no
+//! new work can appear. Idle workers spin briefly, then yield, then sleep
+//! in microsecond steps until work reappears or the counter hits zero.
+//!
+//! De-duplication goes through the lock-free [`ConcurrentSeenSet`]; reported
+//! solutions are buffered per worker and appended to the shared output
+//! vector in batches of [`ParallelConfig::result_batch`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bigraph::BipartiteGraph;
+
+use super::seen::ConcurrentSeenSet;
+use super::{expand_solution, ParallelConfig, ParallelStats, WorkerCounters};
+use crate::biplex::Biplex;
+use crate::initial::initial_left_anchored;
+
+/// Runs the work-stealing enumeration. Called through
+/// [`super::par_enumerate_mbps`].
+pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, ParallelStats) {
+    let threads = config.resolved_threads().max(1);
+    let deques: Vec<Mutex<VecDeque<Biplex>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let seen = ConcurrentSeenSet::new((g.num_vertices() as usize) * 2);
+    let pending = AtomicUsize::new(0);
+    let results: Mutex<Vec<Biplex>> = Mutex::new(Vec::new());
+
+    let mut stats = ParallelStats { threads, ..ParallelStats::default() };
+
+    let initial = initial_left_anchored(g, config.k);
+    seen.insert(initial.canonical_key());
+    stats.solutions = 1;
+    if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
+        stats.reported = 1;
+        results.lock().expect("results poisoned").push(initial.clone());
+    }
+    pending.store(1, Ordering::SeqCst);
+    deques[0].lock().expect("deque poisoned").push_back(initial);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let deques = &deques;
+                let seen = &seen;
+                let pending = &pending;
+                let results = &results;
+                scope.spawn(move || worker(w, g, config, deques, seen, pending, results))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker panicked").merge_into(&mut stats);
+        }
+    });
+
+    let results = results.into_inner().expect("results poisoned");
+    (results, stats)
+}
+
+/// One worker: pop locally, steal when dry, exit when the pending counter
+/// proves global completion.
+fn worker(
+    w: usize,
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+    deques: &[Mutex<VecDeque<Biplex>>],
+    seen: &ConcurrentSeenSet,
+    pending: &AtomicUsize,
+    results: &Mutex<Vec<Biplex>>,
+) -> WorkerCounters {
+    let mut counters = WorkerCounters::default();
+    let mut batch: Vec<Biplex> = Vec::new();
+    // Per-worker deterministic xorshift state for victim selection.
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15 ^ (w as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    let mut idle = 0u32;
+    let batch_limit = config.result_batch.max(1);
+
+    loop {
+        let host = pop_own(&deques[w]).or_else(|| steal(w, deques, &mut rng, &mut counters));
+        let Some(host) = host else {
+            if pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            idle += 1;
+            if idle < 8 {
+                std::hint::spin_loop();
+            } else if idle < 64 {
+                // Oversubscribed boxes (threads > cores) need the yield to
+                // let the worker that owns the remaining work run.
+                std::thread::yield_now();
+            } else {
+                // Escalate the sleep so long-idle workers stop competing
+                // with the workers that still have work: 100 µs doubling up
+                // to 1.6 ms. Steal latency on refill stays bounded while the
+                // idle loop's CPU share goes to ~zero.
+                let step = ((idle - 64) / 32).min(4);
+                std::thread::sleep(std::time::Duration::from_micros(100 << step));
+            }
+            continue;
+        };
+        idle = 0;
+
+        let my_deque = &deques[w];
+        let mut on_new = |solution: Biplex, report: bool, expandable: bool| {
+            if expandable {
+                if report {
+                    batch.push(solution.clone());
+                }
+                // Count the item before it becomes stealable so the
+                // termination check can never miss it.
+                pending.fetch_add(1, Ordering::SeqCst);
+                my_deque.lock().expect("deque poisoned").push_back(solution);
+            } else if report {
+                batch.push(solution);
+            }
+            if batch.len() >= batch_limit {
+                results.lock().expect("results poisoned").append(&mut batch);
+            }
+        };
+        expand_solution(
+            g,
+            config,
+            &host,
+            &mut counters,
+            &|s: &Biplex| seen.insert(s.canonical_key()),
+            &mut on_new,
+        );
+        // Only now is this item fully accounted for.
+        pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    if !batch.is_empty() {
+        results.lock().expect("results poisoned").append(&mut batch);
+    }
+    counters
+}
+
+/// LIFO pop from the worker's own deque.
+fn pop_own(deque: &Mutex<VecDeque<Biplex>>) -> Option<Biplex> {
+    deque.lock().expect("deque poisoned").pop_back()
+}
+
+/// Scans the other deques from a random start and steals the oldest half of
+/// the first non-empty victim: the first stolen item is returned for
+/// immediate processing, the rest land on the thief's own deque.
+fn steal(
+    w: usize,
+    deques: &[Mutex<VecDeque<Biplex>>],
+    rng: &mut u64,
+    counters: &mut WorkerCounters,
+) -> Option<Biplex> {
+    let n = deques.len();
+    if n == 1 {
+        return None;
+    }
+    let start = (xorshift(rng) as usize) % n;
+    for i in 0..n {
+        let v = (start + i) % n;
+        if v == w {
+            continue;
+        }
+        let mut victim = deques[v].lock().expect("deque poisoned");
+        let len = victim.len();
+        if len == 0 {
+            continue;
+        }
+        let take = len.div_ceil(2);
+        let mut stolen: VecDeque<Biplex> = victim.drain(..take).collect();
+        drop(victim);
+        counters.steals += 1;
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            let mut mine = deques[w].lock().expect("deque poisoned");
+            mine.extend(stolen);
+        }
+        return first;
+    }
+    None
+}
+
+/// xorshift64* step.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}

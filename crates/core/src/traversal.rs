@@ -18,6 +18,7 @@
 //! local-solution pruning, solution pruning and the exclusion-based
 //! left-side pruning.
 
+use bigraph::order::{Relabeling, VertexOrder};
 use bigraph::{BipartiteGraph, Side, VertexRef};
 
 use crate::biplex::{sorted_intersection_len, Biplex, PartialBiplex};
@@ -75,6 +76,9 @@ pub struct TraversalConfig {
     pub theta_left: usize,
     /// Minimum right-side size of reported MBPs (`0` disables — Section 5).
     pub theta_right: usize,
+    /// Vertex relabeling applied before the run; solutions are mapped back
+    /// to the input ids, so the reported set is unchanged.
+    pub order: VertexOrder,
 }
 
 impl TraversalConfig {
@@ -91,6 +95,7 @@ impl TraversalConfig {
             emit: EmitMode::Immediate,
             theta_left: 0,
             theta_right: 0,
+            order: VertexOrder::Input,
         }
     }
 
@@ -117,6 +122,7 @@ impl TraversalConfig {
             emit: EmitMode::Immediate,
             theta_left: 0,
             theta_right: 0,
+            order: VertexOrder::Input,
         }
     }
 
@@ -144,6 +150,12 @@ impl TraversalConfig {
         self.theta_right = theta_right;
         self
     }
+
+    /// Selects the vertex relabeling pass.
+    pub fn with_order(mut self, order: VertexOrder) -> Self {
+        self.order = order;
+        self
+    }
 }
 
 /// Enumerates maximal k-biplexes of `g` under `config`, delivering them to
@@ -153,6 +165,17 @@ pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
     config: &TraversalConfig,
     sink: &mut S,
 ) -> TraversalStats {
+    // A relabeling pass runs the engine on the permuted graph and maps
+    // solutions back to the input ids; the canonical solution set is a
+    // property of the graph, so it is unchanged.
+    if config.order != VertexOrder::Input {
+        let relab = Relabeling::compute(g, config.order);
+        let rg = relab.apply(g);
+        let cfg = TraversalConfig { order: VertexOrder::Input, ..config.clone() };
+        let mut map_sink = |b: &Biplex| sink.on_solution(&b.map_back(&relab));
+        return enumerate_mbps(&rg, &cfg, &mut map_sink as &mut dyn SolutionSink);
+    }
+
     // The right-anchored variant is the left-anchored variant on the
     // transposed graph; solutions are flipped back on the way out.
     if config.anchor == Anchor::Right {
@@ -613,6 +636,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn relabeling_orders_report_the_same_set() {
+        for seed in 0..6u64 {
+            let g = random_graph(6, 5, 0.5, seed);
+            for k in 1..=2usize {
+                let expected = run_sorted(&g, &TraversalConfig::itraversal(k));
+                for order in [VertexOrder::Degree, VertexOrder::Degeneracy] {
+                    let cfg = TraversalConfig::itraversal(k).with_order(order);
+                    assert_eq!(run_sorted(&g, &cfg), expected, "seed {seed} k {k} order {order}");
+                    let cfg = TraversalConfig::btraversal(k).with_order(order);
+                    assert_eq!(
+                        run_sorted(&g, &cfg),
+                        expected,
+                        "bTraversal seed {seed} k {k} order {order}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_composes_with_early_stop_and_thresholds() {
+        let g = random_graph(7, 7, 0.5, 2);
+        let k = 1;
+        let cfg = TraversalConfig::itraversal(k).with_order(VertexOrder::Degeneracy);
+        let mut sink = FirstN::new(3);
+        let stats = enumerate_mbps(&g, &cfg, &mut sink);
+        assert_eq!(sink.len(), 3);
+        assert!(stats.stopped_early);
+        for b in &sink.solutions {
+            assert!(crate::biplex::is_maximal_k_biplex(&g, &b.left, &b.right, k));
+        }
+
+        let all = enumerate_all(&g, k);
+        let mut expected: Vec<Biplex> =
+            all.into_iter().filter(|b| b.left.len() >= 2 && b.right.len() >= 2).collect();
+        expected.sort();
+        let cfg = cfg.with_thresholds(2, 2);
+        assert_eq!(run_sorted(&g, &cfg), expected);
     }
 
     #[test]

@@ -3,9 +3,52 @@
 //! to cross-check exhaustively.
 
 use mbpe::baselines::{collect_imb, ImbConfig};
+use mbpe::bigraph::gen::chung_lu::chung_lu_bipartite;
 use mbpe::bigraph::gen::er::er_bipartite;
 use mbpe::bigraph::gen::planted::planted_biplexes;
+use mbpe::bigraph::order::VertexOrder;
+use mbpe::kbiplex::ParallelEngine;
 use mbpe::prelude::*;
+
+/// Property: for every random Chung–Lu graph, every miss budget, every
+/// thread count, both scheduler engines and every relabeling pass, the
+/// parallel engine must return the *exact* canonical solution set of the
+/// sequential `iTraversal`. This is the scheduler-correctness contract: the
+/// work-stealing engine only reorders expansions, and the seen-set
+/// de-duplication makes the result a function of the graph alone.
+#[test]
+fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
+    for seed in 0..4u64 {
+        // Skewed power-law degrees stress the dedup (hubs participate in
+        // many overlapping MBPs) far more than uniform noise.
+        let nl = 10 + (seed % 3) as u32;
+        let nr = 9 + (seed % 2) as u32;
+        let edges = 3 * (nl as u64 + nr as u64) / 2;
+        let g = chung_lu_bipartite(nl, nr, edges, 2.2, seed);
+        for k in 1..=2usize {
+            let sequential = enumerate_all(&g, k);
+            for threads in [1usize, 2, 4, 8] {
+                for engine in [ParallelEngine::WorkSteal, ParallelEngine::GlobalQueue] {
+                    let cfg = ParallelConfig::new(k).with_threads(threads).with_engine(engine);
+                    let (mut got, stats) = par_enumerate_mbps(&g, &cfg);
+                    got.sort();
+                    assert_eq!(
+                        got, sequential,
+                        "seed {seed} k {k} threads {threads} engine {engine:?}"
+                    );
+                    assert_eq!(stats.solutions as usize, sequential.len());
+                }
+            }
+            // The relabeling passes compose with the default engine.
+            for order in [VertexOrder::Degree, VertexOrder::Degeneracy] {
+                let cfg = ParallelConfig::new(k).with_threads(4).with_order(order);
+                let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                got.sort();
+                assert_eq!(got, sequential, "seed {seed} k {k} order {order}");
+            }
+        }
+    }
+}
 
 #[test]
 fn parallel_matches_sequential_and_imb_on_er_graphs() {

@@ -241,7 +241,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: an exact length or a half-open range.
+    /// Sizes accepted by [`vec()`]: an exact length or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,
@@ -260,7 +260,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
