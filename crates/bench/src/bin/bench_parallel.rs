@@ -10,7 +10,8 @@
 //! Usage: `cargo run --release -p mbpe-bench --bin bench_parallel --
 //!         [--left 60] [--right 60] [--edges 240] [--gamma 2.2]
 //!         [--seed 7] [--k 1] [--iters 3] [--threads 1,2,4,8]
-//!         [--order degeneracy] [--out BENCH_parallel.json]`
+//!         [--order degeneracy] [--seen-segments 0] [--steal-adaptive on]
+//!         [--out BENCH_parallel.json]`
 //!
 //! Power-law stand-ins pack a lot of MBPs per edge: the 60×60/240-edge
 //! default already enumerates ~20k solutions per run. Scale with care.
@@ -54,16 +55,24 @@ fn main() {
         .map(|t| t.trim().parse().expect("--threads takes a comma-separated list"))
         .collect();
     let order: VertexOrder = args.get_str("order").unwrap_or("input").parse().expect("bad --order");
+    let seen_segments: usize = args.get("seen-segments", 0usize);
+    let steal_adaptive = match args.get_str("steal-adaptive").unwrap_or("on") {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => panic!("--steal-adaptive expects on or off, got {other:?}"),
+    };
 
     let g = chung_lu_bipartite(left, right, edges, gamma, seed);
     eprintln!(
-        "graph: chung_lu |L|={} |R|={} |E|={} k={} iters={} order={}",
+        "graph: chung_lu |L|={} |R|={} |E|={} k={} iters={} order={} seen-segments={} steal-adaptive={}",
         g.num_left(),
         g.num_right(),
         g.num_edges(),
         k,
         iters,
-        order
+        order,
+        seen_segments,
+        steal_adaptive
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -85,7 +94,9 @@ fn main() {
                 let cfg = ParallelConfig::new(k)
                     .with_threads(threads)
                     .with_engine(engine)
-                    .with_order(order);
+                    .with_order(order)
+                    .with_seen_segments(seen_segments)
+                    .with_steal_adaptive(steal_adaptive);
                 let (_, stats) = par_enumerate_mbps(&g, &cfg);
                 (stats.solutions, stats.steals)
             });
@@ -94,7 +105,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&g, k, iters, &rows);
+    let json = render_json(&g, k, iters, seen_segments, steal_adaptive, &rows);
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");
 }
@@ -124,7 +135,14 @@ fn best_of(iters: u32, mut f: impl FnMut() -> (u64, u64)) -> (f64, u64, u64) {
 
 /// Renders the measurements as a small self-describing JSON document; the
 /// workspace has no serde, so the document is assembled by hand.
-fn render_json(g: &BipartiteGraph, k: usize, iters: u32, rows: &[Row]) -> String {
+fn render_json(
+    g: &BipartiteGraph,
+    k: usize,
+    iters: u32,
+    seen_segments: usize,
+    steal_adaptive: bool,
+    rows: &[Row],
+) -> String {
     let secs_of = |engine: &str, threads: usize| -> Option<f64> {
         rows.iter().find(|r| r.engine == engine && r.threads == threads).map(|r| r.secs)
     };
@@ -139,6 +157,8 @@ fn render_json(g: &BipartiteGraph, k: usize, iters: u32, rows: &[Row]) -> String
     );
     let _ = writeln!(s, "  \"k\": {k},");
     let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(s, "  \"seen_segments\": {seen_segments},");
+    let _ = writeln!(s, "  \"steal_adaptive\": {steal_adaptive},");
     s.push_str("  \"runs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

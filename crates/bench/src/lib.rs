@@ -320,6 +320,47 @@ impl Args {
     }
 }
 
+/// Shared harness of the seen-set contention benchmarks: the `bench_seen`
+/// binary (machine-readable `BENCH_seen.json`) and the `seen_set` criterion
+/// bench measure the same two geometries under the same insert storm.
+pub mod seen_harness {
+    use kbiplex::parallel::seen::ConcurrentSeenSet;
+
+    /// Builds the set under test. `fixed` reproduces the retired
+    /// fixed-capacity design exactly: one contiguous pinned 2¹⁶-bucket
+    /// segment (a single up-front allocation, no growth, no era probes —
+    /// only the shared root indirection differs from the old code);
+    /// otherwise the default graph-sized geometry applies, starting at one
+    /// segment and growing cooperatively.
+    pub fn build(fixed: bool) -> ConcurrentSeenSet {
+        if fixed {
+            ConcurrentSeenSet::with_geometry(1, 1 << 16).pinned()
+        } else {
+            ConcurrentSeenSet::new(0)
+        }
+    }
+
+    /// All `threads` workers insert every key of `0..keys` (maximal
+    /// duplicate overlap — the dedup-heavy access pattern of the
+    /// enumeration engines), with staggered starting offsets so threads
+    /// collide on different keys at any instant instead of marching in
+    /// lock-step. Returns the final distinct-key count.
+    pub fn hammer(set: &ConcurrentSeenSet, keys: usize, threads: usize) -> u64 {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    let offset = t * keys / threads.max(1);
+                    for i in 0..keys {
+                        let key = ((i + offset) % keys) as u32;
+                        set.insert(vec![key, key ^ 0x5bd1_e995, key.rotate_left(7)]);
+                    }
+                });
+            }
+        });
+        set.len()
+    }
+}
+
 /// Prints a table header followed by a separator line.
 pub fn print_header(title: &str, columns: &[&str]) {
     println!("\n== {title} ==");

@@ -32,6 +32,12 @@ OPTIONS:
     --order <O>         Vertex relabeling pass: input (default) | degree |
                         degeneracy (itraversal, btraversal, parallel)
     --engine <E>        Parallel scheduler: steal (default) | global
+    --seen-segments <N> Initial segment count of the parallel seen-set's
+                        bucket directory (0 = auto-size from the graph;
+                        it grows under load either way; steal engine only)
+    --steal-adaptive <B>  on (default) | off — steal one item from shallow
+                        victim deques instead of always half (steal engine
+                        only)
     --count-only        Print only the number of solutions
     --print             Print every reported solution (L= ... R= ...)
     --dataset/--scale/--full   Input selection, as for `mbpe stats`";
@@ -45,6 +51,8 @@ const OPTIONS: &[&str] = &[
     "threads",
     "order",
     "engine",
+    "seen-segments",
+    "steal-adaptive",
     "count-only",
     "print",
     "dataset",
@@ -101,15 +109,38 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         None => ParallelEngine::WorkSteal,
         Some(raw) => raw.parse().map_err(CliError::Usage)?,
     };
+    let seen_segments: usize = args.parse_or("seen-segments", 0)?;
+    let steal_adaptive: bool = match args.value("steal-adaptive") {
+        None => true,
+        Some("on" | "true" | "1") => true,
+        Some("off" | "false" | "0") => false,
+        Some(raw) => {
+            return Err(CliError::Usage(format!("--steal-adaptive expects on or off, got {raw:?}")))
+        }
+    };
     if order != VertexOrder::Input && matches!(algo, "imb" | "inflation") {
         return Err(CliError::Usage(format!(
             "--order is not supported by --algo {algo} (use itraversal, btraversal or parallel)"
         )));
     }
-    if args.value("engine").is_some() && algo != "parallel" {
-        return Err(CliError::Usage(format!(
-            "--engine only applies to --algo parallel (got --algo {algo})"
-        )));
+    for opt in ["engine", "seen-segments", "steal-adaptive"] {
+        if args.value(opt).is_some() && algo != "parallel" {
+            return Err(CliError::Usage(format!(
+                "--{opt} only applies to --algo parallel (got --algo {algo})"
+            )));
+        }
+    }
+    // The global-queue engine has its own mutex-sharded seen-set and no
+    // steal path; silently accepting (and echoing) the knobs would present
+    // a no-op as applied.
+    if engine == ParallelEngine::GlobalQueue {
+        for opt in ["seen-segments", "steal-adaptive"] {
+            if args.value(opt).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{opt} only applies to --engine steal (got --engine global)"
+                )));
+            }
+        }
     }
 
     let start = Instant::now();
@@ -159,12 +190,20 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 .with_threads(threads)
                 .with_thresholds(theta_left, theta_right)
                 .with_order(order)
-                .with_engine(engine);
+                .with_engine(engine)
+                .with_seen_segments(seen_segments)
+                .with_steal_adaptive(steal_adaptive);
             let (mut solutions, stats) = par_enumerate_mbps(&graph, &config);
-            parallel_info = Some(format!(
+            let mut info = format!(
                 "parallel: threads = {}  engine = {:?}  order = {}  steals = {}",
                 stats.threads, engine, order, stats.steals
-            ));
+            );
+            if engine == ParallelEngine::WorkSteal {
+                let adaptive = if steal_adaptive { "on" } else { "off" };
+                let knobs = format!("  seen-segments = {seen_segments}  steal-adaptive = {adaptive}");
+                info.push_str(&knobs);
+            }
+            parallel_info = Some(info);
             solutions.sort();
             solutions
         }
@@ -289,5 +328,52 @@ mod tests {
         );
         // --engine on a sequential algorithm is a usage error, not a no-op.
         assert!(capture(&["--dataset", "Divorce", "--engine", "steal"]).is_err());
+    }
+
+    #[test]
+    fn seen_and_steal_knobs() {
+        let baseline = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
+        let parse = |text: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix("solutions: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        for (segments, adaptive) in [("0", "on"), ("1", "off"), ("4", "on")] {
+            let text = capture(&[
+                "--dataset",
+                "Divorce",
+                "--k",
+                "1",
+                "--algo",
+                "parallel",
+                "--threads",
+                "4",
+                "--seen-segments",
+                segments,
+                "--steal-adaptive",
+                adaptive,
+            ])
+            .unwrap();
+            assert_eq!(parse(&text), parse(&baseline), "segments {segments} adaptive {adaptive}");
+            assert!(text.contains(&format!("seen-segments = {segments}")), "knobs echoed: {text}");
+            assert!(text.contains(&format!("steal-adaptive = {adaptive}")), "knobs echoed: {text}");
+        }
+        // Bad values and sequential algorithms are usage errors, not no-ops.
+        let bad = &["--dataset", "Divorce", "--algo", "parallel", "--steal-adaptive", "maybe"];
+        assert!(capture(bad).is_err());
+        assert!(capture(&["--dataset", "Divorce", "--seen-segments", "2"]).is_err());
+        assert!(capture(&["--dataset", "Divorce", "--steal-adaptive", "off"]).is_err());
+        // So is combining the knobs with the global-queue engine, which has
+        // its own sharded seen-set and no steal path.
+        let global = &["--dataset", "Divorce", "--algo", "parallel", "--engine", "global"];
+        assert!(capture(&[global as &[_], &["--seen-segments", "2"]].concat()).is_err());
+        assert!(capture(&[global as &[_], &["--steal-adaptive", "off"]].concat()).is_err());
+        // The global engine's run header omits the inapplicable knobs.
+        let text = capture(global).unwrap();
+        assert!(text.contains("engine = GlobalQueue"), "{text}");
+        assert!(!text.contains("seen-segments"), "{text}");
     }
 }

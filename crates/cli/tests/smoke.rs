@@ -48,6 +48,44 @@ fn enumerate_prints_well_formed_solutions() {
 }
 
 #[test]
+fn parallel_seen_and_steal_flags_match_the_sequential_count() {
+    let sequential = run(&["enumerate", &tiny_graph(), "--k", "1", "--count-only"]);
+    let count = |text: &str| -> usize {
+        text.lines()
+            .find_map(|l| l.strip_prefix("solutions: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no solution count in: {text}"))
+    };
+    for (segments, adaptive) in [("0", "on"), ("1", "off"), ("2", "on"), ("1", "on")] {
+        let text = run(&[
+            "enumerate",
+            &tiny_graph(),
+            "--k",
+            "1",
+            "--algo",
+            "parallel",
+            "--threads",
+            "4",
+            "--seen-segments",
+            segments,
+            "--steal-adaptive",
+            adaptive,
+            "--count-only",
+        ]);
+        assert_eq!(
+            count(&text),
+            count(&sequential),
+            "--seen-segments {segments} --steal-adaptive {adaptive}: {text}"
+        );
+        assert!(
+            text.contains(&format!("seen-segments = {segments}"))
+                && text.contains(&format!("steal-adaptive = {adaptive}")),
+            "run header echoes the knobs: {text}"
+        );
+    }
+}
+
+#[test]
 fn generate_stats_enumerate_roundtrip() {
     let dir = std::env::temp_dir().join(format!("mbpe_cli_smoke_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -68,6 +68,7 @@ pub use large::{
     collect_large_mbps, enumerate_large_mbps, par_collect_large_mbps, LargeMbpParams,
     LargeMbpReport, ParLargeMbpReport,
 };
+pub use parallel::seen::ConcurrentSeenSet;
 pub use parallel::{
     par_collect_mbps, par_count_mbps, par_enumerate_mbps, ParallelConfig, ParallelEngine,
     ParallelStats,

@@ -13,11 +13,14 @@
 //!
 //! * **Work stealing** (default, [`work_steal`]) — per-worker LIFO deques;
 //!   a worker pushes the solutions it discovers onto its own deque and pops
-//!   from the same end (depth-first, cache-warm), and steals the *oldest*
-//!   half of a random victim's deque when it runs dry. De-duplication goes
-//!   through a lock-free [`seen::ConcurrentSeenSet`] (atomic-swap bucket
-//!   chains), and results are handed to the shared output vector in batches
-//!   to keep the output lock out of the hot path.
+//!   from the same end (depth-first, cache-warm), and steals from the old
+//!   end of a random victim's deque when it runs dry — one item from a
+//!   shallow victim, the oldest half of a deep one (adaptive granularity,
+//!   [`ParallelConfig::steal_adaptive`]). De-duplication goes through a
+//!   lock-free [`seen::ConcurrentSeenSet`] (atomic-swap bucket chains
+//!   behind a segmented directory that grows under load), and results are
+//!   handed to the shared output vector in batches to keep the output lock
+//!   out of the hot path.
 //! * **Global queue** ([`global_queue`]) — the original engine: one
 //!   mutex+condvar-protected LIFO work queue and a 64-way mutex-sharded
 //!   seen-set. Kept as the measured baseline of the scaling benchmarks
@@ -93,6 +96,18 @@ pub struct ParallelConfig {
     /// Number of reported solutions a worker buffers locally before taking
     /// the shared output lock (work-stealing engine only).
     pub result_batch: usize,
+    /// Initial segment count of the seen-set's bucket directory
+    /// (work-stealing engine only). `0` means "size from the graph"; any
+    /// other value pre-publishes that many [`seen::SEGMENT_BUCKETS`]-bucket
+    /// segments (rounded up to a power of two, capped at
+    /// [`seen::MAX_SEGMENTS`]). Either way the directory keeps growing
+    /// under load — the knob only moves the starting point.
+    pub seen_segments: usize,
+    /// Adaptive steal granularity (work-stealing engine only, default on):
+    /// steal a single item from a victim deque at most
+    /// [`work_steal::STEAL_SHALLOW`] deep, the oldest half otherwise.
+    /// `false` always steals half, the previous fixed policy.
+    pub steal_adaptive: bool,
 }
 
 impl ParallelConfig {
@@ -108,6 +123,8 @@ impl ParallelConfig {
             order: VertexOrder::Input,
             engine: ParallelEngine::WorkSteal,
             result_batch: 64,
+            seen_segments: 0,
+            steal_adaptive: true,
         }
     }
 
@@ -139,6 +156,20 @@ impl ParallelConfig {
     /// Selects the scheduler engine.
     pub fn with_engine(mut self, engine: ParallelEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the seen-set's initial segment count (`0` = size from the
+    /// graph). See [`ParallelConfig::seen_segments`].
+    pub fn with_seen_segments(mut self, segments: usize) -> Self {
+        self.seen_segments = segments;
+        self
+    }
+
+    /// Toggles adaptive steal granularity. See
+    /// [`ParallelConfig::steal_adaptive`].
+    pub fn with_steal_adaptive(mut self, adaptive: bool) -> Self {
+        self.steal_adaptive = adaptive;
         self
     }
 

@@ -5,10 +5,14 @@
 //! the owner pops from the same end, so each worker runs a depth-first
 //! exploration over its private region of the solution graph and its
 //! working set stays cache-warm. A worker whose deque runs dry picks a
-//! random victim and steals the *oldest* half of its deque — the items
+//! random victim and steals from the *old* end of its deque — the items
 //! closest to the root of the victim's DFS, which head the largest
 //! unexplored subtrees — amortising one steal over many subsequent local
-//! pops.
+//! pops. The steal *granularity* adapts to the victim's depth when
+//! [`ParallelConfig::steal_adaptive`] is on (the default): a deque at most
+//! [`STEAL_SHALLOW`] deep gives up a single item (grabbing half of almost
+//! nothing just moves the starvation to the victim and bounces the same
+//! items between deques), a deeper one gives up its oldest half.
 //!
 //! Termination uses a single pending-work counter: it is incremented
 //! *before* an item becomes visible in any deque and decremented only
@@ -27,10 +31,14 @@ use std::sync::Mutex;
 
 use bigraph::BipartiteGraph;
 
-use super::seen::ConcurrentSeenSet;
+use super::seen::{ConcurrentSeenSet, SEGMENT_BUCKETS};
 use super::{expand_solution, ParallelConfig, ParallelStats, WorkerCounters};
 use crate::biplex::Biplex;
 use crate::initial::initial_left_anchored;
+
+/// Victim-deque depth at or below which an adaptive steal takes one item
+/// instead of half.
+pub const STEAL_SHALLOW: usize = 4;
 
 /// Runs the work-stealing enumeration. Called through
 /// [`super::par_enumerate_mbps`].
@@ -38,7 +46,10 @@ pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, 
     let threads = config.resolved_threads().max(1);
     let deques: Vec<Mutex<VecDeque<Biplex>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    let seen = ConcurrentSeenSet::new((g.num_vertices() as usize) * 2);
+    let seen = match config.seen_segments {
+        0 => ConcurrentSeenSet::new((g.num_vertices() as usize) * 2),
+        n => ConcurrentSeenSet::with_geometry(n, SEGMENT_BUCKETS),
+    };
     let pending = AtomicUsize::new(0);
     let results: Mutex<Vec<Biplex>> = Mutex::new(Vec::new());
 
@@ -92,7 +103,8 @@ fn worker(
     let batch_limit = config.result_batch.max(1);
 
     loop {
-        let host = pop_own(&deques[w]).or_else(|| steal(w, deques, &mut rng, &mut counters));
+        let host = pop_own(&deques[w])
+            .or_else(|| steal(w, deques, config.steal_adaptive, &mut rng, &mut counters));
         let Some(host) = host else {
             if pending.load(Ordering::SeqCst) == 0 {
                 break;
@@ -156,12 +168,15 @@ fn pop_own(deque: &Mutex<VecDeque<Biplex>>) -> Option<Biplex> {
     deque.lock().expect("deque poisoned").pop_back()
 }
 
-/// Scans the other deques from a random start and steals the oldest half of
-/// the first non-empty victim: the first stolen item is returned for
-/// immediate processing, the rest land on the thief's own deque.
+/// Scans the other deques from a random start and steals from the old end
+/// of the first non-empty victim — one item when `adaptive` and the victim
+/// is at most [`STEAL_SHALLOW`] deep, its oldest half otherwise. The first
+/// stolen item is returned for immediate processing, the rest land on the
+/// thief's own deque.
 fn steal(
     w: usize,
     deques: &[Mutex<VecDeque<Biplex>>],
+    adaptive: bool,
     rng: &mut u64,
     counters: &mut WorkerCounters,
 ) -> Option<Biplex> {
@@ -180,7 +195,7 @@ fn steal(
         if len == 0 {
             continue;
         }
-        let take = len.div_ceil(2);
+        let take = if adaptive && len <= STEAL_SHALLOW { 1 } else { len.div_ceil(2) };
         let mut stolen: VecDeque<Biplex> = victim.drain(..take).collect();
         drop(victim);
         counters.steals += 1;

@@ -32,8 +32,8 @@ pub mod prelude {
     pub use kbiplex::{
         collect_asym_mbps, enumerate_all, enumerate_mbps, is_asym_biplex, is_k_biplex,
         is_maximal_k_biplex, par_collect_mbps, par_enumerate_mbps, Anchor, Biplex, CollectSink,
-        Control, CountingSink, DelayRecorder, EnumKind, FirstN, KPair, LargeMbpParams,
-        ParallelConfig, SolutionSink, TraversalConfig,
+        ConcurrentSeenSet, Control, CountingSink, DelayRecorder, EnumKind, FirstN, KPair,
+        LargeMbpParams, ParallelConfig, ParallelEngine, SolutionSink, TraversalConfig,
     };
 }
 

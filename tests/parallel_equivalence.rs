@@ -11,11 +11,12 @@ use mbpe::kbiplex::ParallelEngine;
 use mbpe::prelude::*;
 
 /// Property: for every random Chung–Lu graph, every miss budget, every
-/// thread count, both scheduler engines and every relabeling pass, the
-/// parallel engine must return the *exact* canonical solution set of the
-/// sequential `iTraversal`. This is the scheduler-correctness contract: the
-/// work-stealing engine only reorders expansions, and the seen-set
-/// de-duplication makes the result a function of the graph alone.
+/// thread count, both scheduler engines, every relabeling pass and every
+/// seen-set/steal-granularity knob, the parallel engine must return the
+/// *exact* canonical solution set of the sequential `iTraversal`. This is
+/// the scheduler-correctness contract: the work-stealing engine only
+/// reorders expansions, and the seen-set de-duplication makes the result a
+/// function of the graph alone.
 #[test]
 fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
     for seed in 0..4u64 {
@@ -45,6 +46,56 @@ fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
                 let (mut got, _) = par_enumerate_mbps(&g, &cfg);
                 got.sort();
                 assert_eq!(got, sequential, "seed {seed} k {k} order {order}");
+            }
+            // The seen-set directory geometry and the steal-granularity
+            // policy are pure performance knobs: any combination must leave
+            // the solution set untouched.
+            for seen_segments in [0usize, 1, 2, 8] {
+                for steal_adaptive in [false, true] {
+                    let cfg = ParallelConfig::new(k)
+                        .with_threads(4)
+                        .with_seen_segments(seen_segments)
+                        .with_steal_adaptive(steal_adaptive);
+                    let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                    got.sort();
+                    assert_eq!(
+                        got, sequential,
+                        "seed {seed} k {k} seen-segments {seen_segments} \
+                         steal-adaptive {steal_adaptive}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Full cross of the new knobs with engines, orders and thread counts on
+/// one dedup-heavy graph: the growable seen-set (starting from one segment
+/// so it grows mid-run) and adaptive stealing compose with every scheduler
+/// configuration.
+#[test]
+fn seen_and_steal_knobs_compose_with_engines_and_orders() {
+    let g = chung_lu_bipartite(11, 10, 33, 2.2, 42);
+    let k = 1;
+    let sequential = enumerate_all(&g, k);
+    for engine in [ParallelEngine::WorkSteal, ParallelEngine::GlobalQueue] {
+        for order in [VertexOrder::Input, VertexOrder::Degree, VertexOrder::Degeneracy] {
+            for threads in [2usize, 4] {
+                for (seen_segments, steal_adaptive) in [(1, true), (1, false), (0, true)] {
+                    let cfg = ParallelConfig::new(k)
+                        .with_threads(threads)
+                        .with_engine(engine)
+                        .with_order(order)
+                        .with_seen_segments(seen_segments)
+                        .with_steal_adaptive(steal_adaptive);
+                    let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                    got.sort();
+                    assert_eq!(
+                        got, sequential,
+                        "{engine:?} {order} threads {threads} seen-segments {seen_segments} \
+                         steal-adaptive {steal_adaptive}"
+                    );
+                }
             }
         }
     }
