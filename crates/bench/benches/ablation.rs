@@ -12,13 +12,13 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbiplex::store::{BTreeStore, HashStore, SolutionStore};
-use kbiplex::{Anchor, Biplex, CountingSink, EnumKind, TraversalConfig};
+use kbiplex::{Anchor, Biplex, CountingSink, EnumKind, Enumerator};
 
 fn bench_store(c: &mut Criterion) {
     // Isolate the store: insert the full MBP set of a mid-sized graph into
     // each store implementation.
     let g = bigraph::gen::er::er_bipartite(300, 300, 1_200, 5);
-    let solutions: Vec<Biplex> = kbiplex::enumerate_all(&g, 1);
+    let solutions: Vec<Biplex> = Enumerator::new(&g).k(1).collect().expect("valid");
 
     let mut group = c.benchmark_group("ablation_store");
     group.sample_size(20).measurement_time(Duration::from_secs(3));
@@ -55,11 +55,7 @@ fn bench_anchor(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
                 b.iter(|| {
                     let mut sink = CountingSink::new();
-                    kbiplex::enumerate_mbps(
-                        g,
-                        &TraversalConfig::itraversal(1).with_anchor(anchor),
-                        &mut sink,
-                    );
+                    Enumerator::new(g).k(1).anchor(anchor).run(&mut sink).expect("valid");
                     sink.count
                 });
             });
@@ -76,11 +72,7 @@ fn bench_enum_kind_end_to_end(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_run", kind.label()), &kind, |b, &kind| {
             b.iter(|| {
                 let mut sink = CountingSink::new();
-                kbiplex::enumerate_mbps(
-                    &g,
-                    &TraversalConfig::itraversal(1).with_enum_kind(kind),
-                    &mut sink,
-                );
+                Enumerator::new(&g).k(1).enum_kind(kind).run(&mut sink).expect("valid");
                 sink.count
             });
         });

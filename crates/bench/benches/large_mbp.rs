@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kbiplex::{CountingSink, LargeMbpParams, TraversalConfig};
+use kbiplex::{Algorithm, CountingSink, Enumerator};
 
 fn bench(c: &mut Criterion) {
     let g = bigraph::gen::datasets::DatasetSpec::by_name("Opsahl").unwrap().generate_scaled();
@@ -14,12 +14,12 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("iTraversal", theta), &theta, |b, &theta| {
             b.iter(|| {
                 let mut sink = CountingSink::new();
-                kbiplex::enumerate_large_mbps(
-                    &g,
-                    &LargeMbpParams::symmetric(1, theta),
-                    &TraversalConfig::itraversal(1),
-                    &mut sink,
-                );
+                Enumerator::new(&g)
+                    .k(1)
+                    .algorithm(Algorithm::Large)
+                    .thresholds(theta, theta)
+                    .run(&mut sink)
+                    .expect("valid");
                 sink.count
             });
         });

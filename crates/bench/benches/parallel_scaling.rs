@@ -8,9 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kbiplex::{
-    par_enumerate_mbps, CountingSink, ParallelConfig, ParallelEngine, TraversalConfig, VertexOrder,
-};
+use kbiplex::{CountingSink, Engine, Enumerator, VertexOrder};
 
 fn bench(c: &mut Criterion) {
     let g = bigraph::gen::er::er_bipartite(400, 400, 1_600, 11);
@@ -22,20 +20,25 @@ fn bench(c: &mut Criterion) {
     group.bench_function("sequential_iTraversal", |b| {
         b.iter(|| {
             let mut sink = CountingSink::new();
-            kbiplex::enumerate_mbps(&g, &TraversalConfig::itraversal(k), &mut sink);
+            Enumerator::new(&g).k(k).run(&mut sink).expect("valid");
             sink.count
         });
     });
 
     for (engine, label) in
-        [(ParallelEngine::GlobalQueue, "global_queue"), (ParallelEngine::WorkSteal, "work_steal")]
+        [(Engine::GlobalQueue, "global_queue"), (Engine::WorkSteal, "work_steal")]
     {
         for threads in [1usize, 2, 4, 8] {
             group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
                 b.iter(|| {
-                    let cfg = ParallelConfig::new(k).with_threads(threads).with_engine(engine);
-                    let (_, stats) = par_enumerate_mbps(&g, &cfg);
-                    stats.solutions
+                    let mut sink = CountingSink::new();
+                    Enumerator::new(&g)
+                        .k(k)
+                        .engine(engine)
+                        .threads(threads)
+                        .run(&mut sink)
+                        .expect("valid");
+                    sink.count
                 });
             });
         }
@@ -44,9 +47,15 @@ fn bench(c: &mut Criterion) {
     // The ordering pass composed with the fastest engine.
     group.bench_function("work_steal_4t_degeneracy", |b| {
         b.iter(|| {
-            let cfg = ParallelConfig::new(k).with_threads(4).with_order(VertexOrder::Degeneracy);
-            let (_, stats) = par_enumerate_mbps(&g, &cfg);
-            stats.solutions
+            let mut sink = CountingSink::new();
+            Enumerator::new(&g)
+                .k(k)
+                .engine(Engine::WorkSteal)
+                .threads(4)
+                .order(VertexOrder::Degeneracy)
+                .run(&mut sink)
+                .expect("valid");
+            sink.count
         });
     });
     group.finish();

@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kbiplex::{CountingSink, TraversalConfig};
+use kbiplex::{Algorithm, CountingSink, Enumerator};
 
 fn bench(c: &mut Criterion) {
     let g = bigraph::gen::datasets::DatasetSpec::by_name("Divorce").unwrap().generate_scaled();
@@ -12,16 +12,16 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for k in [1usize, 2] {
         let variants = [
-            ("bTraversal", TraversalConfig::btraversal(k)),
-            ("iTraversal-ES-RS", TraversalConfig::itraversal_left_anchored_only(k)),
-            ("iTraversal-ES", TraversalConfig::itraversal_no_exclusion(k)),
-            ("iTraversal", TraversalConfig::itraversal(k)),
+            ("bTraversal", Algorithm::BTraversal),
+            ("iTraversal-ES-RS", Algorithm::LeftAnchoredOnly),
+            ("iTraversal-ES", Algorithm::ITraversalNoExclusion),
+            ("iTraversal", Algorithm::ITraversal),
         ];
-        for (name, cfg) in variants {
-            group.bench_with_input(BenchmarkId::new(name, k), &cfg, |b, cfg| {
+        for (name, algorithm) in variants {
+            group.bench_with_input(BenchmarkId::new(name, k), &algorithm, |b, &algorithm| {
                 b.iter(|| {
                     let mut sink = CountingSink::new();
-                    kbiplex::enumerate_mbps(&g, cfg, &mut sink);
+                    Enumerator::new(&g).k(k).algorithm(algorithm).run(&mut sink).expect("valid");
                     sink.count
                 });
             });

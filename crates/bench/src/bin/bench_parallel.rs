@@ -22,10 +22,7 @@ use std::time::Instant;
 use bigraph::gen::chung_lu::chung_lu_bipartite;
 use bigraph::order::VertexOrder;
 use bigraph::BipartiteGraph;
-use kbiplex::{
-    enumerate_mbps, par_enumerate_mbps, CountingSink, ParallelConfig, ParallelEngine,
-    TraversalConfig,
-};
+use kbiplex::{CountingSink, Engine, EngineStats, Enumerator};
 use mbpe_bench::Args;
 
 /// One measured configuration.
@@ -80,25 +77,27 @@ fn main() {
     // Sequential baseline (the full iTraversal, exclusion strategy on).
     let (secs, solutions, _) = best_of(iters, || {
         let mut sink = CountingSink::new();
-        enumerate_mbps(&g, &TraversalConfig::itraversal(k).with_order(order), &mut sink);
+        Enumerator::new(&g).k(k).order(order).run(&mut sink).expect("valid configuration");
         (sink.count, 0)
     });
     eprintln!("sequential_itraversal: {secs:.4}s  {solutions} solutions");
     rows.push(Row { engine: "sequential", threads: 1, order, secs, solutions, steals: 0 });
 
     for (engine, label) in
-        [(ParallelEngine::GlobalQueue, "global_queue"), (ParallelEngine::WorkSteal, "work_steal")]
+        [(Engine::GlobalQueue, "global_queue"), (Engine::WorkSteal, "work_steal")]
     {
         for &threads in &threads_list {
             let (secs, solutions, steals) = best_of(iters, || {
-                let cfg = ParallelConfig::new(k)
-                    .with_threads(threads)
-                    .with_engine(engine)
-                    .with_order(order)
-                    .with_seen_segments(seen_segments)
-                    .with_steal_adaptive(steal_adaptive);
-                let (_, stats) = par_enumerate_mbps(&g, &cfg);
-                (stats.solutions, stats.steals)
+                let mut e = Enumerator::new(&g).k(k).engine(engine).order(order).threads(threads);
+                if engine == Engine::WorkSteal {
+                    e = e.seen_segments(seen_segments).steal_adaptive(steal_adaptive);
+                }
+                let mut sink = CountingSink::new();
+                let report = e.run(&mut sink).expect("valid configuration");
+                match report.stats {
+                    EngineStats::Parallel(stats) => (stats.solutions, stats.steals),
+                    _ => unreachable!("parallel engines report parallel stats"),
+                }
             });
             eprintln!("{label} x{threads}: {secs:.4}s  {solutions} solutions  {steals} steals");
             rows.push(Row { engine: label, threads, order, secs, solutions, steals });

@@ -3,10 +3,13 @@
 //! Writer and DBLP stand-ins for varying θ.
 //!
 //! With `--threads` other than 1, the iTraversal column runs the parallel
-//! engine (work-stealing scheduler, `0` = auto thread count) instead of the
-//! sequential one, so the bench exercises the same path the CLI's
-//! `--algo parallel` uses. `--budget-secs` only bounds the sequential
-//! paths — the parallel engine has no cancellation and runs to completion.
+//! work-stealing engine (`0` = auto thread count) instead of the sequential
+//! one — the same facade path the CLI's `--algo parallel` uses. The
+//! facade's time budget bounds both iTraversal columns: the sequential
+//! engine polls the deadline at every DFS step and the parallel workers at
+//! steal/expand boundaries, so the budget binds even when the size
+//! thresholds filter out every solution. (The iMB column approximates its
+//! budget through a node count, as before.)
 //!
 //! Usage: `cargo run --release -p mbpe-bench --bin fig10_large --
 //!         [--budget-secs 120] [--scale 1] [--threads 1]`
@@ -14,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use bigraph::gen::datasets::DatasetSpec;
-use kbiplex::{par_collect_large_mbps, LargeMbpParams, ParallelConfig, TraversalConfig};
+use kbiplex::{Algorithm, CountingSink, Engine, Enumerator, StopReason};
 use mbpe_bench::{prepare_dataset, print_header, Args, BudgetSink};
 
 fn main() {
@@ -23,13 +26,6 @@ fn main() {
     let scale: u32 = args.get("scale", 1u32);
     let threads: usize = args.get("threads", 1usize);
     let k = 1usize;
-    if threads != 1 && args.get_str("budget-secs").is_some() {
-        eprintln!(
-            "note: --budget-secs only bounds the iMB column and the sequential \
-             iTraversal path; the parallel engine has no cancellation and runs to \
-             completion"
-        );
-    }
 
     for (name, thetas) in [("Writer", vec![5usize, 6, 7, 8]), ("DBLP", vec![8usize, 9, 10, 11])] {
         let spec = DatasetSpec::by_name(name).unwrap();
@@ -64,38 +60,35 @@ fn main() {
                 format!("{:>10.4}", imb_start.elapsed().as_secs_f64())
             };
 
-            // iTraversal with the built-in large-MBP pipeline: sequential
-            // when --threads 1, the parallel engine otherwise.
-            let params = LargeMbpParams::symmetric(k, theta);
+            // iTraversal with the built-in large-MBP pipeline, sequential or
+            // parallel — one facade call either way.
+            let engine = if threads == 1 { Engine::Sequential } else { Engine::WorkSteal };
+            let mut e = Enumerator::new(&g)
+                .k(k)
+                .algorithm(Algorithm::Large)
+                .thresholds(theta, theta)
+                .engine(engine)
+                .time_budget(budget);
+            if engine != Engine::Sequential {
+                e = e.threads(threads);
+            }
             let it_start = Instant::now();
-            let (it_cell, count, reduced) = if threads == 1 {
-                let mut it_sink = BudgetSink::new(u64::MAX, budget);
-                let report = kbiplex::enumerate_large_mbps(
-                    &g,
-                    &params,
-                    &TraversalConfig::itraversal(k),
-                    &mut it_sink,
-                );
-                let cell = if it_sink.timed_out {
-                    format!("{:>10}", "INF")
-                } else {
-                    format!("{:>10.4}", it_start.elapsed().as_secs_f64())
-                };
-                (cell, it_sink.count, report.reduced_size)
+            let mut it_sink = CountingSink::new();
+            let report = e.run(&mut it_sink).expect("valid configuration");
+            let it_cell = if report.stop == StopReason::TimeBudget {
+                format!("{:>10}", "INF")
             } else {
-                let cfg = ParallelConfig::new(k).with_threads(threads);
-                let (solutions, report) = par_collect_large_mbps(&g, &params, &cfg);
-                let cell = format!("{:>10.4}", it_start.elapsed().as_secs_f64());
-                (cell, solutions.len() as u64, report.reduced_size)
+                format!("{:>10.4}", it_start.elapsed().as_secs_f64())
             };
+            let reduced = report.reduced.expect("large runs report the reduction");
 
             println!(
                 "{:>10} {} {} {:>10} {:>10}",
                 theta,
                 imb_cell,
                 it_cell,
-                count,
-                reduced.0 as u64 + reduced.1 as u64
+                report.solutions,
+                u64::from(reduced.left) + u64::from(reduced.right)
             );
         }
     }

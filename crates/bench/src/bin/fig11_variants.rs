@@ -12,29 +12,42 @@ use std::time::{Duration, Instant};
 
 use bigraph::gen::datasets::DatasetSpec;
 use bigraph::BipartiteGraph;
-use kbiplex::{CountingSink, TraversalConfig};
-use mbpe_bench::{print_header, Args, BudgetSink};
+use kbiplex::{Algorithm, CountingSink, EngineStats, Enumerator, StopReason};
+use mbpe_bench::{print_header, Args};
 
-fn variants(k: usize) -> Vec<(&'static str, TraversalConfig)> {
-    vec![
-        ("bTraversal", TraversalConfig::btraversal(k)),
-        ("iT-ES-RS", TraversalConfig::itraversal_left_anchored_only(k)),
-        ("iT-ES", TraversalConfig::itraversal_no_exclusion(k)),
-        ("iTraversal", TraversalConfig::itraversal(k)),
+/// The ablation ladder of Figure 11, as facade algorithm variants.
+fn variants() -> [(&'static str, Algorithm); 4] {
+    [
+        ("bTraversal", Algorithm::BTraversal),
+        ("iT-ES-RS", Algorithm::LeftAnchoredOnly),
+        ("iT-ES", Algorithm::ITraversalNoExclusion),
+        ("iTraversal", Algorithm::ITraversal),
     ]
 }
 
 /// Runs a full enumeration and returns (links, seconds, solutions), or None
 /// if the budget fired.
-fn run(g: &BipartiteGraph, cfg: &TraversalConfig, budget: Duration) -> Option<(u64, f64, u64)> {
+fn run(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    k: usize,
+    budget: Duration,
+) -> Option<(u64, f64, u64)> {
     let start = Instant::now();
-    let mut sink = BudgetSink::new(u64::MAX, budget);
-    let stats = kbiplex::enumerate_mbps(g, cfg, &mut sink);
-    if sink.timed_out {
-        None
-    } else {
-        Some((stats.links, start.elapsed().as_secs_f64(), stats.solutions))
+    let mut sink = CountingSink::new();
+    let report = Enumerator::new(g)
+        .k(k)
+        .algorithm(algorithm)
+        .time_budget(budget)
+        .run(&mut sink)
+        .expect("valid configuration");
+    if report.stop == StopReason::TimeBudget {
+        return None;
     }
+    let EngineStats::Sequential(stats) = report.stats else {
+        unreachable!("sequential runs report traversal stats");
+    };
+    Some((stats.links, start.elapsed().as_secs_f64(), stats.solutions))
 }
 
 fn main() {
@@ -50,8 +63,8 @@ fn main() {
         let g = spec.generate_scaled();
         let mut row = format!("{:>10}", spec.name);
         let mut solutions = 0;
-        for (_, cfg) in variants(1) {
-            match run(&g, &cfg, budget) {
+        for (_, algorithm) in variants() {
+            match run(&g, algorithm, 1, budget) {
                 Some((links, _, sols)) => {
                     row.push_str(&format!(" {links:>10}"));
                     solutions = sols;
@@ -69,8 +82,8 @@ fn main() {
     for spec in DatasetSpec::small_datasets() {
         let g = spec.generate_scaled();
         let mut row = format!("{:>10}", spec.name);
-        for (_, cfg) in variants(1) {
-            match run(&g, &cfg, budget) {
+        for (_, algorithm) in variants() {
+            match run(&g, algorithm, 1, budget) {
                 Some((_, secs, _)) => row.push_str(&format!(" {secs:>10.4}")),
                 None => row.push_str(&format!(" {:>10}", "INF")),
             }
@@ -85,8 +98,8 @@ fn main() {
     );
     for k in 1..=kmax {
         let mut row = format!("{k:>10}");
-        for (_, cfg) in variants(k) {
-            match run(&divorce, &cfg, budget) {
+        for (_, algorithm) in variants() {
+            match run(&divorce, algorithm, k, budget) {
                 Some((links, _, _)) => row.push_str(&format!(" {links:>10}")),
                 None => row.push_str(&format!(" {:>10}", "UPP")),
             }
@@ -100,8 +113,8 @@ fn main() {
     );
     for k in 1..=kmax {
         let mut row = format!("{k:>10}");
-        for (_, cfg) in variants(k) {
-            match run(&divorce, &cfg, budget) {
+        for (_, algorithm) in variants() {
+            match run(&divorce, algorithm, k, budget) {
                 Some((_, secs, _)) => row.push_str(&format!(" {secs:>10.4}")),
                 None => row.push_str(&format!(" {:>10}", "INF")),
             }
@@ -111,11 +124,11 @@ fn main() {
 
     // A check the ablation is sound: every variant reports the same number
     // of solutions (verified on Divorce, k = 1).
-    let counts: Vec<u64> = variants(1)
+    let counts: Vec<u64> = variants()
         .iter()
-        .map(|(_, cfg)| {
+        .map(|(_, algorithm)| {
             let mut sink = CountingSink::new();
-            kbiplex::enumerate_mbps(&divorce, cfg, &mut sink);
+            Enumerator::new(&divorce).k(1).algorithm(*algorithm).run(&mut sink).expect("valid");
             sink.count
         })
         .collect();

@@ -12,7 +12,7 @@
 use bigraph::gen::datasets::DATASETS;
 use bigraph::stats::GraphStats;
 use bigraph::BipartiteGraph;
-use kbiplex::{enumerate_mbps, CountingSink, ParallelConfig, TraversalConfig};
+use kbiplex::{CountingSink, Engine, Enumerator};
 use mbpe_bench::Args;
 
 fn main() {
@@ -69,14 +69,11 @@ fn count_column(g: &BipartiteGraph, threads: usize) -> String {
         return "-".to_string();
     }
     let k = 1usize;
-    let count = if threads == 1 {
-        let mut sink = CountingSink::new();
-        enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
-        sink.count
-    } else {
-        let cfg = ParallelConfig::new(k).with_threads(threads);
-        let (_, stats) = kbiplex::par_enumerate_mbps(g, &cfg);
-        stats.solutions
-    };
-    count.to_string()
+    let mut e = Enumerator::new(g).k(k);
+    if threads != 1 {
+        e = e.engine(Engine::WorkSteal).threads(threads);
+    }
+    let mut sink = CountingSink::new();
+    e.run(&mut sink).expect("valid configuration");
+    sink.count.to_string()
 }

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use bigraph::gen::datasets::DatasetSpec;
 use bigraph::BipartiteGraph;
-use kbiplex::{Biplex, Control, EnumKind, SolutionSink, TraversalConfig};
+use kbiplex::{Algorithm, Biplex, Control, EnumKind, Enumerator, SolutionSink, StopReason};
 
 /// The algorithms compared throughout Section 6.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,11 +128,26 @@ pub fn run_algo(
     let start = Instant::now();
     let mut sink = BudgetSink::new(results, budget);
     match algo {
-        Algo::ITraversal => {
-            kbiplex::enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
-        }
-        Algo::BTraversal => {
-            kbiplex::enumerate_mbps(g, &TraversalConfig::btraversal(k), &mut sink);
+        Algo::ITraversal | Algo::BTraversal => {
+            // The facade owns the limit and the time budget for the paper's
+            // algorithms; the baselines below keep the BudgetSink.
+            let algorithm = if algo == Algo::ITraversal {
+                Algorithm::ITraversal
+            } else {
+                Algorithm::BTraversal
+            };
+            let mut counter = kbiplex::CountingSink::new();
+            let report = Enumerator::new(g)
+                .k(k)
+                .algorithm(algorithm)
+                .limit(results)
+                .time_budget(budget)
+                .run(&mut counter)
+                .expect("valid facade configuration");
+            return match report.stop {
+                StopReason::TimeBudget => RunOutcome::TimedOut,
+                _ => RunOutcome::Finished { elapsed: start.elapsed(), results: report.solutions },
+            };
         }
         Algo::Imb => {
             let budget_nodes = 2_000_000u64.saturating_mul(budget.as_secs().max(1));
@@ -195,29 +210,43 @@ pub fn measure_delay(
             c
         }
     }
-    let mut sink = DelayBudget {
-        rec: kbiplex::DelayRecorder::new(),
-        deadline: Instant::now() + budget,
-        timed_out: false,
-    };
     match algo {
-        Algo::ITraversal => {
-            kbiplex::enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
+        Algo::ITraversal | Algo::BTraversal => {
+            let algorithm = if algo == Algo::ITraversal {
+                Algorithm::ITraversal
+            } else {
+                Algorithm::BTraversal
+            };
+            let mut rec = kbiplex::DelayRecorder::new();
+            let report = Enumerator::new(g)
+                .k(k)
+                .algorithm(algorithm)
+                .time_budget(budget)
+                .run(&mut rec)
+                .expect("valid facade configuration");
+            if report.stop == StopReason::TimeBudget {
+                None
+            } else {
+                Some(rec.finish())
+            }
         }
-        Algo::BTraversal => {
-            kbiplex::enumerate_mbps(g, &TraversalConfig::btraversal(k), &mut sink);
+        Algo::Imb | Algo::FaPlexen => {
+            let mut sink = DelayBudget {
+                rec: kbiplex::DelayRecorder::new(),
+                deadline: Instant::now() + budget,
+                timed_out: false,
+            };
+            if algo == Algo::Imb {
+                baselines::enumerate_imb(g, &baselines::ImbConfig::new(k), &mut sink);
+            } else {
+                baselines::enumerate_inflation(g, &baselines::InflationConfig::new(k), &mut sink);
+            }
+            if sink.timed_out {
+                None
+            } else {
+                Some(sink.rec.finish())
+            }
         }
-        Algo::Imb => {
-            baselines::enumerate_imb(g, &baselines::ImbConfig::new(k), &mut sink);
-        }
-        Algo::FaPlexen => {
-            baselines::enumerate_inflation(g, &baselines::InflationConfig::new(k), &mut sink);
-        }
-    }
-    if sink.timed_out {
-        None
-    } else {
-        Some(sink.rec.finish())
     }
 }
 
@@ -231,7 +260,7 @@ pub fn enum_almost_sat_avg_time(
 ) -> Duration {
     use kbiplex::PartialBiplex;
     let mut sink = kbiplex::FirstN::new(samples);
-    kbiplex::enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
+    Enumerator::new(g).k(k).run(&mut sink).expect("valid facade configuration");
     let mut total = Duration::ZERO;
     let mut runs = 0u32;
     for (i, mbp) in sink.solutions.iter().enumerate() {

@@ -1,13 +1,14 @@
 //! `mbpe enumerate` — enumerate maximal k-biplexes with a selectable
-//! algorithm, size thresholds and early stopping.
+//! algorithm, size thresholds, first-N limits and time budgets, driven
+//! through the [`kbiplex::Enumerator`] facade.
 
 use std::io::Write;
-use std::time::Instant;
+use std::time::Duration;
 
 use baselines::{collect_imb, collect_inflation, ImbConfig, InflationConfig};
 use kbiplex::{
-    enumerate_mbps, par_enumerate_mbps, Biplex, CollectSink, Control, FirstN, ParallelConfig,
-    ParallelEngine, SolutionSink, TraversalConfig, VertexOrder,
+    Algorithm, Biplex, CollectSink, Engine, EngineStats, Enumerator, ParallelEngine, RunReport,
+    VertexOrder,
 };
 
 use crate::args::Args;
@@ -24,13 +25,19 @@ USAGE:
 
 OPTIONS:
     --k <K>             Miss budget k (default 1)
-    --algo <A>          itraversal (default) | btraversal | imb | inflation | parallel
-    --first <N>         Stop after the first N solutions (sequential algorithms)
+    --algo <A>          itraversal (default) | btraversal | large | imb |
+                        inflation | parallel
+    --limit <N>         Stop after delivering exactly N solutions (all
+                        engines — the parallel schedulers cancel
+                        cooperatively)
+    --first <N>         Deprecated alias of --limit
+    --time-budget <S>   Stop at the first solution after S seconds
+                        (fractions allowed; not for imb/inflation)
     --theta-left <N>    Only report MBPs with at least N left vertices
     --theta-right <N>   Only report MBPs with at least N right vertices
     --threads <T>       Worker threads for --algo parallel (0 = auto)
     --order <O>         Vertex relabeling pass: input (default) | degree |
-                        degeneracy (itraversal, btraversal, parallel)
+                        degeneracy (itraversal, btraversal, large, parallel)
     --engine <E>        Parallel scheduler: steal (default) | global
     --seen-segments <N> Initial segment count of the parallel seen-set's
                         bucket directory (0 = auto-size from the graph;
@@ -45,7 +52,9 @@ OPTIONS:
 const OPTIONS: &[&str] = &[
     "k",
     "algo",
+    "limit",
     "first",
+    "time-budget",
     "theta-left",
     "theta-right",
     "threads",
@@ -61,31 +70,6 @@ const OPTIONS: &[&str] = &[
 ];
 const FLAGS: &[&str] = &["count-only", "print", "full"];
 
-/// A sink that forwards to a `FirstN` limiter or collects everything,
-/// depending on whether `--first` was given.
-enum Collector {
-    All(CollectSink),
-    Limited(FirstN),
-}
-
-impl Collector {
-    fn solutions(self) -> Vec<Biplex> {
-        match self {
-            Collector::All(sink) => sink.solutions,
-            Collector::Limited(sink) => sink.solutions,
-        }
-    }
-}
-
-impl SolutionSink for Collector {
-    fn on_solution(&mut self, solution: &Biplex) -> Control {
-        match self {
-            Collector::All(sink) => sink.on_solution(solution),
-            Collector::Limited(sink) => sink.on_solution(solution),
-        }
-    }
-}
-
 /// Runs the command.
 pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(raw, FLAGS)?;
@@ -95,9 +79,30 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let k: usize = args.parse_or("k", 1)?;
     let theta_left: usize = args.parse_or("theta-left", 0)?;
     let theta_right: usize = args.parse_or("theta-right", 0)?;
-    let first: Option<usize> = match args.value("first") {
+    if args.value("limit").is_some() && args.value("first").is_some() {
+        return Err(CliError::Usage(
+            "--first is the deprecated alias of --limit; give only one of them".to_string(),
+        ));
+    }
+    let limit: Option<u64> = match args.value("limit").or_else(|| args.value("first")) {
         None => None,
-        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(format!("bad --first {v:?}")))?),
+        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(format!("bad --limit {v:?}")))?),
+    };
+    let time_budget: Option<Duration> = match args.value("time-budget") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --time-budget {v:?} (seconds)")))?;
+            // try_from_secs_f64 rejects NaN, negatives and values too large
+            // for a Duration, which from_secs_f64 would panic on.
+            let budget = Duration::try_from_secs_f64(secs).map_err(|_| {
+                CliError::Usage(format!(
+                    "--time-budget expects a representable non-negative number of seconds, got {v:?}"
+                ))
+            })?;
+            Some(budget)
+        }
     };
     let algo = args.value("algo").unwrap_or("itraversal");
     let threads: usize = args.parse_or("threads", 0)?;
@@ -120,7 +125,12 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     if order != VertexOrder::Input && matches!(algo, "imb" | "inflation") {
         return Err(CliError::Usage(format!(
-            "--order is not supported by --algo {algo} (use itraversal, btraversal or parallel)"
+            "--order is not supported by --algo {algo} (use itraversal, btraversal, large or parallel)"
+        )));
+    }
+    if time_budget.is_some() && matches!(algo, "imb" | "inflation") {
+        return Err(CliError::Usage(format!(
+            "--time-budget is not supported by --algo {algo} (baselines have no cancellation hook)"
         )));
     }
     for opt in ["engine", "seen-segments", "steal-adaptive"] {
@@ -143,83 +153,111 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
 
-    let start = Instant::now();
+    // Every facade-driven path shares this configured builder.
+    let build = |algorithm: Algorithm, facade_engine: Engine| {
+        let mut e = Enumerator::new(&graph)
+            .k(k)
+            .algorithm(algorithm)
+            .engine(facade_engine)
+            .order(order)
+            .thresholds(theta_left, theta_right);
+        if facade_engine != Engine::Sequential {
+            e = e.threads(threads);
+            if facade_engine == Engine::WorkSteal {
+                e = e.seen_segments(seen_segments).steal_adaptive(steal_adaptive);
+            }
+        }
+        if let Some(n) = limit {
+            e = e.limit(n);
+        }
+        if let Some(budget) = time_budget {
+            e = e.time_budget(budget);
+        }
+        e
+    };
+    let facade = |algorithm: Algorithm,
+                  facade_engine: Engine|
+     -> Result<(Vec<Biplex>, RunReport), CliError> {
+        let mut sink = CollectSink::new();
+        let report = build(algorithm, facade_engine)
+            .run(&mut sink)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        Ok((sink.into_sorted(), report))
+    };
+
     let mut parallel_info: Option<String> = None;
+    let mut stop_label = "exhausted".to_string();
+    let elapsed: Duration;
     let solutions: Vec<Biplex> = match algo {
-        "itraversal" | "btraversal" => {
-            let config = if algo == "itraversal" {
-                TraversalConfig::itraversal(k)
-            } else {
-                TraversalConfig::btraversal(k)
-            }
-            .with_thresholds(theta_left, theta_right)
-            .with_order(order);
-            let mut sink = match first {
-                Some(n) => Collector::Limited(FirstN::new(n)),
-                None => Collector::All(CollectSink::new()),
+        "itraversal" | "btraversal" | "large" => {
+            let algorithm = match algo {
+                "itraversal" => Algorithm::ITraversal,
+                "btraversal" => Algorithm::BTraversal,
+                _ => Algorithm::Large,
             };
-            enumerate_mbps(&graph, &config, &mut sink);
-            sink.solutions()
-        }
-        "imb" => {
-            let config = ImbConfig::new(k).with_thresholds(theta_left, theta_right);
-            let mut solutions = collect_imb(&graph, &config);
-            if let Some(n) = first {
-                solutions.truncate(n);
-            }
-            solutions
-        }
-        "inflation" => {
-            let config = InflationConfig::new(k);
-            let mut solutions: Vec<Biplex> = collect_inflation(&graph, &config)
-                .into_iter()
-                .filter(|b| b.left.len() >= theta_left && b.right.len() >= theta_right)
-                .collect();
-            if let Some(n) = first {
-                solutions.truncate(n);
-            }
+            let (solutions, report) = facade(algorithm, Engine::Sequential)?;
+            stop_label = report.stop.to_string();
+            elapsed = report.elapsed;
             solutions
         }
         "parallel" => {
-            if first.is_some() {
-                return Err(CliError::Usage(
-                    "--first is only supported by the sequential algorithms".to_string(),
-                ));
+            let facade_engine = match engine {
+                ParallelEngine::WorkSteal => Engine::WorkSteal,
+                ParallelEngine::GlobalQueue => Engine::GlobalQueue,
+            };
+            let (solutions, report) = facade(Algorithm::ITraversal, facade_engine)?;
+            stop_label = report.stop.to_string();
+            elapsed = report.elapsed;
+            if let EngineStats::Parallel(stats) = &report.stats {
+                let mut info = format!(
+                    "parallel: threads = {}  engine = {:?}  order = {}  steals = {}",
+                    stats.threads, engine, order, stats.steals
+                );
+                if engine == ParallelEngine::WorkSteal {
+                    let adaptive = if steal_adaptive { "on" } else { "off" };
+                    let knobs =
+                        format!("  seen-segments = {seen_segments}  steal-adaptive = {adaptive}");
+                    info.push_str(&knobs);
+                }
+                parallel_info = Some(info);
             }
-            let config = ParallelConfig::new(k)
-                .with_threads(threads)
-                .with_thresholds(theta_left, theta_right)
-                .with_order(order)
-                .with_engine(engine)
-                .with_seen_segments(seen_segments)
-                .with_steal_adaptive(steal_adaptive);
-            let (mut solutions, stats) = par_enumerate_mbps(&graph, &config);
-            let mut info = format!(
-                "parallel: threads = {}  engine = {:?}  order = {}  steals = {}",
-                stats.threads, engine, order, stats.steals
-            );
-            if engine == ParallelEngine::WorkSteal {
-                let adaptive = if steal_adaptive { "on" } else { "off" };
-                let knobs = format!("  seen-segments = {seen_segments}  steal-adaptive = {adaptive}");
-                info.push_str(&knobs);
+            solutions
+        }
+        "imb" | "inflation" => {
+            // The baselines have no facade path: collect, then apply the
+            // limit as a post-truncation.
+            let start = std::time::Instant::now();
+            let mut solutions: Vec<Biplex> = if algo == "imb" {
+                let config = ImbConfig::new(k).with_thresholds(theta_left, theta_right);
+                collect_imb(&graph, &config)
+            } else {
+                collect_inflation(&graph, &InflationConfig::new(k))
+                    .into_iter()
+                    .filter(|b| b.left.len() >= theta_left && b.right.len() >= theta_right)
+                    .collect()
+            };
+            if let Some(n) = limit {
+                if (solutions.len() as u64) > n {
+                    solutions.truncate(n as usize);
+                    stop_label = "limit-reached".to_string();
+                }
             }
-            parallel_info = Some(info);
-            solutions.sort();
+            elapsed = start.elapsed();
             solutions
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown --algo {other:?} (expected itraversal, btraversal, imb, inflation or parallel)"
+                "unknown --algo {other:?} (expected itraversal, btraversal, large, imb, inflation or parallel)"
             )))
         }
     };
-    let elapsed = start.elapsed();
 
     writeln!(out, "graph: {label}  k = {k}  algorithm = {algo}")?;
     if let Some(info) = parallel_info {
         writeln!(out, "{info}")?;
     }
     writeln!(out, "solutions: {}", solutions.len())?;
+    writeln!(out, "stop: {stop_label}")?;
     writeln!(out, "elapsed: {:.3} s", elapsed.as_secs_f64())?;
     if args.flag("print") && !args.flag("count-only") {
         for b in &solutions {
@@ -243,10 +281,15 @@ mod tests {
         Ok(String::from_utf8(sink).unwrap())
     }
 
+    fn parse(text: &str) -> u64 {
+        text.lines().find_map(|l| l.strip_prefix("solutions: ")).unwrap().trim().parse().unwrap()
+    }
+
     #[test]
     fn enumerates_a_dataset_standin() {
         let text = capture(&["--dataset", "Divorce", "--k", "1", "--count-only"]).unwrap();
         assert!(text.contains("solutions:"));
+        assert!(text.contains("stop: exhausted"));
     }
 
     #[test]
@@ -263,23 +306,74 @@ mod tests {
             "3",
         ])
         .unwrap();
-        let parse = |text: &str| -> u64 {
-            text.lines()
-                .find_map(|l| l.strip_prefix("solutions: "))
-                .unwrap()
-                .trim()
-                .parse()
-                .unwrap()
-        };
         assert!(parse(&large) <= parse(&all));
+        // --algo large (core reduction + in-search pruning) agrees.
+        let pipeline = capture(&[
+            "--dataset",
+            "Divorce",
+            "--k",
+            "1",
+            "--algo",
+            "large",
+            "--theta-left",
+            "3",
+            "--theta-right",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(parse(&pipeline), parse(&large));
     }
 
     #[test]
-    fn first_limits_output_and_parallel_rejects_it() {
+    fn limit_works_on_every_engine_and_echoes_the_stop_reason() {
         let text =
-            capture(&["--dataset", "Divorce", "--k", "1", "--first", "2", "--print"]).unwrap();
-        assert!(text.lines().filter(|l| l.starts_with("L=")).count() <= 2);
-        assert!(capture(&["--dataset", "Divorce", "--algo", "parallel", "--first", "2"]).is_err());
+            capture(&["--dataset", "Divorce", "--k", "1", "--limit", "2", "--print"]).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("L=")).count(), 2);
+        assert!(text.contains("stop: limit-reached"), "{text}");
+        // --first stays as the deprecated alias; combining both is a usage
+        // error.
+        let text = capture(&["--dataset", "Divorce", "--k", "1", "--first", "2"]).unwrap();
+        assert_eq!(parse(&text), 2);
+        assert!(
+            capture(&["--dataset", "Divorce", "--first", "2", "--limit", "2"]).is_err(),
+            "--first and --limit together must be rejected"
+        );
+        // The work-steal engine cancels cooperatively: exactly 2 delivered.
+        let text = capture(&[
+            "--dataset",
+            "Divorce",
+            "--k",
+            "1",
+            "--algo",
+            "parallel",
+            "--threads",
+            "2",
+            "--limit",
+            "2",
+            "--print",
+        ])
+        .unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("L=")).count(), 2);
+        assert!(text.contains("stop: limit-reached"), "{text}");
+    }
+
+    #[test]
+    fn time_budget_is_validated_and_echoed() {
+        // A zero budget stops before the first solution.
+        let text = capture(&["--dataset", "Divorce", "--k", "1", "--time-budget", "0"]).unwrap();
+        assert_eq!(parse(&text), 0);
+        assert!(text.contains("stop: time-budget"), "{text}");
+        // A generous budget never fires.
+        let text = capture(&["--dataset", "Divorce", "--k", "1", "--time-budget", "3600"]).unwrap();
+        assert!(text.contains("stop: exhausted"), "{text}");
+        assert!(capture(&["--dataset", "Divorce", "--time-budget", "never"]).is_err());
+        assert!(capture(&["--dataset", "Divorce", "--time-budget", "-1"]).is_err());
+        // Finite but unrepresentable as a Duration: usage error, not a panic.
+        assert!(capture(&["--dataset", "Divorce", "--time-budget", "1e20"]).is_err());
+        assert!(
+            capture(&["--dataset", "Divorce", "--algo", "imb", "--time-budget", "1"]).is_err(),
+            "baselines have no cancellation hook"
+        );
     }
 
     #[test]
@@ -290,14 +384,6 @@ mod tests {
     #[test]
     fn order_and_engine_flags() {
         let baseline = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
-        let parse = |text: &str| -> u64 {
-            text.lines()
-                .find_map(|l| l.strip_prefix("solutions: "))
-                .unwrap()
-                .trim()
-                .parse()
-                .unwrap()
-        };
         for order in ["degree", "degeneracy"] {
             let text = capture(&["--dataset", "Divorce", "--k", "1", "--order", order]).unwrap();
             assert_eq!(parse(&text), parse(&baseline), "order {order}");
@@ -333,14 +419,6 @@ mod tests {
     #[test]
     fn seen_and_steal_knobs() {
         let baseline = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
-        let parse = |text: &str| -> u64 {
-            text.lines()
-                .find_map(|l| l.strip_prefix("solutions: "))
-                .unwrap()
-                .trim()
-                .parse()
-                .unwrap()
-        };
         for (segments, adaptive) in [("0", "on"), ("1", "off"), ("4", "on")] {
             let text = capture(&[
                 "--dataset",

@@ -34,17 +34,18 @@ fn enumerate_counts_match_the_library() {
         .unwrap_or_else(|| panic!("no solution count in: {text}"));
 
     let g = bigraph::io::read_edge_list_file(tiny_graph()).expect("fixture parses");
-    let expected = kbiplex::enumerate_all(&g, 1).len();
+    let expected = kbiplex::Enumerator::new(&g).k(1).collect().expect("facade run").len();
     assert_eq!(reported, expected, "CLI count equals the library count");
     assert!(reported > 0, "the fixture contains at least one maximal 1-biplex");
 }
 
 #[test]
 fn enumerate_prints_well_formed_solutions() {
-    let text = run(&["enumerate", &tiny_graph(), "--k", "1", "--first", "2", "--print"]);
+    let text = run(&["enumerate", &tiny_graph(), "--k", "1", "--limit", "2", "--print"]);
     let printed: Vec<&str> = text.lines().filter(|l| l.starts_with("L=")).collect();
     assert!(!printed.is_empty(), "--print emits solutions: {text}");
-    assert!(printed.len() <= 2, "--first 2 caps the printed solutions: {text}");
+    assert!(printed.len() <= 2, "--limit 2 caps the printed solutions: {text}");
+    assert!(text.contains("stop: limit-reached"), "the run header echoes the stop reason: {text}");
 }
 
 #[test]

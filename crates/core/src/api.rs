@@ -1,0 +1,1196 @@
+//! The unified enumeration facade: one builder-style entry point for every
+//! algorithm variant and every execution engine.
+//!
+//! The crate grew one free function per algorithm × output combination
+//! (`enumerate_mbps`, `enumerate_large_mbps`, `par_collect_large_mbps`, …),
+//! each with its own config plumbing. [`Enumerator`] replaces them with a
+//! single customisable surface:
+//!
+//! ```
+//! use bigraph::BipartiteGraph;
+//! use kbiplex::api::{Algorithm, Engine, Enumerator, StopReason};
+//! use kbiplex::CollectSink;
+//!
+//! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2)])
+//!     .unwrap();
+//!
+//! // Enumerate all maximal 1-biplexes with the paper's iTraversal.
+//! let mut sink = CollectSink::new();
+//! let report = Enumerator::new(&g).k(1).run(&mut sink).unwrap();
+//! assert_eq!(report.stop, StopReason::Exhausted);
+//! assert_eq!(report.solutions as usize, sink.solutions.len());
+//!
+//! // The same enumeration on the work-stealing engine, stopping after two
+//! // solutions — cooperative cancellation reaches into the workers.
+//! let first_two: Vec<_> =
+//!     Enumerator::new(&g).k(1).engine(Engine::WorkSteal).limit(2).stream().unwrap().collect();
+//! assert_eq!(first_two.len(), 2);
+//!
+//! // Large-MBP pipeline ((θ−k)-core reduction + size-pruned search).
+//! let mut sink = CollectSink::new();
+//! let report = Enumerator::new(&g)
+//!     .k(1)
+//!     .algorithm(Algorithm::Large)
+//!     .thresholds(2, 2)
+//!     .run(&mut sink)
+//!     .unwrap();
+//! assert!(report.reduced.is_some());
+//! ```
+//!
+//! ## Lifecycle
+//!
+//! 1. **Configure**: chain builder methods ([`Enumerator::k`],
+//!    [`Enumerator::algorithm`], [`Enumerator::engine`],
+//!    [`Enumerator::order`], [`Enumerator::limit`],
+//!    [`Enumerator::time_budget`], …). Every knob has a sensible default;
+//!    contradictory combinations are rejected at run time with an
+//!    [`ApiError`], never silently ignored.
+//! 2. **Execute**: either push-based — [`Enumerator::run`] drives the
+//!    engine to completion, delivering solutions to a caller-provided
+//!    [`SolutionSink`] and returning a [`RunReport`] — or pull-based —
+//!    [`Enumerator::stream`] spawns the run on a background thread and
+//!    returns a [`SolutionStream`] iterator backed by a bounded channel.
+//! 3. **Stop**: the run ends when the search is exhausted, the
+//!    [`Enumerator::limit`] is reached, the [`Enumerator::time_budget`]
+//!    expires, the sink returns [`Control::Stop`], or the stream is dropped.
+//!    The [`RunReport::stop`] reason records which. All stopping rules are
+//!    cooperative: on the parallel engines a shared cancellation flag is
+//!    polled at steal/expand boundaries, so the run stops within one
+//!    expansion instead of running to completion.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bigraph::order::VertexOrder;
+use bigraph::BipartiteGraph;
+
+use crate::asym::{run_asym, AsymStats, KPair};
+use crate::biplex::Biplex;
+use crate::bruteforce::brute_force_mbps;
+use crate::enum_almost_sat::EnumKind;
+use crate::large::{par_run_large, run_large, LargeMbpParams};
+use crate::parallel::{par_run, ParRuntime, ParallelConfig, ParallelEngine, ParallelStats};
+use crate::sink::{Control, SolutionSink};
+use crate::stats::TraversalStats;
+use crate::traversal::{traverse, Anchor, EmitMode, TraversalConfig};
+
+/// Which enumeration algorithm the facade runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's full `iTraversal` (left-anchored + right-shrinking +
+    /// exclusion strategy). On a parallel engine the order-dependent
+    /// exclusion strategy is disabled (`iTraversal-ES`); the reported
+    /// solution *set* is identical.
+    #[default]
+    ITraversal,
+    /// `iTraversal-ES`: `iTraversal` without the exclusion strategy.
+    ITraversalNoExclusion,
+    /// `iTraversal-ES-RS`: left-anchored traversal only.
+    LeftAnchoredOnly,
+    /// The conventional `bTraversal` reverse-search framework (Algorithm 1).
+    BTraversal,
+    /// The large-MBP pipeline of Section 5: (θ−k)-core reduction (see
+    /// [`Enumerator::core_reduction`]) plus the size-pruned `iTraversal`
+    /// under the [`Enumerator::thresholds`].
+    Large,
+    /// Asymmetric per-side budgets (set them with [`Enumerator::k_pair`]).
+    Asym,
+    /// The exponential brute-force oracle (tiny graphs only; cross-checks).
+    BruteForce,
+}
+
+impl Algorithm {
+    /// `true` for the `iTraversal`-family algorithms the parallel engines
+    /// can execute.
+    fn parallelisable(self) -> bool {
+        matches!(self, Algorithm::ITraversal | Algorithm::ITraversalNoExclusion | Algorithm::Large)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::ITraversal => "itraversal",
+            Algorithm::ITraversalNoExclusion => "itraversal-es",
+            Algorithm::LeftAnchoredOnly => "itraversal-es-rs",
+            Algorithm::BTraversal => "btraversal",
+            Algorithm::Large => "large",
+            Algorithm::Asym => "asym",
+            Algorithm::BruteForce => "brute-force",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "itraversal" => Ok(Algorithm::ITraversal),
+            "itraversal-es" => Ok(Algorithm::ITraversalNoExclusion),
+            "itraversal-es-rs" => Ok(Algorithm::LeftAnchoredOnly),
+            "btraversal" => Ok(Algorithm::BTraversal),
+            "large" => Ok(Algorithm::Large),
+            "asym" => Ok(Algorithm::Asym),
+            "brute-force" | "oracle" => Ok(Algorithm::BruteForce),
+            other => Err(format!(
+                "unknown algorithm {other:?} (expected itraversal, itraversal-es, \
+                 itraversal-es-rs, btraversal, large, asym or brute-force)"
+            )),
+        }
+    }
+}
+
+/// Which execution engine drives the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Single-threaded, in the calling thread (default).
+    #[default]
+    Sequential,
+    /// The mutex+condvar global-queue scheduler (benchmark baseline).
+    GlobalQueue,
+    /// The work-stealing scheduler (per-worker deques, lock-free seen-set).
+    WorkSteal,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Engine::Sequential => "sequential",
+            Engine::GlobalQueue => "global",
+            Engine::WorkSteal => "steal",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sequential" | "seq" => Ok(Engine::Sequential),
+            "steal" | "work-steal" => Ok(Engine::WorkSteal),
+            "global" | "global-queue" => Ok(Engine::GlobalQueue),
+            other => {
+                Err(format!("unknown engine {other:?} (expected sequential, steal or global)"))
+            }
+        }
+    }
+}
+
+/// Why an enumeration run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The search space was exhausted: every solution was reported.
+    Exhausted,
+    /// The [`Enumerator::limit`] was delivered.
+    LimitReached,
+    /// The [`Enumerator::time_budget`] expired.
+    TimeBudget,
+    /// The caller's sink returned [`Control::Stop`].
+    SinkStopped,
+    /// The run was cancelled externally (e.g. the [`SolutionStream`] was
+    /// dropped or [`SolutionStream::cancel`] was called).
+    Cancelled,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StopReason::Exhausted => "exhausted",
+            StopReason::LimitReached => "limit-reached",
+            StopReason::TimeBudget => "time-budget",
+            StopReason::SinkStopped => "sink-stopped",
+            StopReason::Cancelled => "cancelled",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Engine-specific counters of one run.
+#[derive(Clone, Debug)]
+pub enum EngineStats {
+    /// A sequential traversal run (also used by [`Algorithm::Large`]).
+    Sequential(TraversalStats),
+    /// A parallel run (work-stealing or global-queue engine).
+    Parallel(ParallelStats),
+    /// An asymmetric enumeration run.
+    Asym(AsymStats),
+    /// The brute-force oracle (no counters beyond the report itself).
+    Oracle,
+}
+
+/// Size of the (θ−k)-core-reduced graph an [`Algorithm::Large`] run actually
+/// enumerated.
+#[derive(Clone, Copy, Debug)]
+pub struct ReducedGraph {
+    /// Left vertices surviving the reduction.
+    pub left: u32,
+    /// Right vertices surviving the reduction.
+    pub right: u32,
+    /// Edges surviving the reduction.
+    pub edges: u64,
+}
+
+/// Outcome of one [`Enumerator::run`] (or a finished [`SolutionStream`]).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Solutions delivered to the sink (after thresholds and limit).
+    pub solutions: u64,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Engine-specific counters.
+    pub stats: EngineStats,
+    /// Present on [`Algorithm::Large`] runs: the reduced-graph size.
+    pub reduced: Option<ReducedGraph>,
+}
+
+/// A rejected [`Enumerator`] configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// The algorithm × engine (or algorithm × knob) combination does not
+    /// exist in this build — e.g. [`Algorithm::Asym`] on a parallel engine.
+    Unsupported(String),
+    /// A knob value is invalid on its own terms.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+            ApiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The full configuration of one run; owned so it can move onto the
+/// streaming thread.
+#[derive(Clone, Debug)]
+struct Spec {
+    k: usize,
+    k_pair: Option<KPair>,
+    algorithm: Algorithm,
+    engine: Engine,
+    order: VertexOrder,
+    enum_kind: EnumKind,
+    emit_mode: EmitMode,
+    anchor: Option<Anchor>,
+    theta_left: usize,
+    theta_right: usize,
+    core_reduction: Option<bool>,
+    threads: usize,
+    seen_segments: usize,
+    steal_adaptive: bool,
+    limit: Option<u64>,
+    time_budget: Option<Duration>,
+    stream_buffer: usize,
+}
+
+impl Default for Spec {
+    fn default() -> Self {
+        Spec {
+            k: 1,
+            k_pair: None,
+            algorithm: Algorithm::ITraversal,
+            engine: Engine::Sequential,
+            order: VertexOrder::Input,
+            enum_kind: EnumKind::L2R2,
+            emit_mode: EmitMode::Immediate,
+            anchor: None,
+            theta_left: 0,
+            theta_right: 0,
+            core_reduction: None,
+            threads: 0,
+            seen_segments: 0,
+            steal_adaptive: true,
+            limit: None,
+            time_budget: None,
+            stream_buffer: 256,
+        }
+    }
+}
+
+/// Builder-style entry point for every enumeration the crate can perform.
+///
+/// See the [module documentation](self) for the lifecycle and examples.
+#[derive(Clone, Debug)]
+pub struct Enumerator<'g> {
+    graph: &'g BipartiteGraph,
+    spec: Spec,
+}
+
+impl<'g> Enumerator<'g> {
+    /// Starts a builder over `graph` with the defaults: `k = 1`, the full
+    /// `iTraversal`, the sequential engine, input vertex order, no
+    /// thresholds, no limit, no time budget.
+    pub fn new(graph: &'g BipartiteGraph) -> Self {
+        Enumerator { graph, spec: Spec::default() }
+    }
+
+    /// Sets the miss budget `k` of the k-biplex definition (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.spec.k = k;
+        self
+    }
+
+    /// Sets asymmetric per-side budgets (only for [`Algorithm::Asym`]; that
+    /// algorithm defaults to `KPair::symmetric(k)` when this is unset).
+    pub fn k_pair(mut self, kp: KPair) -> Self {
+        self.spec.k_pair = Some(kp);
+        self
+    }
+
+    /// Selects the algorithm variant (default [`Algorithm::ITraversal`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.spec.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the execution engine (default [`Engine::Sequential`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.spec.engine = engine;
+        self
+    }
+
+    /// Selects the vertex relabeling pass (default [`VertexOrder::Input`]).
+    pub fn order(mut self, order: VertexOrder) -> Self {
+        self.spec.order = order;
+        self
+    }
+
+    /// Selects the `EnumAlmostSat` implementation (default `L2.0+R2.0`).
+    pub fn enum_kind(mut self, kind: EnumKind) -> Self {
+        self.spec.enum_kind = kind;
+        self
+    }
+
+    /// Selects the emission mode of the sequential traversal engine
+    /// (default [`EmitMode::Immediate`]).
+    pub fn emit(mut self, emit: EmitMode) -> Self {
+        self.spec.emit_mode = emit;
+        self
+    }
+
+    /// Overrides the designated initial solution of the sequential
+    /// traversal engine (e.g. [`Anchor::Right`] for the right-anchored
+    /// variant of Section 6.2). Defaults to the algorithm's own anchor.
+    pub fn anchor(mut self, anchor: Anchor) -> Self {
+        self.spec.anchor = Some(anchor);
+        self
+    }
+
+    /// Only reports MBPs with `|L| ≥ theta_left` and `|R| ≥ theta_right`
+    /// (`0` disables a side). With [`Algorithm::Large`] the thresholds are
+    /// additionally pushed into the search as the Section 5 prunings.
+    pub fn thresholds(mut self, theta_left: usize, theta_right: usize) -> Self {
+        self.spec.theta_left = theta_left;
+        self.spec.theta_right = theta_right;
+        self
+    }
+
+    /// Toggles the (θ−k)-core reduction of [`Algorithm::Large`] (default
+    /// on).
+    pub fn core_reduction(mut self, enabled: bool) -> Self {
+        self.spec.core_reduction = Some(enabled);
+        self
+    }
+
+    /// Worker thread count for the parallel engines (`0` = auto, default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.spec.threads = threads;
+        self
+    }
+
+    /// Initial segment count of the work-stealing engine's seen-set
+    /// directory (`0` = size from the graph, default).
+    pub fn seen_segments(mut self, segments: usize) -> Self {
+        self.spec.seen_segments = segments;
+        self
+    }
+
+    /// Toggles adaptive steal granularity on the work-stealing engine
+    /// (default on).
+    pub fn steal_adaptive(mut self, adaptive: bool) -> Self {
+        self.spec.steal_adaptive = adaptive;
+        self
+    }
+
+    /// Stops the run after delivering exactly `n` solutions — the paper's
+    /// "first N results" experiments. Works on every engine: the parallel
+    /// schedulers observe the shared cancellation flag at steal/expand
+    /// boundaries.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.spec.limit = Some(n);
+        self
+    }
+
+    /// Stops the run once `budget` has elapsed. Cooperative: the deadline
+    /// is checked at every solution delivery, at every DFS step of the
+    /// sequential engine, and at the parallel workers' steal/expand
+    /// boundaries — so a budgeted run stops within one expansion even when
+    /// the thresholds filter out every solution. Only applies to the
+    /// traversal-family algorithms' engines; the asym and brute-force
+    /// oracles check the budget at deliveries only.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.spec.time_budget = Some(budget);
+        self
+    }
+
+    /// Capacity of the bounded channel behind [`Enumerator::stream`]
+    /// (default 256 solutions).
+    pub fn stream_buffer(mut self, capacity: usize) -> Self {
+        self.spec.stream_buffer = capacity.max(1);
+        self
+    }
+
+    /// Checks the configuration without running it.
+    pub fn validate(&self) -> Result<(), ApiError> {
+        let s = &self.spec;
+        if s.engine != Engine::Sequential && !s.algorithm.parallelisable() {
+            return Err(ApiError::Unsupported(format!(
+                "algorithm {} only runs on the sequential engine (got {})",
+                s.algorithm, s.engine
+            )));
+        }
+        if s.k_pair.is_some() && s.algorithm != Algorithm::Asym {
+            return Err(ApiError::InvalidConfig(format!(
+                "k_pair only applies to Algorithm::Asym (got {})",
+                s.algorithm
+            )));
+        }
+        if s.order != VertexOrder::Input
+            && matches!(s.algorithm, Algorithm::Asym | Algorithm::BruteForce)
+        {
+            return Err(ApiError::Unsupported(format!(
+                "vertex relabeling is not supported by algorithm {}",
+                s.algorithm
+            )));
+        }
+        if s.anchor.is_some() && s.engine != Engine::Sequential {
+            return Err(ApiError::Unsupported(
+                "the anchor override only exists on the sequential engine".to_string(),
+            ));
+        }
+        if s.anchor.is_some() && matches!(s.algorithm, Algorithm::Asym | Algorithm::BruteForce) {
+            return Err(ApiError::InvalidConfig(format!(
+                "anchor does not apply to algorithm {}",
+                s.algorithm
+            )));
+        }
+        if s.emit_mode != EmitMode::Immediate && s.engine != Engine::Sequential {
+            return Err(ApiError::Unsupported(
+                "alternating emission only exists on the sequential engine".to_string(),
+            ));
+        }
+        if s.emit_mode != EmitMode::Immediate
+            && matches!(s.algorithm, Algorithm::Asym | Algorithm::BruteForce)
+        {
+            return Err(ApiError::Unsupported(format!(
+                "alternating emission is not supported by algorithm {}",
+                s.algorithm
+            )));
+        }
+        if s.core_reduction.is_some() && s.algorithm != Algorithm::Large {
+            return Err(ApiError::InvalidConfig(format!(
+                "core_reduction only applies to Algorithm::Large (got {})",
+                s.algorithm
+            )));
+        }
+        if s.threads != 0 && s.engine == Engine::Sequential {
+            return Err(ApiError::InvalidConfig(
+                "threads only applies to the parallel engines".to_string(),
+            ));
+        }
+        if s.seen_segments != 0 && s.engine != Engine::WorkSteal {
+            return Err(ApiError::InvalidConfig(
+                "seen_segments only applies to Engine::WorkSteal".to_string(),
+            ));
+        }
+        if !s.steal_adaptive && s.engine != Engine::WorkSteal {
+            return Err(ApiError::InvalidConfig(
+                "steal_adaptive only applies to Engine::WorkSteal".to_string(),
+            ));
+        }
+        if s.algorithm == Algorithm::BruteForce
+            && (self.graph.num_left() > 16 || self.graph.num_right() > 16)
+        {
+            return Err(ApiError::InvalidConfig(
+                "the brute-force oracle is limited to at most 16 vertices per side".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs the enumeration, delivering every reported solution to `sink`,
+    /// and returns the [`RunReport`].
+    ///
+    /// `S: Send` because the parallel engines deliver solutions from worker
+    /// threads (behind an internal mutex; the sink still sees one call at a
+    /// time, in nondeterministic order).
+    pub fn run<S: SolutionSink + Send>(&self, sink: &mut S) -> Result<RunReport, ApiError> {
+        self.validate()?;
+        let cancel = AtomicBool::new(false);
+        // Incremental delivery is only needed when a stopping rule must be
+        // able to cancel the parallel workers mid-run; a plain full
+        // enumeration keeps the engines' batched result hand-off and feeds
+        // the sink afterwards. (A sink that stops on its own should use
+        // `limit`/`time_budget` to also stop the engine early.)
+        let incremental = self.spec.limit.is_some() || self.spec.time_budget.is_some();
+        Ok(execute(self.graph, &self.spec, sink, &cancel, None, incremental))
+    }
+
+    /// Terminal convenience: runs the enumeration and returns the reported
+    /// solutions sorted canonically — what the retired `enumerate_all` /
+    /// `collect_*` free functions used to hand back. Use [`Enumerator::run`]
+    /// when the [`RunReport`] or a custom sink is needed.
+    pub fn collect(&self) -> Result<Vec<Biplex>, ApiError> {
+        let mut sink = crate::sink::CollectSink::new();
+        self.run(&mut sink)?;
+        Ok(sink.into_sorted())
+    }
+
+    /// Runs the enumeration on a background thread and returns a pull-based
+    /// iterator over the solutions, backed by a bounded channel (see
+    /// [`Enumerator::stream_buffer`]). The stream owns a clone of the graph
+    /// so it is `'static` and can outlive the builder. Dropping the stream
+    /// cancels the run cooperatively; [`SolutionStream::finish`] joins it
+    /// and returns the [`RunReport`].
+    pub fn stream(&self) -> Result<SolutionStream, ApiError> {
+        self.validate()?;
+        let graph = self.graph.clone();
+        let spec = self.spec.clone();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.spec.stream_buffer.max(1));
+        let thread_cancel = Arc::clone(&cancel);
+        let handle = std::thread::Builder::new()
+            .name("kbiplex-enumerator".to_string())
+            .spawn(move || {
+                let undelivered = AtomicBool::new(false);
+                let mut sink = ChannelSink { tx, undelivered: &undelivered };
+                // Streams always deliver incrementally — that is the point
+                // of pulling from a bounded channel.
+                execute(&graph, &spec, &mut sink, &thread_cancel, Some(&undelivered), true)
+            })
+            .expect("failed to spawn enumerator thread");
+        Ok(SolutionStream { rx: Some(rx), cancel, handle: Some(handle) })
+    }
+}
+
+/// Sink of the streaming thread: forwards into the bounded channel and
+/// requests a stop once the receiver is gone, flagging the failed delivery
+/// so the gate neither counts it nor mistakes it for a deliberate sink
+/// stop.
+struct ChannelSink<'a> {
+    tx: SyncSender<Biplex>,
+    undelivered: &'a AtomicBool,
+}
+
+impl SolutionSink for ChannelSink<'_> {
+    fn on_solution(&mut self, solution: &Biplex) -> Control {
+        match self.tx.send(solution.clone()) {
+            Ok(()) => Control::Continue,
+            Err(_) => {
+                self.undelivered.store(true, Ordering::Relaxed);
+                Control::Stop
+            }
+        }
+    }
+}
+
+/// Pull-based solution iterator returned by [`Enumerator::stream`].
+///
+/// Iterates the solutions in delivery order (nondeterministic on the
+/// parallel engines). Dropping the stream cancels the underlying run and
+/// joins the producer thread; [`SolutionStream::finish`] does the same but
+/// hands back the [`RunReport`].
+#[derive(Debug)]
+pub struct SolutionStream {
+    rx: Option<Receiver<Biplex>>,
+    cancel: Arc<AtomicBool>,
+    handle: Option<JoinHandle<RunReport>>,
+}
+
+impl SolutionStream {
+    /// Requests cooperative cancellation of the producing run without
+    /// consuming the stream; already-buffered solutions remain readable.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops the run (if still going), joins the producer thread and
+    /// returns its [`RunReport`]. After a fully drained stream the report's
+    /// stop reason is whatever ended the run (e.g.
+    /// [`StopReason::Exhausted`] or [`StopReason::LimitReached`]); calling
+    /// it early cancels the run first.
+    pub fn finish(mut self) -> RunReport {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> RunReport {
+        self.cancel.store(true, Ordering::Relaxed);
+        // Drop the receiver before joining: a producer blocked on a full
+        // channel unblocks through the send error.
+        drop(self.rx.take());
+        self.handle
+            .take()
+            .expect("stream already finished")
+            .join()
+            .expect("enumerator thread panicked")
+    }
+}
+
+impl Iterator for SolutionStream {
+    type Item = Biplex;
+
+    fn next(&mut self) -> Option<Biplex> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for SolutionStream {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.cancel.store(true, Ordering::Relaxed);
+            drop(self.rx.take());
+            // Swallow a producer panic here: panicking inside drop would
+            // abort the process when the consumer is already unwinding and
+            // mask the original failure. `finish()` still propagates it.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Shared stopping logic wrapped around the caller's sink: counts
+/// deliveries, enforces the limit and the deadline, records the stop reason
+/// and raises the cancellation flag the engines poll. The mutex serialises
+/// deliveries from parallel workers, which is what makes "limit n returns
+/// exactly n" exact.
+struct Gate<'a> {
+    inner: Mutex<GateInner<'a>>,
+    cancel: &'a AtomicBool,
+    /// Raised by [`ChannelSink`] when a delivery attempt failed because the
+    /// stream's receiver is gone: the solution was not consumed, so it must
+    /// not be counted and the stop is a cancellation, not a sink stop.
+    undelivered: Option<&'a AtomicBool>,
+}
+
+struct GateInner<'a> {
+    sink: &'a mut (dyn SolutionSink + Send),
+    delivered: u64,
+    limit: Option<u64>,
+    deadline: Option<Instant>,
+    reason: Option<StopReason>,
+}
+
+impl<'a> Gate<'a> {
+    fn new(
+        sink: &'a mut (dyn SolutionSink + Send),
+        limit: Option<u64>,
+        deadline: Option<Instant>,
+        cancel: &'a AtomicBool,
+        undelivered: Option<&'a AtomicBool>,
+    ) -> Self {
+        Gate {
+            inner: Mutex::new(GateInner { sink, delivered: 0, limit, deadline, reason: None }),
+            cancel,
+            undelivered,
+        }
+    }
+
+    /// Applies the stopping rules without delivering a solution (used by
+    /// post-filters for solutions they drop).
+    fn check(&self) -> Control {
+        let mut inner = self.inner.lock().expect("facade gate poisoned");
+        match self.pre_checks(&mut inner) {
+            Some(control) => control,
+            None => Control::Continue,
+        }
+    }
+
+    /// Delivers one solution through the stopping rules.
+    fn offer(&self, solution: &Biplex) -> Control {
+        let mut inner = self.inner.lock().expect("facade gate poisoned");
+        if let Some(control) = self.pre_checks(&mut inner) {
+            return control;
+        }
+        let verdict = inner.sink.on_solution(solution);
+        if verdict == Control::Stop && self.undelivered.is_some_and(|u| u.load(Ordering::Relaxed)) {
+            // The stream's channel sink reports the send failed (receiver
+            // dropped mid-run). The solution was not consumed: report a
+            // cancellation, not a sink stop, and do not count it. A genuine
+            // sink stop — even one racing an engine-side cancel — is still
+            // counted and labelled SinkStopped below.
+            return self.stop(&mut inner, StopReason::Cancelled);
+        }
+        inner.delivered += 1;
+        if verdict == Control::Stop {
+            return self.stop(&mut inner, StopReason::SinkStopped);
+        }
+        if inner.limit == Some(inner.delivered) {
+            return self.stop(&mut inner, StopReason::LimitReached);
+        }
+        Control::Continue
+    }
+
+    /// The checks running before a delivery: an already-decided stop, an
+    /// external cancellation, an expired deadline, an exhausted limit
+    /// (covers `limit(0)`). Returns `Some(Stop)` when the run must stop.
+    fn pre_checks(&self, inner: &mut GateInner<'_>) -> Option<Control> {
+        if inner.reason.is_some() {
+            return Some(Control::Stop);
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            return Some(self.stop(inner, StopReason::Cancelled));
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Some(self.stop(inner, StopReason::TimeBudget));
+            }
+        }
+        if inner.limit == Some(inner.delivered) {
+            return Some(self.stop(inner, StopReason::LimitReached));
+        }
+        None
+    }
+
+    fn stop(&self, inner: &mut GateInner<'_>, reason: StopReason) -> Control {
+        inner.reason = Some(reason);
+        self.cancel.store(true, Ordering::Relaxed);
+        Control::Stop
+    }
+
+    fn finish(self) -> (u64, Option<StopReason>) {
+        let inner = self.inner.into_inner().expect("facade gate poisoned");
+        (inner.delivered, inner.reason)
+    }
+}
+
+/// Builds the sequential traversal configuration of a spec.
+fn traversal_config(spec: &Spec, deadline: Option<Instant>) -> TraversalConfig {
+    let base = match spec.algorithm {
+        Algorithm::ITraversal | Algorithm::Large => TraversalConfig::itraversal(spec.k),
+        Algorithm::ITraversalNoExclusion => TraversalConfig::itraversal_no_exclusion(spec.k),
+        Algorithm::LeftAnchoredOnly => TraversalConfig::itraversal_left_anchored_only(spec.k),
+        Algorithm::BTraversal => TraversalConfig::btraversal(spec.k),
+        Algorithm::Asym | Algorithm::BruteForce => unreachable!("not traversal algorithms"),
+    };
+    let base = match spec.anchor {
+        Some(anchor) => base.with_anchor(anchor),
+        None => base,
+    };
+    base.with_enum_kind(spec.enum_kind)
+        .with_emit(spec.emit_mode)
+        .with_thresholds(spec.theta_left, spec.theta_right)
+        .with_order(spec.order)
+        .with_deadline(deadline)
+}
+
+/// Builds the parallel configuration of a spec.
+fn parallel_config(spec: &Spec) -> ParallelConfig {
+    let engine = match spec.engine {
+        Engine::WorkSteal => ParallelEngine::WorkSteal,
+        Engine::GlobalQueue => ParallelEngine::GlobalQueue,
+        Engine::Sequential => unreachable!("sequential runs never build a ParallelConfig"),
+    };
+    ParallelConfig::new(spec.k)
+        .with_threads(spec.threads)
+        .with_enum_kind(spec.enum_kind)
+        .with_thresholds(spec.theta_left, spec.theta_right)
+        .with_order(spec.order)
+        .with_engine(engine)
+        .with_seen_segments(spec.seen_segments)
+        .with_steal_adaptive(spec.steal_adaptive)
+}
+
+/// Runs a validated spec to completion. Infallible: every configuration
+/// error was caught by [`Enumerator::validate`].
+///
+/// `incremental` selects how the parallel engines deliver: `true` streams
+/// every solution through the gate as it is discovered (required for
+/// [`Enumerator::stream`] and whenever a limit or time budget must be able
+/// to cancel the workers mid-run); `false` lets the engines keep their
+/// batched result hand-off (one lock per `result_batch` solutions instead
+/// of one gate lock per solution) and feeds the collected set through the
+/// gate afterwards — the fast path for full enumerations.
+fn execute(
+    g: &BipartiteGraph,
+    spec: &Spec,
+    sink: &mut (dyn SolutionSink + Send),
+    cancel: &AtomicBool,
+    undelivered: Option<&AtomicBool>,
+    incremental: bool,
+) -> RunReport {
+    let deadline = spec.time_budget.map(|budget| Instant::now() + budget);
+    let gate = Gate::new(sink, spec.limit, deadline, cancel, undelivered);
+    let start = Instant::now();
+
+    let (stats, reduced) = match (spec.algorithm, spec.engine) {
+        (Algorithm::Asym, _) => {
+            let kp = spec.k_pair.unwrap_or(KPair::symmetric(spec.k));
+            // The asymmetric engine has no in-search size pruning; the
+            // thresholds post-filter (still consulting the stopping rules
+            // for dropped solutions so budgets fire on schedule).
+            let mut filter = |b: &Biplex| {
+                if b.left.len() >= spec.theta_left && b.right.len() >= spec.theta_right {
+                    gate.offer(b)
+                } else {
+                    gate.check()
+                }
+            };
+            let stats = run_asym(g, kp, &mut filter);
+            (EngineStats::Asym(stats), None)
+        }
+        (Algorithm::BruteForce, _) => {
+            for b in brute_force_mbps(g, spec.k) {
+                let verdict =
+                    if b.left.len() >= spec.theta_left && b.right.len() >= spec.theta_right {
+                        gate.offer(&b)
+                    } else {
+                        gate.check()
+                    };
+                if verdict == Control::Stop {
+                    break;
+                }
+            }
+            (EngineStats::Oracle, None)
+        }
+        (Algorithm::Large, Engine::Sequential) => {
+            let params = large_params(spec);
+            let mut sink_fn = |b: &Biplex| gate.offer(b);
+            let report = run_large(g, &params, &traversal_config(spec, deadline), &mut sink_fn);
+            (
+                EngineStats::Sequential(report.stats),
+                Some(reduced_info(report.reduced_size, report.reduced_edges)),
+            )
+        }
+        (Algorithm::Large, _) => {
+            let params = large_params(spec);
+            let emit = |b: &Biplex| gate.offer(b);
+            let rt = parallel_runtime(incremental, &emit, cancel, deadline);
+            let (collected, report) = par_run_large(g, &params, &parallel_config(spec), &rt);
+            feed_collected(&gate, &collected);
+            (
+                EngineStats::Parallel(report.stats),
+                Some(reduced_info(report.reduced_size, report.reduced_edges)),
+            )
+        }
+        (_, Engine::Sequential) => {
+            let mut sink_fn = |b: &Biplex| gate.offer(b);
+            let stats = traverse(g, &traversal_config(spec, deadline), &mut sink_fn);
+            (EngineStats::Sequential(stats), None)
+        }
+        (_, _) => {
+            let emit = |b: &Biplex| gate.offer(b);
+            let rt = parallel_runtime(incremental, &emit, cancel, deadline);
+            let (collected, stats) = par_run(g, &parallel_config(spec), &rt);
+            feed_collected(&gate, &collected);
+            (EngineStats::Parallel(stats), None)
+        }
+    };
+
+    let elapsed = start.elapsed();
+    let (delivered, reason) = gate.finish();
+    let stop = reason.unwrap_or_else(|| {
+        // The gate never decided a stop, but the engine may still have been
+        // cut short at a scheduling boundary without any delivery passing
+        // through the gate afterwards (e.g. thresholds filtered everything
+        // out of a budgeted run, or a stream was dropped mid-run).
+        let engine_stopped = match &stats {
+            EngineStats::Parallel(s) => s.stopped_early,
+            EngineStats::Sequential(s) => s.stopped_early,
+            EngineStats::Asym(_) | EngineStats::Oracle => false,
+        };
+        if !engine_stopped {
+            StopReason::Exhausted
+        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+            StopReason::TimeBudget
+        } else {
+            StopReason::Cancelled
+        }
+    });
+    RunReport { solutions: delivered, stop, elapsed, stats, reduced }
+}
+
+fn large_params(spec: &Spec) -> LargeMbpParams {
+    LargeMbpParams {
+        k: spec.k,
+        theta_left: spec.theta_left,
+        theta_right: spec.theta_right,
+        core_reduction: spec.core_reduction.unwrap_or(true),
+    }
+}
+
+fn reduced_info(size: (u32, u32), edges: u64) -> ReducedGraph {
+    ReducedGraph { left: size.0, right: size.1, edges }
+}
+
+/// Builds the engine-side runtime of a parallel run. Incremental runs (a
+/// limit, a time budget or a stream) deliver through the gate and poll the
+/// shared flag and the deadline at scheduling boundaries; plain full
+/// enumerations pass no hooks at all, keeping the engines' batched result
+/// hand-off and (on the global queue) the blocking condvar wait.
+fn parallel_runtime<'a>(
+    incremental: bool,
+    emit: &'a (dyn Fn(&Biplex) -> Control + Sync),
+    cancel: &'a AtomicBool,
+    deadline: Option<Instant>,
+) -> ParRuntime<'a> {
+    if incremental {
+        ParRuntime { emit: Some(emit), cancel: Some(cancel), deadline }
+    } else {
+        ParRuntime::default()
+    }
+}
+
+/// Feeds a collect-mode result set through the gate (no-op for the empty
+/// vector an emit-mode run returns). A sink stop ends the feed early.
+fn feed_collected(gate: &Gate<'_>, collected: &[Biplex]) {
+    for b in collected {
+        if gate.offer(b) == Control::Stop {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biplex::is_maximal_k_biplex;
+    use crate::sink::{CollectSink, CountingSink};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 0..nl {
+            for u in 0..nr {
+                if rng.gen_bool(p) {
+                    edges.push((v, u));
+                }
+            }
+        }
+        BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
+    }
+
+    fn collect(e: &Enumerator<'_>) -> Vec<Biplex> {
+        e.collect().unwrap()
+    }
+
+    #[test]
+    fn every_algorithm_engine_combination_agrees() {
+        let g = random_graph(6, 6, 0.5, 1);
+        let k = 1;
+        let expected = collect(&Enumerator::new(&g).k(k));
+        assert!(!expected.is_empty());
+        for algorithm in [
+            Algorithm::ITraversal,
+            Algorithm::ITraversalNoExclusion,
+            Algorithm::LeftAnchoredOnly,
+            Algorithm::BTraversal,
+            Algorithm::Asym,
+            Algorithm::BruteForce,
+        ] {
+            let got = collect(&Enumerator::new(&g).k(k).algorithm(algorithm));
+            assert_eq!(got, expected, "{algorithm}");
+        }
+        for engine in [Engine::WorkSteal, Engine::GlobalQueue] {
+            for algorithm in [Algorithm::ITraversal, Algorithm::ITraversalNoExclusion] {
+                let got = collect(
+                    &Enumerator::new(&g).k(k).algorithm(algorithm).engine(engine).threads(3),
+                );
+                assert_eq!(got, expected, "{algorithm} on {engine}");
+            }
+        }
+    }
+
+    #[test]
+    fn limit_is_exact_on_every_engine() {
+        let g = random_graph(7, 7, 0.5, 3);
+        let k = 1;
+        let total = collect(&Enumerator::new(&g).k(k)).len() as u64;
+        assert!(total > 4);
+        for engine in [Engine::Sequential, Engine::WorkSteal, Engine::GlobalQueue] {
+            for limit in [0u64, 1, 3] {
+                let mut sink = CollectSink::new();
+                let e = Enumerator::new(&g).k(k).engine(engine).limit(limit);
+                let e = if engine == Engine::Sequential { e } else { e.threads(3) };
+                let report = e.run(&mut sink).unwrap();
+                assert_eq!(sink.solutions.len() as u64, limit, "{engine} limit {limit}");
+                assert_eq!(report.solutions, limit, "{engine} limit {limit}");
+                assert_eq!(report.stop, StopReason::LimitReached, "{engine} limit {limit}");
+                for b in &sink.solutions {
+                    assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
+                }
+                if let EngineStats::Parallel(stats) = &report.stats {
+                    assert!(stats.stopped_early, "{engine} limit {limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_budget_zero_stops_immediately() {
+        let g = random_graph(7, 7, 0.5, 5);
+        for engine in [Engine::Sequential, Engine::WorkSteal] {
+            let mut sink = CountingSink::new();
+            let e = Enumerator::new(&g).time_budget(Duration::ZERO).engine(engine);
+            let e = if engine == Engine::Sequential { e } else { e.threads(2) };
+            let report = e.run(&mut sink).unwrap();
+            assert_eq!(report.stop, StopReason::TimeBudget, "{engine}");
+            assert_eq!(sink.count, 0, "{engine}");
+        }
+    }
+
+    #[test]
+    fn budget_reported_even_when_thresholds_filter_every_delivery() {
+        // Thresholds no solution can meet: nothing ever reaches the gate,
+        // so the stop reason must come from the engine-side deadline — the
+        // sequential engine polls it at DFS steps, the parallel workers at
+        // steal/expand boundaries.
+        let g = random_graph(7, 7, 0.5, 17);
+        for engine in [Engine::Sequential, Engine::WorkSteal] {
+            let mut sink = CountingSink::new();
+            let e = Enumerator::new(&g)
+                .k(1)
+                .thresholds(100, 100)
+                .time_budget(Duration::ZERO)
+                .engine(engine);
+            let e = if engine == Engine::Sequential { e } else { e.threads(2) };
+            let report = e.run(&mut sink).unwrap();
+            assert_eq!(sink.count, 0, "{engine}");
+            assert_eq!(report.stop, StopReason::TimeBudget, "{engine}");
+        }
+    }
+
+    #[test]
+    fn stream_matches_run_and_supports_early_drop() {
+        let g = random_graph(6, 6, 0.5, 7);
+        let expected = collect(&Enumerator::new(&g));
+        for engine in [Engine::Sequential, Engine::WorkSteal, Engine::GlobalQueue] {
+            let e = Enumerator::new(&g).engine(engine);
+            let e = if engine == Engine::Sequential { e } else { e.threads(2) };
+            let mut got: Vec<Biplex> = e.stream().unwrap().collect();
+            got.sort();
+            assert_eq!(got, expected, "{engine}");
+
+            // Taking a prefix and dropping the stream cancels the run.
+            let taken: Vec<Biplex> = e.stream().unwrap().take(2).collect();
+            assert_eq!(taken.len(), 2, "{engine}");
+        }
+    }
+
+    #[test]
+    fn early_stream_finish_reports_cancelled_not_sink_stopped() {
+        // 7×7 at p=0.5 has far more solutions than the 2-slot buffer, so
+        // the producer is still mid-run when the stream is abandoned.
+        let g = random_graph(7, 7, 0.5, 13);
+        let mut stream = Enumerator::new(&g).stream_buffer(2).stream().unwrap();
+        let _first = stream.next().expect("at least one solution");
+        let report = stream.finish();
+        assert_eq!(report.stop, StopReason::Cancelled);
+    }
+
+    #[test]
+    fn stream_finish_reports_stop_reason() {
+        let g = random_graph(6, 6, 0.5, 9);
+        let mut stream = Enumerator::new(&g).limit(3).stream().unwrap();
+        let mut n = 0;
+        while stream.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        let report = stream.finish();
+        assert_eq!(report.stop, StopReason::LimitReached);
+        assert_eq!(report.solutions, 3);
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let g = random_graph(4, 4, 0.5, 0);
+        let err = |e: Enumerator<'_>| e.run(&mut CountingSink::new()).unwrap_err();
+        assert!(matches!(
+            err(Enumerator::new(&g).algorithm(Algorithm::Asym).engine(Engine::WorkSteal)),
+            ApiError::Unsupported(_)
+        ));
+        assert!(matches!(
+            err(Enumerator::new(&g).algorithm(Algorithm::BTraversal).engine(Engine::GlobalQueue)),
+            ApiError::Unsupported(_)
+        ));
+        assert!(matches!(
+            err(Enumerator::new(&g).k_pair(KPair::new(1, 2))),
+            ApiError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            err(Enumerator::new(&g).algorithm(Algorithm::Asym).order(VertexOrder::Degree)),
+            ApiError::Unsupported(_)
+        ));
+        assert!(matches!(err(Enumerator::new(&g).threads(2)), ApiError::InvalidConfig(_)));
+        assert!(matches!(err(Enumerator::new(&g).seen_segments(2)), ApiError::InvalidConfig(_)));
+        assert!(matches!(
+            err(Enumerator::new(&g).steal_adaptive(false).engine(Engine::GlobalQueue)),
+            ApiError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            err(Enumerator::new(&g).core_reduction(false)),
+            ApiError::InvalidConfig(_)
+        ));
+        let big = BipartiteGraph::from_edges(20, 20, &[(0, 0)]).unwrap();
+        assert!(matches!(
+            err(Enumerator::new(&big).algorithm(Algorithm::BruteForce)),
+            ApiError::InvalidConfig(_)
+        ));
+        // Errors render.
+        let msg = format!("{}", err(Enumerator::new(&g).threads(2)));
+        assert!(msg.contains("threads"));
+    }
+
+    #[test]
+    fn parsing_and_display_round_trip() {
+        for algorithm in [
+            Algorithm::ITraversal,
+            Algorithm::ITraversalNoExclusion,
+            Algorithm::LeftAnchoredOnly,
+            Algorithm::BTraversal,
+            Algorithm::Large,
+            Algorithm::Asym,
+            Algorithm::BruteForce,
+        ] {
+            assert_eq!(algorithm.to_string().parse::<Algorithm>().unwrap(), algorithm);
+        }
+        for engine in [Engine::Sequential, Engine::GlobalQueue, Engine::WorkSteal] {
+            assert_eq!(engine.to_string().parse::<Engine>().unwrap(), engine);
+        }
+        assert!("quantum".parse::<Algorithm>().is_err());
+        assert!("quantum".parse::<Engine>().is_err());
+        assert_eq!(StopReason::LimitReached.to_string(), "limit-reached");
+    }
+
+    #[test]
+    fn large_pipeline_reports_reduction() {
+        let g = random_graph(8, 8, 0.4, 11);
+        let mut sink = CollectSink::new();
+        let report = Enumerator::new(&g)
+            .algorithm(Algorithm::Large)
+            .thresholds(2, 2)
+            .run(&mut sink)
+            .unwrap();
+        let reduced = report.reduced.expect("large runs report the reduction");
+        assert!(reduced.left <= g.num_left());
+        let expected = collect(
+            &Enumerator::new(&g).algorithm(Algorithm::Large).thresholds(2, 2).core_reduction(false),
+        );
+        assert_eq!(sink.into_sorted(), expected);
+    }
+}

@@ -176,11 +176,11 @@ pub struct AsymStats {
     pub stopped_early: bool,
 }
 
-/// Enumerates all maximal (k_L, k_R)-biplexes of `g`, delivering each
-/// exactly once to `sink`. Follows the `bTraversal` reverse-search framework
-/// (Algorithm 1) generalised to two budgets; the DFS over the implicit
-/// solution graph uses an explicit stack.
-pub fn enumerate_asym_mbps<S: SolutionSink + ?Sized>(
+/// The asymmetric enumeration engine, shared by the deprecated
+/// [`enumerate_asym_mbps`] wrapper and the [`crate::api::Enumerator`]
+/// facade. Enumerates all maximal (k_L, k_R)-biplexes of `g`, delivering
+/// each exactly once to `sink`.
+pub(crate) fn run_asym<S: SolutionSink + ?Sized>(
     g: &BipartiteGraph,
     kp: KPair,
     sink: &mut S,
@@ -259,11 +259,31 @@ pub fn enumerate_asym_mbps<S: SolutionSink + ?Sized>(
     stats
 }
 
+/// Enumerates all maximal (k_L, k_R)-biplexes of `g`, delivering each
+/// exactly once to `sink`. Follows the `bTraversal` reverse-search framework
+/// (Algorithm 1) generalised to two budgets; the DFS over the implicit
+/// solution graph uses an explicit stack.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(kp)`)"
+)]
+pub fn enumerate_asym_mbps<S: SolutionSink + ?Sized>(
+    g: &BipartiteGraph,
+    kp: KPair,
+    sink: &mut S,
+) -> AsymStats {
+    run_asym(g, kp, sink)
+}
+
 /// Convenience wrapper: collects all maximal (k_L, k_R)-biplexes, sorted
 /// canonically.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(kp)`)"
+)]
 pub fn collect_asym_mbps(g: &BipartiteGraph, kp: KPair) -> Vec<Biplex> {
     let mut sink = crate::sink::CollectSink::new();
-    enumerate_asym_mbps(g, kp, &mut sink);
+    run_asym(g, kp, &mut sink);
     sink.into_sorted()
 }
 
@@ -473,6 +493,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    /// Non-deprecated stand-in for `collect_asym_mbps`.
+    fn collect_asym(g: &BipartiteGraph, kp: KPair) -> Vec<Biplex> {
+        let mut sink = crate::sink::CollectSink::new();
+        run_asym(g, kp, &mut sink);
+        sink.into_sorted()
+    }
+
     fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut edges = Vec::new();
@@ -491,8 +518,8 @@ mod tests {
         for seed in 0..10u64 {
             let g = random_graph(5, 5, 0.5, seed);
             for k in 0..=2usize {
-                let sym = crate::traversal::enumerate_all(&g, k);
-                let asym = collect_asym_mbps(&g, KPair::symmetric(k));
+                let sym = crate::traversal::tests_support::enumerate_all(&g, k);
+                let asym = collect_asym(&g, KPair::symmetric(k));
                 assert_eq!(sym, asym, "seed {seed} k {k}");
             }
         }
@@ -505,7 +532,7 @@ mod tests {
             for (kl, kr) in [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2)] {
                 let kp = KPair::new(kl, kr);
                 let expected = brute_force_asym_mbps(&g, kp);
-                let got = collect_asym_mbps(&g, kp);
+                let got = collect_asym(&g, kp);
                 assert_eq!(got, expected, "seed {seed} k=({kl},{kr})");
             }
         }
@@ -515,7 +542,7 @@ mod tests {
     fn every_reported_solution_is_a_maximal_asym_biplex() {
         let g = random_graph(6, 6, 0.4, 42);
         let kp = KPair::new(1, 2);
-        for b in collect_asym_mbps(&g, kp) {
+        for b in collect_asym(&g, kp) {
             assert!(is_maximal_asym_biplex(&g, &b.left, &b.right, kp));
         }
     }
@@ -525,9 +552,9 @@ mod tests {
         let g = random_graph(5, 4, 0.5, 7);
         let gt = g.transpose();
         let kp = KPair::new(1, 2);
-        let direct = collect_asym_mbps(&g, kp);
+        let direct = collect_asym(&g, kp);
         let mut via_transpose: Vec<Biplex> =
-            collect_asym_mbps(&gt, kp.transpose()).into_iter().map(Biplex::transpose).collect();
+            collect_asym(&gt, kp.transpose()).into_iter().map(Biplex::transpose).collect();
         via_transpose.sort();
         assert_eq!(direct, via_transpose);
     }
@@ -546,7 +573,7 @@ mod tests {
         // maximal biclique (cross-check structure only, not the full set).
         let g = random_graph(5, 5, 0.6, 3);
         let kp = KPair::symmetric(0);
-        for b in collect_asym_mbps(&g, kp) {
+        for b in collect_asym(&g, kp) {
             for &v in &b.left {
                 for &u in &b.right {
                     assert!(g.has_edge(v, u));
@@ -559,10 +586,10 @@ mod tests {
     fn early_stop_via_sink() {
         let g = random_graph(6, 6, 0.5, 9);
         let kp = KPair::new(1, 2);
-        let all = collect_asym_mbps(&g, kp);
+        let all = collect_asym(&g, kp);
         assert!(all.len() > 2);
         let mut sink = crate::sink::FirstN::new(2);
-        let stats = enumerate_asym_mbps(&g, kp, &mut sink);
+        let stats = run_asym(&g, kp, &mut sink);
         assert_eq!(sink.len(), 2);
         assert!(stats.stopped_early);
     }

@@ -18,9 +18,10 @@ use bigraph::core_decomp::alpha_beta_core_subgraph;
 use bigraph::BipartiteGraph;
 
 use crate::biplex::Biplex;
+use crate::parallel::{par_run, ParRuntime};
 use crate::sink::{Control, SolutionSink};
 use crate::stats::TraversalStats;
-use crate::traversal::{enumerate_mbps, TraversalConfig};
+use crate::traversal::{traverse, TraversalConfig};
 
 /// Parameters of a large-MBP enumeration.
 #[derive(Clone, Copy, Debug)]
@@ -55,9 +56,10 @@ pub struct LargeMbpReport {
     pub reduced_edges: u64,
 }
 
-/// Enumerates every maximal k-biplex of `g` with `|L| ≥ θ_L` and
-/// `|R| ≥ θ_R`, delivering them (in original vertex ids) to `sink`.
-pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
+/// The large-MBP pipeline, shared by the deprecated [`enumerate_large_mbps`]
+/// wrapper and the [`crate::api::Enumerator`] facade: (θ−k)-core reduction,
+/// size-pruned traversal, translation back to original ids.
+pub(crate) fn run_large<S: SolutionSink + ?Sized>(
     g: &BipartiteGraph,
     params: &LargeMbpParams,
     base_config: &TraversalConfig,
@@ -69,7 +71,7 @@ pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
     config.theta_right = params.theta_right;
 
     if !params.core_reduction {
-        let stats = enumerate_mbps(g, &config, sink);
+        let stats = traverse(g, &config, sink);
         return LargeMbpReport {
             stats,
             reduced_size: (g.num_left(), g.num_right()),
@@ -88,12 +90,27 @@ pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
         let (left, right) = reduced.original_pair(&b.left, &b.right);
         sink.on_solution(&Biplex::new(left, right))
     };
-    let stats = enumerate_mbps(&reduced.graph, &config, &mut mapping_sink);
+    let stats = traverse(&reduced.graph, &config, &mut mapping_sink);
     LargeMbpReport {
         stats,
         reduced_size: (reduced.graph.num_left(), reduced.graph.num_right()),
         reduced_edges: reduced.graph.num_edges(),
     }
+}
+
+/// Enumerates every maximal k-biplex of `g` with `|L| ≥ θ_L` and
+/// `|R| ≥ θ_R`, delivering them (in original vertex ids) to `sink`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Large)`)"
+)]
+pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
+    g: &BipartiteGraph,
+    params: &LargeMbpParams,
+    base_config: &TraversalConfig,
+    sink: &mut S,
+) -> LargeMbpReport {
+    run_large(g, params, base_config, sink)
 }
 
 /// Report of a parallel large-MBP run (see [`par_collect_large_mbps`]).
@@ -107,14 +124,17 @@ pub struct ParLargeMbpReport {
     pub reduced_edges: u64,
 }
 
-/// Parallel variant of [`enumerate_large_mbps`]: the same (θ−k)-core
-/// reduction, then the parallel engine with the size thresholds pushed into
-/// the search. Returns the large MBPs in original ids (sorted canonically)
-/// together with the run report.
-pub fn par_collect_large_mbps(
+/// The parallel large-MBP pipeline, shared by the deprecated
+/// [`par_collect_large_mbps`] wrapper and the facade: the same (θ−k)-core
+/// reduction, then the parallel engines with the size thresholds pushed into
+/// the search. In collect mode (no emit hook on `rt`) the large MBPs come
+/// back in original ids, sorted canonically; in streaming mode they go
+/// through the emit hook (already translated) and the vector is empty.
+pub(crate) fn par_run_large(
     g: &BipartiteGraph,
     params: &LargeMbpParams,
     base_config: &crate::parallel::ParallelConfig,
+    rt: &ParRuntime<'_>,
 ) -> (Vec<Biplex>, ParLargeMbpReport) {
     let mut config = base_config.clone();
     config.k = params.k;
@@ -122,7 +142,7 @@ pub fn par_collect_large_mbps(
     config.theta_right = params.theta_right;
 
     if !params.core_reduction {
-        let (mut solutions, stats) = crate::parallel::par_enumerate_mbps(g, &config);
+        let (mut solutions, stats) = par_run(g, &config, rt);
         solutions.sort();
         let report = ParLargeMbpReport {
             stats,
@@ -135,15 +155,28 @@ pub fn par_collect_large_mbps(
     let alpha = params.theta_right.saturating_sub(params.k);
     let beta = params.theta_left.saturating_sub(params.k);
     let reduced = alpha_beta_core_subgraph(g, alpha, beta);
-    let (solutions, stats) = crate::parallel::par_enumerate_mbps(&reduced.graph, &config);
-    let mut mapped: Vec<Biplex> = solutions
-        .into_iter()
-        .map(|b| {
+
+    let (mapped, stats) = if let Some(emit) = rt.emit {
+        // Streaming delivery: translate ids on the way through the hook.
+        let mapping_emit = |b: &Biplex| {
             let (left, right) = reduced.original_pair(&b.left, &b.right);
-            Biplex::new(left, right)
-        })
-        .collect();
-    mapped.sort();
+            emit(&Biplex::new(left, right))
+        };
+        let mapped_rt = ParRuntime { emit: Some(&mapping_emit), ..*rt };
+        let (_, stats) = par_run(&reduced.graph, &config, &mapped_rt);
+        (Vec::new(), stats)
+    } else {
+        let (solutions, stats) = par_run(&reduced.graph, &config, rt);
+        let mut mapped: Vec<Biplex> = solutions
+            .into_iter()
+            .map(|b| {
+                let (left, right) = reduced.original_pair(&b.left, &b.right);
+                Biplex::new(left, right)
+            })
+            .collect();
+        mapped.sort();
+        (mapped, stats)
+    };
     let report = ParLargeMbpReport {
         stats,
         reduced_size: (reduced.graph.num_left(), reduced.graph.num_right()),
@@ -152,7 +185,27 @@ pub fn par_collect_large_mbps(
     (mapped, report)
 }
 
+/// Parallel variant of [`enumerate_large_mbps`]: the same (θ−k)-core
+/// reduction, then the parallel engine with the size thresholds pushed into
+/// the search. Returns the large MBPs in original ids (sorted canonically)
+/// together with the run report.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Large).engine(...)`)"
+)]
+pub fn par_collect_large_mbps(
+    g: &BipartiteGraph,
+    params: &LargeMbpParams,
+    base_config: &crate::parallel::ParallelConfig,
+) -> (Vec<Biplex>, ParLargeMbpReport) {
+    par_run_large(g, params, base_config, &ParRuntime::default())
+}
+
 /// Convenience wrapper returning the large MBPs sorted canonically.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Large)`)"
+)]
 pub fn collect_large_mbps(
     g: &BipartiteGraph,
     params: &LargeMbpParams,
@@ -163,7 +216,7 @@ pub fn collect_large_mbps(
         out.push(b.clone());
         Control::Continue
     };
-    enumerate_large_mbps(g, params, base_config, &mut sink);
+    run_large(g, params, base_config, &mut sink);
     out.sort();
     out
 }
@@ -174,6 +227,25 @@ mod tests {
     use crate::bruteforce::brute_force_large_mbps;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// Non-deprecated stand-ins for the legacy collect wrappers.
+    fn collect_large(
+        g: &BipartiteGraph,
+        params: &LargeMbpParams,
+        base_config: &TraversalConfig,
+    ) -> Vec<Biplex> {
+        let mut sink = crate::sink::CollectSink::new();
+        run_large(g, params, base_config, &mut sink);
+        sink.into_sorted()
+    }
+
+    fn par_collect_large(
+        g: &BipartiteGraph,
+        params: &LargeMbpParams,
+        base_config: &crate::parallel::ParallelConfig,
+    ) -> (Vec<Biplex>, ParLargeMbpReport) {
+        par_run_large(g, params, base_config, &ParRuntime::default())
+    }
 
     fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -206,7 +278,7 @@ mod tests {
                             theta_right: theta,
                             core_reduction: core,
                         };
-                        let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+                        let got = collect_large(&g, &params, &TraversalConfig::itraversal(k));
                         assert_eq!(got, expected, "seed {seed} k {k} θ {theta} core {core}");
                     }
                 }
@@ -228,12 +300,9 @@ mod tests {
                         theta_right: theta,
                         core_reduction: core,
                     };
-                    let expected = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
-                    let (got, report) = par_collect_large_mbps(
-                        &g,
-                        &params,
-                        &ParallelConfig::new(k).with_threads(3),
-                    );
+                    let expected = collect_large(&g, &params, &TraversalConfig::itraversal(k));
+                    let (got, report) =
+                        par_collect_large(&g, &params, &ParallelConfig::new(k).with_threads(3));
                     assert_eq!(got, expected, "seed {seed} θ {theta} core {core}");
                     assert_eq!(report.stats.reported as usize, got.len());
                     assert!(report.reduced_size.0 <= g.num_left());
@@ -253,7 +322,7 @@ mod tests {
                 e
             };
             let params = LargeMbpParams { k, theta_left: 3, theta_right: 2, core_reduction: true };
-            let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+            let got = collect_large(&g, &params, &TraversalConfig::itraversal(k));
             assert_eq!(got, expected, "seed {seed}");
         }
     }
@@ -263,7 +332,7 @@ mod tests {
         let g = random_graph(40, 40, 0.08, 3);
         let params = LargeMbpParams::symmetric(1, 4);
         let mut sink = crate::sink::CountingSink::new();
-        let report = enumerate_large_mbps(&g, &params, &TraversalConfig::itraversal(1), &mut sink);
+        let report = run_large(&g, &params, &TraversalConfig::itraversal(1), &mut sink);
         assert!(report.reduced_size.0 <= g.num_left());
         assert!(report.reduced_size.1 <= g.num_right());
         assert!(report.reduced_edges <= g.num_edges());
@@ -273,7 +342,7 @@ mod tests {
     fn high_threshold_returns_nothing() {
         let g = random_graph(6, 6, 0.3, 9);
         let params = LargeMbpParams::symmetric(1, 6);
-        let got = collect_large_mbps(&g, &params, &TraversalConfig::itraversal(1));
+        let got = collect_large(&g, &params, &TraversalConfig::itraversal(1));
         let expected = brute_force_large_mbps(&g, 1, 6, 6);
         assert_eq!(got.len(), expected.len());
     }

@@ -10,7 +10,7 @@
 //!
 //! ```
 //! use bigraph::BipartiteGraph;
-//! use kbiplex::{enumerate_mbps, CollectSink, TraversalConfig};
+//! use kbiplex::{CollectSink, Enumerator, StopReason};
 //!
 //! // A small bipartite graph: 3 users × 3 products.
 //! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2)])
@@ -18,13 +18,21 @@
 //!
 //! // Enumerate all maximal 1-biplexes with the paper's iTraversal.
 //! let mut sink = CollectSink::new();
-//! let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(1), &mut sink);
-//! assert_eq!(stats.solutions as usize, sink.solutions.len());
+//! let report = Enumerator::new(&g).k(1).run(&mut sink).unwrap();
+//! assert_eq!(report.stop, StopReason::Exhausted);
+//! assert_eq!(report.solutions as usize, sink.solutions.len());
 //! assert!(!sink.solutions.is_empty());
+//!
+//! // Or pull the first two solutions from a stream.
+//! let first_two: Vec<_> = Enumerator::new(&g).k(1).limit(2).stream().unwrap().collect();
+//! assert_eq!(first_two.len(), 2);
 //! ```
 //!
 //! ## What is inside
 //!
+//! * [`api`] — the [`Enumerator`] builder facade: the single entry point
+//!   for every algorithm variant × engine combination, with streaming,
+//!   first-N limits, time budgets and cooperative cancellation.
 //! * [`traversal`] — the reverse-search engine implementing both
 //!   `bTraversal` (Algorithm 1) and `iTraversal` (Algorithm 2) with the
 //!   left-anchored, right-shrinking and exclusion-strategy prunings as
@@ -47,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod asym;
 pub mod biplex;
 pub mod bruteforce;
@@ -60,23 +69,33 @@ pub mod stats;
 pub mod store;
 pub mod traversal;
 
-pub use asym::{collect_asym_mbps, enumerate_asym_mbps, is_asym_biplex, KPair};
+pub use api::{
+    Algorithm, ApiError, Engine, EngineStats, Enumerator, ReducedGraph, RunReport, SolutionStream,
+    StopReason,
+};
+pub use asym::{is_asym_biplex, KPair};
 pub use bigraph::order::VertexOrder;
 pub use biplex::{is_k_biplex, is_maximal_k_biplex, Biplex, PartialBiplex};
 pub use enum_almost_sat::{enum_almost_sat, AlmostSatStats, EnumKind};
-pub use large::{
-    collect_large_mbps, enumerate_large_mbps, par_collect_large_mbps, LargeMbpParams,
-    LargeMbpReport, ParLargeMbpReport,
-};
+pub use large::{LargeMbpParams, LargeMbpReport, ParLargeMbpReport};
 pub use parallel::seen::ConcurrentSeenSet;
-pub use parallel::{
-    par_collect_mbps, par_count_mbps, par_enumerate_mbps, ParallelConfig, ParallelEngine,
-    ParallelStats,
-};
+pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
 pub use sink::{
     CollectSink, Control, CountingSink, DelayRecorder, DelayReport, FirstN, SizeFilter,
     SolutionSink,
 };
 pub use stats::TraversalStats;
 pub use store::{BTreeStore, HashStore, SolutionStore};
-pub use traversal::{enumerate_all, enumerate_mbps, Anchor, EmitMode, TraversalConfig};
+pub use traversal::{Anchor, EmitMode, TraversalConfig};
+
+// The deprecated free-function entry points stay re-exported at the crate
+// root so downstream code keeps compiling (with a deprecation warning at
+// *its* use sites, not here).
+#[allow(deprecated)]
+pub use asym::{collect_asym_mbps, enumerate_asym_mbps};
+#[allow(deprecated)]
+pub use large::{collect_large_mbps, enumerate_large_mbps, par_collect_large_mbps};
+#[allow(deprecated)]
+pub use parallel::{par_collect_mbps, par_count_mbps, par_enumerate_mbps};
+#[allow(deprecated)]
+pub use traversal::{enumerate_all, enumerate_mbps};

@@ -11,11 +11,12 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use bigraph::BipartiteGraph;
 
 use super::seen::fnv1a;
-use super::{expand_solution, ParallelConfig, ParallelStats, WorkerCounters};
+use super::{expand_solution, ParRuntime, ParallelConfig, ParallelStats, WorkerCounters};
 use crate::biplex::Biplex;
 use crate::initial::initial_left_anchored;
 
@@ -60,12 +61,18 @@ impl Shared {
     }
 
     /// Pops a work item, blocking until one is available or the run is
-    /// complete (queue empty and nothing in flight). Maintains the in-flight
-    /// counter: the caller *must* call [`Shared::finish_work`] after
-    /// processing a returned item.
-    fn pop_work(&self) -> Option<Biplex> {
+    /// complete (queue empty and nothing in flight) or cancelled. Maintains
+    /// the in-flight counter: the caller *must* call [`Shared::finish_work`]
+    /// after processing a returned item.
+    fn pop_work(&self, rt: &ParRuntime<'_>) -> Option<Biplex> {
         let mut q = self.queue.lock().expect("queue poisoned");
         loop {
+            if rt.should_stop() {
+                // Abandon queued work; wake everyone so they observe the
+                // flag instead of sleeping on an emptying queue.
+                self.wake.notify_all();
+                return None;
+            }
             if let Some(item) = q.0.pop_back() {
                 q.1 += 1;
                 return Some(item);
@@ -76,7 +83,14 @@ impl Shared {
                 self.wake.notify_all();
                 return None;
             }
-            q = self.wake.wait(q).expect("queue poisoned");
+            q = if rt.cancel.is_some() || rt.deadline.is_some() {
+                // With a cancellation flag or deadline in play the sleep is
+                // bounded, so an external cancel (e.g. a dropped stream) or
+                // an expiring deadline is observed without a notifier.
+                self.wake.wait_timeout(q, Duration::from_millis(1)).expect("queue poisoned").0
+            } else {
+                self.wake.wait(q).expect("queue poisoned")
+            };
         }
     }
 
@@ -91,10 +105,13 @@ impl Shared {
     }
 }
 
-/// Runs the global-queue enumeration. Called through
-/// [`super::par_enumerate_mbps`] with
-/// [`ParallelEngine::GlobalQueue`](super::ParallelEngine::GlobalQueue).
-pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, ParallelStats) {
+/// Runs the global-queue enumeration. Called through [`super::par_run`]
+/// with [`ParallelEngine::GlobalQueue`](super::ParallelEngine::GlobalQueue).
+pub(super) fn run(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+    rt: &ParRuntime<'_>,
+) -> (Vec<Biplex>, ParallelStats) {
     let threads = config.resolved_threads().max(1);
     let shared = Shared::new();
     let mut stats = ParallelStats { threads, ..ParallelStats::default() };
@@ -104,31 +121,39 @@ pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, 
     stats.solutions = 1;
     if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
         stats.reported = 1;
-        shared.results.lock().expect("results poisoned").push(initial.clone());
+        if !rt.deliver(&initial) {
+            shared.results.lock().expect("results poisoned").push(initial.clone());
+        }
     }
     shared.push_work(initial);
 
     std::thread::scope(|scope| {
         let handles: Vec<_> =
-            (0..threads).map(|_| scope.spawn(|| worker(g, config, &shared))).collect();
+            (0..threads).map(|_| scope.spawn(|| worker(g, config, rt, &shared))).collect();
         for handle in handles {
             handle.join().expect("worker panicked").merge_into(&mut stats);
         }
     });
 
+    stats.stopped_early = rt.cancelled();
     let results = shared.results.into_inner().expect("results poisoned");
     (results, stats)
 }
 
 /// One worker: repeatedly pops a solution and expands it.
-fn worker(g: &BipartiteGraph, config: &ParallelConfig, shared: &Shared) -> WorkerCounters {
+fn worker(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+    rt: &ParRuntime<'_>,
+    shared: &Shared,
+) -> WorkerCounters {
     let mut counters = WorkerCounters::default();
-    while let Some(host) = shared.pop_work() {
+    while let Some(host) = shared.pop_work(rt) {
         let mut on_new = |solution: Biplex, report: bool, expandable: bool| {
-            if report {
+            if report && !rt.deliver(&solution) {
                 shared.results.lock().expect("results poisoned").push(solution.clone());
             }
-            if expandable {
+            if expandable && !rt.cancelled() {
                 shared.push_work(solution);
             }
         };
@@ -139,6 +164,7 @@ fn worker(g: &BipartiteGraph, config: &ParallelConfig, shared: &Shared) -> Worke
             &mut counters,
             &|s: &Biplex| shared.insert(s),
             &mut on_new,
+            rt.cancel,
         );
         shared.finish_work();
     }

@@ -39,12 +39,20 @@
 //! [`bigraph::order`]): the engines then run on the relabeled graph and the
 //! solutions are mapped back to the original ids on the way out.
 //!
-//! Only the full enumeration is parallelised. Early-stopping "first N" runs
-//! are a latency problem, not a throughput problem, and stay sequential.
+//! Both engines support *cooperative cancellation*: the facade
+//! ([`crate::api::Enumerator`]) hands them a shared `AtomicBool` which the
+//! workers poll at steal/expand boundaries (and between local solutions of
+//! one expansion), so early-stopping "first N" and time-budgeted runs stop
+//! within one expansion instead of running to completion. Streaming
+//! delivery goes through an optional per-solution callback instead of the
+//! collected output vector.
 
 pub mod global_queue;
 pub mod seen;
 pub mod work_steal;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 use bigraph::order::{Relabeling, VertexOrder};
 use bigraph::BipartiteGraph;
@@ -52,6 +60,71 @@ use bigraph::BipartiteGraph;
 use crate::biplex::{sorted_intersection_len, Biplex, PartialBiplex};
 use crate::enum_almost_sat::{enum_almost_sat, EnumKind};
 use crate::extend::{extend_to_maximal, ExtendMode};
+use crate::sink::Control;
+
+/// Scheduler-independent runtime hooks of one parallel run, injected by the
+/// facade: an optional per-solution callback (streaming delivery instead of
+/// the collected output vector) and an optional shared cancellation flag
+/// polled by every worker at steal/expand boundaries.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct ParRuntime<'a> {
+    /// When set, reported solutions are handed to this callback (in
+    /// nondeterministic discovery order) instead of being collected; a
+    /// [`Control::Stop`] verdict requests cancellation of the whole run.
+    pub emit: Option<&'a (dyn Fn(&Biplex) -> Control + Sync)>,
+    /// Shared stop flag. Workers exit their scheduling loops and abandon
+    /// in-flight expansions as soon as it reads `true`.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Hard deadline polled alongside the flag at scheduling boundaries, so
+    /// a time-budgeted run stops even when no solution ever reaches the
+    /// emit callback (e.g. thresholds filter everything out).
+    pub deadline: Option<Instant>,
+}
+
+impl ParRuntime<'_> {
+    /// `true` once cancellation has been requested.
+    pub(crate) fn cancelled(&self) -> bool {
+        // Relaxed suffices: the flag is a pure liveness signal, no data is
+        // published through it.
+        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Boundary check: `true` once the run is cancelled or past its
+    /// deadline (an expired deadline raises the shared flag so in-flight
+    /// expansions on other workers also wind down).
+    pub(crate) fn should_stop(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.request_cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Requests cancellation (no-op without a flag).
+    pub(crate) fn request_cancel(&self) {
+        if let Some(c) = self.cancel {
+            c.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Delivers one reported solution through the callback, translating a
+    /// stop verdict into a cancellation request. Returns `false` when the
+    /// engine should keep the solution for the collected output instead.
+    pub(crate) fn deliver(&self, solution: &Biplex) -> bool {
+        match self.emit {
+            Some(emit) => {
+                if emit(solution) == Control::Stop {
+                    self.request_cancel();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
 
 /// Which parallel scheduler executes the run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -182,7 +255,7 @@ impl ParallelConfig {
 }
 
 /// Aggregate statistics of a parallel run.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ParallelStats {
     /// Distinct maximal k-biplexes discovered.
     pub solutions: u64,
@@ -198,6 +271,9 @@ pub struct ParallelStats {
     pub steals: u64,
     /// Worker threads actually used.
     pub threads: usize,
+    /// `true` when the run was cut short by cooperative cancellation (limit,
+    /// time budget or a stopping sink) instead of exhausting the search.
+    pub stopped_early: bool,
 }
 
 /// Per-worker tallies, merged into [`ParallelStats`] when the worker joins
@@ -232,7 +308,9 @@ impl WorkerCounters {
 ///   `true` exactly once per distinct solution across all workers;
 /// * `on_new(solution, report, expandable)` is called for every solution
 ///   claimed by this worker — `report` says it passed the size thresholds,
-///   `expandable` that its expansion is not pruned and it must be scheduled.
+///   `expandable` that its expansion is not pruned and it must be scheduled;
+/// * `cancel`, when set, is polled between candidate vertices and between
+///   local solutions so a cancelled run abandons the expansion mid-way.
 pub(crate) fn expand_solution(
     g: &BipartiteGraph,
     config: &ParallelConfig,
@@ -240,11 +318,15 @@ pub(crate) fn expand_solution(
     counters: &mut WorkerCounters,
     seen_insert: &dyn Fn(&Biplex) -> bool,
     on_new: &mut dyn FnMut(Biplex, bool, bool),
+    cancel: Option<&AtomicBool>,
 ) {
     let k = config.k;
     let host_partial = PartialBiplex::from_sets(g, &host.left, &host.right);
 
     for v in 0..g.num_left() {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return;
+        }
         if host_partial.contains_left(v) {
             continue;
         }
@@ -260,6 +342,9 @@ pub(crate) fn expand_solution(
         counters.almost_sat_graphs += 1;
 
         enum_almost_sat(g, k, config.enum_kind, &host_partial, v, |local: Biplex| -> bool {
+            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                return false;
+            }
             counters.local_solutions += 1;
 
             // Local-solution pruning (Section 5): under right-shrinking the
@@ -311,50 +396,87 @@ fn exists_addable_right(g: &BipartiteGraph, partial: &PartialBiplex, k: usize) -
     false
 }
 
-/// Enumerates all maximal k-biplexes of `g` in parallel and returns the
-/// solutions passing the size thresholds together with the run statistics.
-/// The returned vector is in nondeterministic (discovery) order; use
-/// [`par_collect_mbps`] for the canonically sorted set.
-pub fn par_enumerate_mbps(
+/// Engine dispatch plus the relabeling pass, shared by the deprecated free
+/// functions and the [`crate::api::Enumerator`] facade. A relabeling pass
+/// runs the engines on the permuted graph and maps the solutions back (in
+/// collect mode through the output vector, in streaming mode by wrapping the
+/// emit callback); the canonical solution set is unchanged.
+pub(crate) fn par_run(
     g: &BipartiteGraph,
     config: &ParallelConfig,
+    rt: &ParRuntime<'_>,
 ) -> (Vec<Biplex>, ParallelStats) {
-    // A relabeling pass runs the engines on the permuted graph and maps the
-    // solutions back; the canonical solution set is unchanged.
     if config.order != VertexOrder::Input {
         let relab = Relabeling::compute(g, config.order);
         let rg = relab.apply(g);
         let cfg = ParallelConfig { order: VertexOrder::Input, ..config.clone() };
-        let (solutions, stats) = par_enumerate_mbps(&rg, &cfg);
+        if let Some(emit) = rt.emit {
+            let mapped_emit = |b: &Biplex| emit(&b.map_back(&relab));
+            let mapped_rt = ParRuntime { emit: Some(&mapped_emit), ..*rt };
+            return par_run(&rg, &cfg, &mapped_rt);
+        }
+        let (solutions, stats) = par_run(&rg, &cfg, rt);
         let mapped = solutions.iter().map(|b| b.map_back(&relab)).collect();
         return (mapped, stats);
     }
     match config.engine {
-        ParallelEngine::WorkSteal => work_steal::run(g, config),
-        ParallelEngine::GlobalQueue => global_queue::run(g, config),
+        ParallelEngine::WorkSteal => work_steal::run(g, config, rt),
+        ParallelEngine::GlobalQueue => global_queue::run(g, config, rt),
     }
+}
+
+/// Enumerates all maximal k-biplexes of `g` in parallel and returns the
+/// solutions passing the size thresholds together with the run statistics.
+/// The returned vector is in nondeterministic (discovery) order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).engine(...)`)"
+)]
+pub fn par_enumerate_mbps(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+) -> (Vec<Biplex>, ParallelStats) {
+    par_run(g, config, &ParRuntime::default())
 }
 
 /// Convenience wrapper: parallel enumeration returning the canonically
 /// sorted solution set.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).engine(...)`)"
+)]
 pub fn par_collect_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> Vec<Biplex> {
-    let (mut out, _) = par_enumerate_mbps(g, &ParallelConfig::new(k).with_threads(threads));
+    let cfg = ParallelConfig::new(k).with_threads(threads);
+    let (mut out, _) = par_run(g, &cfg, &ParRuntime::default());
     out.sort();
     out
 }
 
 /// Convenience wrapper: parallel count of all maximal k-biplexes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).engine(...)`)"
+)]
 pub fn par_count_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> u64 {
-    let (_, stats) = par_enumerate_mbps(g, &ParallelConfig::new(k).with_threads(threads));
+    let cfg = ParallelConfig::new(k).with_threads(threads);
+    let (_, stats) = par_run(g, &cfg, &ParRuntime::default());
     stats.solutions
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traversal::enumerate_all;
+    use crate::traversal::tests_support::enumerate_all;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// The engines under their default runtime (no emit hook, no cancel).
+    fn par_enumerate_mbps(
+        g: &BipartiteGraph,
+        cfg: &ParallelConfig,
+    ) -> (Vec<Biplex>, ParallelStats) {
+        par_run(g, cfg, &ParRuntime::default())
+    }
 
     fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -32,7 +32,7 @@ use std::sync::Mutex;
 use bigraph::BipartiteGraph;
 
 use super::seen::{ConcurrentSeenSet, SEGMENT_BUCKETS};
-use super::{expand_solution, ParallelConfig, ParallelStats, WorkerCounters};
+use super::{expand_solution, ParRuntime, ParallelConfig, ParallelStats, WorkerCounters};
 use crate::biplex::Biplex;
 use crate::initial::initial_left_anchored;
 
@@ -40,9 +40,15 @@ use crate::initial::initial_left_anchored;
 /// instead of half.
 pub const STEAL_SHALLOW: usize = 4;
 
-/// Runs the work-stealing enumeration. Called through
-/// [`super::par_enumerate_mbps`].
-pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, ParallelStats) {
+/// Runs the work-stealing enumeration. Called through [`super::par_run`].
+/// The [`ParRuntime`] cancellation flag is polled at every pop/steal
+/// boundary and inside expansions, so a stop request is honoured within one
+/// expansion instead of running the search to completion.
+pub(super) fn run(
+    g: &BipartiteGraph,
+    config: &ParallelConfig,
+    rt: &ParRuntime<'_>,
+) -> (Vec<Biplex>, ParallelStats) {
     let threads = config.resolved_threads().max(1);
     let deques: Vec<Mutex<VecDeque<Biplex>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -60,7 +66,9 @@ pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, 
     stats.solutions = 1;
     if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
         stats.reported = 1;
-        results.lock().expect("results poisoned").push(initial.clone());
+        if !rt.deliver(&initial) {
+            results.lock().expect("results poisoned").push(initial.clone());
+        }
     }
     pending.store(1, Ordering::SeqCst);
     deques[0].lock().expect("deque poisoned").push_back(initial);
@@ -72,7 +80,7 @@ pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, 
                 let seen = &seen;
                 let pending = &pending;
                 let results = &results;
-                scope.spawn(move || worker(w, g, config, deques, seen, pending, results))
+                scope.spawn(move || worker(w, g, config, rt, deques, seen, pending, results))
             })
             .collect();
         for handle in handles {
@@ -80,16 +88,19 @@ pub(super) fn run(g: &BipartiteGraph, config: &ParallelConfig) -> (Vec<Biplex>, 
         }
     });
 
+    stats.stopped_early = rt.cancelled();
     let results = results.into_inner().expect("results poisoned");
     (results, stats)
 }
 
 /// One worker: pop locally, steal when dry, exit when the pending counter
-/// proves global completion.
+/// proves global completion or the run is cancelled.
+#[allow(clippy::too_many_arguments)]
 fn worker(
     w: usize,
     g: &BipartiteGraph,
     config: &ParallelConfig,
+    rt: &ParRuntime<'_>,
     deques: &[Mutex<VecDeque<Biplex>>],
     seen: &ConcurrentSeenSet,
     pending: &AtomicUsize,
@@ -103,6 +114,11 @@ fn worker(
     let batch_limit = config.result_batch.max(1);
 
     loop {
+        // Steal boundary: a cancelled (or deadline-expired) run abandons
+        // queued work outright.
+        if rt.should_stop() {
+            break;
+        }
         let host = pop_own(&deques[w])
             .or_else(|| steal(w, deques, config.steal_adaptive, &mut rng, &mut counters));
         let Some(host) = host else {
@@ -130,15 +146,18 @@ fn worker(
 
         let my_deque = &deques[w];
         let mut on_new = |solution: Biplex, report: bool, expandable: bool| {
-            if expandable {
-                if report {
+            let collect = report && !rt.deliver(&solution);
+            // A cancelled run stops scheduling new expansions; the already
+            // delivered solutions stay valid.
+            if expandable && !rt.cancelled() {
+                if collect {
                     batch.push(solution.clone());
                 }
                 // Count the item before it becomes stealable so the
                 // termination check can never miss it.
                 pending.fetch_add(1, Ordering::SeqCst);
                 my_deque.lock().expect("deque poisoned").push_back(solution);
-            } else if report {
+            } else if collect {
                 batch.push(solution);
             }
             if batch.len() >= batch_limit {
@@ -152,6 +171,7 @@ fn worker(
             &mut counters,
             &|s: &Biplex| seen.insert(s.canonical_key()),
             &mut on_new,
+            rt.cancel,
         );
         // Only now is this item fully accounted for.
         pending.fetch_sub(1, Ordering::SeqCst);

@@ -65,9 +65,20 @@ impl CollectSink {
     }
 
     /// Consumes the sink, returning the solutions sorted canonically (handy
-    /// for comparisons in tests).
+    /// for comparisons in tests). Defensively de-duplicates by canonical
+    /// order so that collecting from a stream and from a legacy entry point
+    /// agree byte-for-byte even if an engine ever delivered a duplicate —
+    /// which would be a bug, hence the debug assertion.
     pub fn into_sorted(mut self) -> Vec<Biplex> {
         self.solutions.sort();
+        let before = self.solutions.len();
+        self.solutions.dedup();
+        debug_assert_eq!(
+            before,
+            self.solutions.len(),
+            "an enumeration engine delivered {} duplicate solution(s)",
+            before - self.solutions.len()
+        );
         self.solutions
     }
 }

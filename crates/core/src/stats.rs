@@ -37,7 +37,8 @@ pub struct TraversalStats {
     pub max_depth: usize,
     /// Aggregated `EnumAlmostSat` work counters.
     pub almost_sat: AlmostSatStats,
-    /// True when the run was cut short by the sink (e.g. "first 1000").
+    /// True when the run was cut short by the sink (e.g. "first 1000")
+    /// or by the configured deadline.
     pub stopped_early: bool,
 }
 

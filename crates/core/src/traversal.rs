@@ -18,6 +18,8 @@
 //! local-solution pruning, solution pruning and the exclusion-based
 //! left-side pruning.
 
+use std::time::Instant;
+
 use bigraph::order::{Relabeling, VertexOrder};
 use bigraph::{BipartiteGraph, Side, VertexRef};
 
@@ -79,6 +81,10 @@ pub struct TraversalConfig {
     /// Vertex relabeling applied before the run; solutions are mapped back
     /// to the input ids, so the reported set is unchanged.
     pub order: VertexOrder,
+    /// Wall-clock deadline checked at every DFS step (how the facade's
+    /// `time_budget` reaches a run whose deliveries are sparse or filtered).
+    /// `None` disables the check.
+    pub deadline: Option<Instant>,
 }
 
 impl TraversalConfig {
@@ -96,6 +102,7 @@ impl TraversalConfig {
             theta_left: 0,
             theta_right: 0,
             order: VertexOrder::Input,
+            deadline: None,
         }
     }
 
@@ -123,6 +130,7 @@ impl TraversalConfig {
             theta_left: 0,
             theta_right: 0,
             order: VertexOrder::Input,
+            deadline: None,
         }
     }
 
@@ -156,11 +164,19 @@ impl TraversalConfig {
         self.order = order;
         self
     }
+
+    /// Sets the wall-clock deadline (`None` disables).
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
 }
 
+/// The sequential reverse-search engine, shared by the deprecated
+/// [`enumerate_mbps`] wrapper and the [`crate::api::Enumerator`] facade.
 /// Enumerates maximal k-biplexes of `g` under `config`, delivering them to
-/// `sink`. Returns the run statistics.
-pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
+/// `sink`, and returns the run statistics.
+pub(crate) fn traverse<S: SolutionSink + ?Sized>(
     g: &BipartiteGraph,
     config: &TraversalConfig,
     sink: &mut S,
@@ -173,7 +189,7 @@ pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
         let rg = relab.apply(g);
         let cfg = TraversalConfig { order: VertexOrder::Input, ..config.clone() };
         let mut map_sink = |b: &Biplex| sink.on_solution(&b.map_back(&relab));
-        return enumerate_mbps(&rg, &cfg, &mut map_sink as &mut dyn SolutionSink);
+        return traverse(&rg, &cfg, &mut map_sink as &mut dyn SolutionSink);
     }
 
     // The right-anchored variant is the left-anchored variant on the
@@ -186,7 +202,7 @@ pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
         let mut flip_sink = |b: &Biplex| sink.on_solution(&b.clone().transpose());
         // Coerce to a trait object so the recursive call does not create an
         // unbounded chain of closure instantiations.
-        return enumerate_mbps(&t, &cfg, &mut flip_sink as &mut dyn SolutionSink);
+        return traverse(&t, &cfg, &mut flip_sink as &mut dyn SolutionSink);
     }
 
     let mut engine = Engine {
@@ -207,12 +223,45 @@ pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
     engine.stats
 }
 
+/// Enumerates maximal k-biplexes of `g` under `config`, delivering them to
+/// `sink`. Returns the run statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).k(k).run(&mut sink)`)"
+)]
+pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
+    g: &BipartiteGraph,
+    config: &TraversalConfig,
+    sink: &mut S,
+) -> TraversalStats {
+    traverse(g, config, sink)
+}
+
 /// Convenience wrapper: enumerates *all* MBPs with the default `iTraversal`
 /// configuration and returns them sorted canonically.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).k(k).run(&mut sink)`)"
+)]
 pub fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
     let mut sink = crate::sink::CollectSink::new();
-    enumerate_mbps(g, &TraversalConfig::itraversal(k), &mut sink);
+    traverse(g, &TraversalConfig::itraversal(k), &mut sink);
     sink.into_sorted()
+}
+
+/// Crate-internal test helpers shared by the unit-test modules of other
+/// files (which cannot call the deprecated public wrappers without tripping
+/// `-D warnings`).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// All MBPs under the default `iTraversal`, sorted canonically.
+    pub(crate) fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
+        let mut sink = crate::sink::CollectSink::new();
+        traverse(g, &TraversalConfig::itraversal(k), &mut sink);
+        sink.into_sorted()
+    }
 }
 
 struct Frame {
@@ -256,6 +305,13 @@ impl<S: SolutionSink + ?Sized> Engine<'_, S> {
         }
 
         while !self.stop {
+            // Deadline boundary: a budgeted run winds down here even when
+            // no solution ever reaches the sink (e.g. thresholds filter
+            // everything out).
+            if self.config.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.stats.stopped_early = true;
+                break;
+            }
             let Some(mut frame) = stack.pop() else { break };
 
             // 1. Descend into a pending child.
@@ -589,7 +645,7 @@ mod tests {
 
     fn run_sorted(g: &BipartiteGraph, cfg: &TraversalConfig) -> Vec<Biplex> {
         let mut sink = CollectSink::new();
-        enumerate_mbps(g, cfg, &mut sink);
+        traverse(g, cfg, &mut sink);
         sink.into_sorted()
     }
 
@@ -664,14 +720,14 @@ mod tests {
         let k = 1;
         let cfg = TraversalConfig::itraversal(k).with_order(VertexOrder::Degeneracy);
         let mut sink = FirstN::new(3);
-        let stats = enumerate_mbps(&g, &cfg, &mut sink);
+        let stats = traverse(&g, &cfg, &mut sink);
         assert_eq!(sink.len(), 3);
         assert!(stats.stopped_early);
         for b in &sink.solutions {
             assert!(crate::biplex::is_maximal_k_biplex(&g, &b.left, &b.right, k));
         }
 
-        let all = enumerate_all(&g, k);
+        let all = tests_support::enumerate_all(&g, k);
         let mut expected: Vec<Biplex> =
             all.into_iter().filter(|b| b.left.len() >= 2 && b.right.len() >= 2).collect();
         expected.sort();
@@ -710,10 +766,10 @@ mod tests {
     fn first_n_stops_early() {
         let g = random_graph(7, 7, 0.5, 11);
         let k = 1;
-        let all = enumerate_all(&g, k);
+        let all = tests_support::enumerate_all(&g, k);
         assert!(all.len() > 3, "fixture should have enough solutions");
         let mut sink = FirstN::new(3);
-        let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(k), &mut sink);
+        let stats = traverse(&g, &TraversalConfig::itraversal(k), &mut sink);
         assert_eq!(sink.len(), 3);
         assert!(stats.stopped_early);
         assert!(stats.solutions >= 3);
@@ -732,7 +788,7 @@ mod tests {
             let k = 1;
             let count = |cfg: &TraversalConfig| {
                 let mut sink = CountingSink::new();
-                let stats = enumerate_mbps(&g, cfg, &mut sink);
+                let stats = traverse(&g, cfg, &mut sink);
                 (stats.links, sink.count)
             };
             let (full, n_full) = count(&TraversalConfig::itraversal(k));
@@ -752,7 +808,7 @@ mod tests {
     fn stats_are_consistent() {
         let g = random_graph(6, 6, 0.5, 5);
         let mut sink = CountingSink::new();
-        let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(1), &mut sink);
+        let stats = traverse(&g, &TraversalConfig::itraversal(1), &mut sink);
         assert_eq!(stats.solutions, sink.count);
         assert_eq!(stats.reported, sink.count);
         assert_eq!(stats.links, stats.tree_links() + stats.duplicate_links);
@@ -804,7 +860,7 @@ mod tests {
             let g = random_graph(6, 6, 0.6, seed);
             let k = 1;
             for (tl, tr) in [(2, 2), (3, 2), (2, 3), (3, 3)] {
-                let all = enumerate_all(&g, k);
+                let all = tests_support::enumerate_all(&g, k);
                 let mut expected: Vec<Biplex> =
                     all.into_iter().filter(|b| b.left.len() >= tl && b.right.len() >= tr).collect();
                 expected.sort();

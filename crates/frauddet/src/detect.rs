@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use bigraph::core_decomp::alpha_beta_core;
 use cohesive::{collect_maximal_bicliques, find_delta_qbs, BicliqueConfig, QuasiConfig};
-use kbiplex::{collect_large_mbps, LargeMbpParams, TraversalConfig};
+use kbiplex::{Algorithm, Enumerator};
 
 use crate::scenario::CamouflageScenario;
 
@@ -85,13 +85,15 @@ pub fn run_detector(
             }
         }
         Detector::KBiplex { k } => {
-            let params = LargeMbpParams {
-                k,
-                theta_left: theta_l,
-                theta_right: theta_r,
-                core_reduction: true,
-            };
-            for b in collect_large_mbps(g, &params, &TraversalConfig::itraversal(k)) {
+            // The large-MBP pipeline of the facade: (θ−k)-core reduction
+            // plus the size-pruned iTraversal.
+            let mbps = Enumerator::new(g)
+                .k(k)
+                .algorithm(Algorithm::Large)
+                .thresholds(theta_l, theta_r)
+                .collect()
+                .expect("valid large-MBP configuration");
+            for b in mbps {
                 subgraphs += 1;
                 predicted_users.extend(b.left.iter().copied());
                 predicted_products.extend(b.right.iter().copied());

@@ -18,8 +18,9 @@ fn main() {
     println!("graph: |L| = {}, |R| = {}, |E| = {}", g.num_left(), g.num_right(), g.num_edges());
 
     // The symmetric budget is the special case k_L = k_R.
-    let symmetric = enumerate_all(&g, 1);
-    let via_asym = collect_asym_mbps(&g, KPair::symmetric(1));
+    let symmetric = Enumerator::new(&g).k(1).collect().expect("valid configuration");
+    let via_asym =
+        Enumerator::new(&g).k(1).algorithm(Algorithm::Asym).collect().expect("valid configuration");
     assert_eq!(symmetric, via_asym);
     println!("maximal 1-biplexes (symmetric budget): {}", symmetric.len());
 
@@ -27,7 +28,11 @@ fn main() {
     // the shape of the largest solution respond.
     for (kl, kr) in [(0, 0), (0, 2), (2, 0), (1, 2), (2, 1), (2, 2)] {
         let kp = KPair::new(kl, kr);
-        let mbps = collect_asym_mbps(&g, kp);
+        let mbps = Enumerator::new(&g)
+            .algorithm(Algorithm::Asym)
+            .k_pair(kp)
+            .collect()
+            .expect("valid configuration");
         let largest = mbps.iter().max_by_key(|b| b.num_vertices()).cloned().unwrap_or_default();
         for b in &mbps {
             assert!(is_maximal_asym_biplex(&g, &b.left, &b.right, kp));

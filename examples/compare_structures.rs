@@ -26,11 +26,12 @@ fn main() {
     println!("\nmaximal bicliques (>= {theta_l} x {theta_r}): {}", bicliques.len());
 
     for k in [1usize, 2] {
-        let mbps = kbiplex::collect_large_mbps(
-            g,
-            &LargeMbpParams { k, theta_left: theta_l, theta_right: theta_r, core_reduction: true },
-            &TraversalConfig::itraversal(k),
-        );
+        let mbps = Enumerator::new(g)
+            .k(k)
+            .algorithm(Algorithm::Large)
+            .thresholds(theta_l, theta_r)
+            .collect()
+            .expect("valid configuration");
         let covered: std::collections::HashSet<u32> =
             mbps.iter().flat_map(|b| b.left.iter().copied()).collect();
         println!(

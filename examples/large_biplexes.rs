@@ -23,22 +23,19 @@ fn main() {
     );
     println!("enumerating maximal {k}-biplexes with both sides >= {theta} ...");
 
-    let params = LargeMbpParams::symmetric(k, theta);
-    let mut collected: Vec<Biplex> = Vec::new();
-    let mut sink = |b: &Biplex| {
-        collected.push(b.clone());
-        Control::Continue
-    };
-    let report = mbpe::kbiplex::enumerate_large_mbps(
-        &g,
-        &params,
-        &TraversalConfig::itraversal(k),
-        &mut sink,
-    );
+    let mut sink = CollectSink::new();
+    let report = Enumerator::new(&g)
+        .k(k)
+        .algorithm(Algorithm::Large)
+        .thresholds(theta, theta)
+        .run(&mut sink)
+        .expect("valid configuration");
+    let mut collected = sink.into_sorted();
 
+    let reduced = report.reduced.expect("large runs report the reduction");
     println!(
         "(θ−k)-core reduced the graph to {} + {} vertices and {} edges",
-        report.reduced_size.0, report.reduced_size.1, report.reduced_edges
+        reduced.left, reduced.right, reduced.edges
     );
     println!("found {} large MBPs", collected.len());
     collected.sort_by_key(|b| std::cmp::Reverse(b.num_vertices()));

@@ -17,16 +17,23 @@ fn main() {
     let k = 1;
 
     let start = Instant::now();
-    let sequential = enumerate_all(&g, k);
+    let sequential = Enumerator::new(&g).k(k).collect().expect("valid configuration");
     let seq_time = start.elapsed();
     println!("sequential iTraversal: {} MBPs in {:.3} s", sequential.len(), seq_time.as_secs_f64());
 
     for threads in [1, 2, 4, 8] {
         let start = Instant::now();
-        let (solutions, stats) =
-            par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(threads));
+        let mut sink = CollectSink::new();
+        let report = Enumerator::new(&g)
+            .k(k)
+            .engine(Engine::WorkSteal)
+            .threads(threads)
+            .run(&mut sink)
+            .expect("valid configuration");
         let elapsed = start.elapsed();
-        assert_eq!(solutions.len(), sequential.len(), "parallel run must find the same set");
+        let solutions = sink.into_sorted();
+        assert_eq!(solutions, sequential, "parallel run must find the same set");
+        let EngineStats::Parallel(stats) = report.stats else { unreachable!() };
         println!(
             "parallel ({} threads): {} MBPs in {:.3} s  (speedup {:.2}x, {} links followed)",
             stats.threads,
@@ -38,7 +45,12 @@ fn main() {
     }
 
     // The parallel engine also honours the large-MBP thresholds of Section 5.
-    let (large, _) =
-        par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(0).with_thresholds(3, 3));
-    println!("MBPs with both sides of size >= 3: {}", large.len());
+    let mut large = CountingSink::new();
+    Enumerator::new(&g)
+        .k(k)
+        .engine(Engine::WorkSteal)
+        .thresholds(3, 3)
+        .run(&mut large)
+        .expect("valid configuration");
+    println!("MBPs with both sides of size >= 3: {}", large.count);
 }

@@ -28,7 +28,7 @@ fn main() {
     println!("graph: |L| = {}, |R| = {}, |E| = {}", g.num_left(), g.num_right(), g.num_edges());
 
     for k in 0..=2usize {
-        let mbps = enumerate_all(&g, k);
+        let mbps = Enumerator::new(&g).k(k).collect().expect("valid configuration");
         println!("\nmaximal {k}-biplexes ({}):", mbps.len());
         for b in &mbps {
             assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
@@ -36,12 +36,10 @@ fn main() {
         }
     }
 
-    // The enumeration is streaming: stop after the first 3 solutions.
-    let mut first = FirstN::new(3);
-    let stats = enumerate_mbps(&g, &TraversalConfig::itraversal(1), &mut first);
-    println!(
-        "\nfirst {} solutions took {} links of the solution graph to find",
-        first.len(),
-        stats.links
-    );
+    // The enumeration is streaming: pull the first 3 solutions from a
+    // bounded channel and ask the run report why the run stopped.
+    let mut stream = Enumerator::new(&g).k(1).limit(3).stream().expect("valid configuration");
+    let first: Vec<Biplex> = stream.by_ref().collect();
+    let report = stream.finish();
+    println!("\nfirst {} solutions, stop reason: {}", first.len(), report.stop);
 }

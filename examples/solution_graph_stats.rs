@@ -21,19 +21,21 @@ fn main() {
 
     let k = 1;
     let variants = [
-        ("bTraversal", TraversalConfig::btraversal(k)),
-        (
-            "iTraversal-ES-RS (left-anchored only)",
-            TraversalConfig::itraversal_left_anchored_only(k),
-        ),
-        ("iTraversal-ES (no exclusion)", TraversalConfig::itraversal_no_exclusion(k)),
-        ("iTraversal (full)", TraversalConfig::itraversal(k)),
+        ("bTraversal", Algorithm::BTraversal),
+        ("iTraversal-ES-RS (left-anchored only)", Algorithm::LeftAnchoredOnly),
+        ("iTraversal-ES (no exclusion)", Algorithm::ITraversalNoExclusion),
+        ("iTraversal (full)", Algorithm::ITraversal),
     ];
 
     println!("\n{:<40} {:>10} {:>10} {:>12}", "variant", "#MBPs", "#links", "local sols");
-    for (name, cfg) in variants {
+    for (name, algorithm) in variants {
         let mut sink = CountingSink::new();
-        let stats = enumerate_mbps(&g, &cfg, &mut sink);
+        let report = Enumerator::new(&g)
+            .k(k)
+            .algorithm(algorithm)
+            .run(&mut sink)
+            .expect("valid configuration");
+        let EngineStats::Sequential(stats) = report.stats else { unreachable!() };
         println!(
             "{:<40} {:>10} {:>10} {:>12}",
             name, stats.solutions, stats.links, stats.local_solutions

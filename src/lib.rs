@@ -12,7 +12,9 @@
 //! use mbpe::prelude::*;
 //!
 //! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
-//! let mbps = enumerate_all(&g, 1);
+//! let mut sink = CollectSink::new();
+//! Enumerator::new(&g).k(1).run(&mut sink).unwrap();
+//! let mbps = sink.into_sorted();
 //! assert!(mbps.iter().all(|b| is_maximal_k_biplex(&g, &b.left, &b.right, 1)));
 //! ```
 
@@ -30,10 +32,16 @@ pub use kplex;
 pub mod prelude {
     pub use bigraph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
     pub use kbiplex::{
-        collect_asym_mbps, enumerate_all, enumerate_mbps, is_asym_biplex, is_k_biplex,
-        is_maximal_k_biplex, par_collect_mbps, par_enumerate_mbps, Anchor, Biplex, CollectSink,
-        ConcurrentSeenSet, Control, CountingSink, DelayRecorder, EnumKind, FirstN, KPair,
-        LargeMbpParams, ParallelConfig, ParallelEngine, SolutionSink, TraversalConfig,
+        is_asym_biplex, is_k_biplex, is_maximal_k_biplex, Algorithm, Anchor, ApiError, Biplex,
+        CollectSink, ConcurrentSeenSet, Control, CountingSink, DelayRecorder, Engine, EngineStats,
+        EnumKind, Enumerator, FirstN, KPair, LargeMbpParams, ParallelConfig, ParallelEngine,
+        RunReport, SolutionSink, SolutionStream, StopReason, TraversalConfig, VertexOrder,
+    };
+    // Deprecated free-function entry points, kept for transition; prefer
+    // the `Enumerator` facade.
+    #[allow(deprecated)]
+    pub use kbiplex::{
+        collect_asym_mbps, enumerate_all, enumerate_mbps, par_collect_mbps, par_enumerate_mbps,
     };
 }
 
@@ -44,7 +52,10 @@ mod tests {
     #[test]
     fn prelude_is_usable() {
         let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
-        let all = enumerate_all(&g, 1);
+        let mut sink = CollectSink::new();
+        let report = Enumerator::new(&g).k(1).run(&mut sink).unwrap();
+        assert_eq!(report.stop, StopReason::Exhausted);
+        let all = sink.into_sorted();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].num_vertices(), 4);
     }

@@ -1,0 +1,281 @@
+//! Equivalence matrix for the `Enumerator` facade: across algorithm ×
+//! engine × vertex order, the facade must report the *exact* canonical
+//! solution set of the legacy free-function entry points it replaced, and
+//! its stopping rules (limit, cancellation) must be deterministic and
+//! sound.
+
+// The legacy side of every comparison goes through the deprecated wrappers
+// on purpose — that is the contract under test.
+#![allow(deprecated)]
+
+use std::time::Duration;
+
+use mbpe::bigraph::gen::chung_lu::chung_lu_bipartite;
+use mbpe::kbiplex::{bruteforce::brute_force_mbps, LargeMbpReport, TraversalConfig};
+use mbpe::prelude::*;
+
+/// Canonically sorted facade output (the `collect` terminal).
+fn facade(e: &Enumerator<'_>) -> Vec<Biplex> {
+    e.collect().expect("valid facade configuration")
+}
+
+/// Canonically sorted legacy traversal output.
+fn legacy(g: &BipartiteGraph, cfg: &TraversalConfig) -> Vec<Biplex> {
+    let mut sink = CollectSink::new();
+    enumerate_mbps(g, cfg, &mut sink);
+    sink.into_sorted()
+}
+
+fn chung_lu(seed: u64) -> BipartiteGraph {
+    let nl = 9 + (seed % 3) as u32;
+    let nr = 8 + (seed % 2) as u32;
+    let edges = 3 * (nl as u64 + nr as u64) / 2;
+    chung_lu_bipartite(nl, nr, edges, 2.2, seed)
+}
+
+const ORDERS: [VertexOrder; 3] = [VertexOrder::Input, VertexOrder::Degree, VertexOrder::Degeneracy];
+
+#[test]
+fn sequential_algorithms_match_their_legacy_configs() {
+    for seed in 0..4u64 {
+        let g = chung_lu(seed);
+        for k in 1..=2usize {
+            let pairs: [(Algorithm, TraversalConfig); 4] = [
+                (Algorithm::ITraversal, TraversalConfig::itraversal(k)),
+                (Algorithm::ITraversalNoExclusion, TraversalConfig::itraversal_no_exclusion(k)),
+                (Algorithm::LeftAnchoredOnly, TraversalConfig::itraversal_left_anchored_only(k)),
+                (Algorithm::BTraversal, TraversalConfig::btraversal(k)),
+            ];
+            for (algorithm, cfg) in pairs {
+                for order in ORDERS {
+                    let expected = legacy(&g, &cfg.clone().with_order(order));
+                    let got = facade(&Enumerator::new(&g).k(k).algorithm(algorithm).order(order));
+                    assert_eq!(got, expected, "seed {seed} k {k} {algorithm:?} {order}");
+                }
+            }
+            // The right-anchored variant (Section 6.2) through the anchor
+            // override.
+            let expected = legacy(&g, &TraversalConfig::itraversal(k).with_anchor(Anchor::Right));
+            let got = facade(&Enumerator::new(&g).k(k).anchor(Anchor::Right));
+            assert_eq!(got, expected, "seed {seed} k {k} right-anchored");
+        }
+    }
+}
+
+#[test]
+fn parallel_engines_match_the_legacy_parallel_entry_point() {
+    for seed in 0..3u64 {
+        let g = chung_lu(seed);
+        for k in 1..=2usize {
+            for engine in [Engine::WorkSteal, Engine::GlobalQueue] {
+                let legacy_engine = match engine {
+                    Engine::WorkSteal => ParallelEngine::WorkSteal,
+                    Engine::GlobalQueue => ParallelEngine::GlobalQueue,
+                    Engine::Sequential => unreachable!(),
+                };
+                for order in ORDERS {
+                    let cfg = ParallelConfig::new(k)
+                        .with_threads(3)
+                        .with_engine(legacy_engine)
+                        .with_order(order);
+                    let (mut expected, _) = par_enumerate_mbps(&g, &cfg);
+                    expected.sort();
+                    let got =
+                        facade(&Enumerator::new(&g).k(k).engine(engine).threads(3).order(order));
+                    assert_eq!(got, expected, "seed {seed} k {k} {engine:?} {order}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn large_pipeline_matches_the_legacy_collectors_on_both_engines() {
+    for seed in 0..3u64 {
+        let g = chung_lu(seed + 10);
+        let k = 1;
+        for (tl, tr) in [(2, 2), (3, 2)] {
+            for core in [true, false] {
+                let params = mbpe::kbiplex::LargeMbpParams {
+                    k,
+                    theta_left: tl,
+                    theta_right: tr,
+                    core_reduction: core,
+                };
+                let expected =
+                    mbpe::kbiplex::collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
+                let sequential = facade(
+                    &Enumerator::new(&g)
+                        .k(k)
+                        .algorithm(Algorithm::Large)
+                        .thresholds(tl, tr)
+                        .core_reduction(core),
+                );
+                assert_eq!(sequential, expected, "seed {seed} θ=({tl},{tr}) core {core}");
+
+                let (par_expected, _) = mbpe::kbiplex::par_collect_large_mbps(
+                    &g,
+                    &params,
+                    &ParallelConfig::new(k).with_threads(3),
+                );
+                assert_eq!(par_expected, expected, "legacy parallel agrees");
+                let parallel = facade(
+                    &Enumerator::new(&g)
+                        .k(k)
+                        .algorithm(Algorithm::Large)
+                        .thresholds(tl, tr)
+                        .core_reduction(core)
+                        .engine(Engine::WorkSteal)
+                        .threads(3),
+                );
+                assert_eq!(parallel, expected, "seed {seed} θ=({tl},{tr}) core {core} steal");
+            }
+        }
+    }
+}
+
+#[test]
+fn asym_and_brute_force_match_their_legacy_oracles() {
+    for seed in 0..3u64 {
+        let g = chung_lu(seed + 20);
+        for (kl, kr) in [(1, 1), (1, 2), (2, 1)] {
+            let kp = KPair::new(kl, kr);
+            let expected = collect_asym_mbps(&g, kp);
+            let got = facade(&Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(kp));
+            assert_eq!(got, expected, "seed {seed} k=({kl},{kr})");
+        }
+        for k in 1..=2usize {
+            let expected = brute_force_mbps(&g, k);
+            let got = facade(&Enumerator::new(&g).k(k).algorithm(Algorithm::BruteForce));
+            assert_eq!(got, expected, "seed {seed} k {k} oracle");
+            assert_eq!(facade(&Enumerator::new(&g).k(k)), expected, "iTraversal vs oracle");
+        }
+    }
+}
+
+#[test]
+fn limit_n_returns_exactly_n_valid_mbps_deterministically() {
+    let g = chung_lu(31);
+    let k = 1;
+    let total = facade(&Enumerator::new(&g).k(k)).len() as u64;
+    assert!(total > 5, "fixture must have enough solutions, got {total}");
+    for engine in [Engine::Sequential, Engine::WorkSteal, Engine::GlobalQueue] {
+        for limit in [1u64, 3, 5] {
+            // Repeat each run: the *count* must be deterministic even where
+            // the parallel delivery order is not.
+            for round in 0..3 {
+                let mut sink = CollectSink::new();
+                let mut e = Enumerator::new(&g).k(k).limit(limit);
+                if engine != Engine::Sequential {
+                    e = e.engine(engine).threads(4);
+                }
+                let report = e.run(&mut sink).expect("valid facade configuration");
+                assert_eq!(
+                    sink.solutions.len() as u64,
+                    limit,
+                    "{engine:?} limit {limit} round {round}"
+                );
+                assert_eq!(report.solutions, limit);
+                assert_eq!(report.stop, StopReason::LimitReached);
+                for b in &sink.solutions {
+                    assert!(
+                        is_maximal_k_biplex(&g, &b.left, &b.right, k),
+                        "{engine:?} delivered a non-maximal solution"
+                    );
+                }
+            }
+        }
+        // A limit beyond the solution count ends by exhaustion.
+        let mut sink = CountingSink::new();
+        let mut e = Enumerator::new(&g).k(k).limit(total + 100);
+        if engine != Engine::Sequential {
+            e = e.engine(engine).threads(4);
+        }
+        let report = e.run(&mut sink).expect("valid facade configuration");
+        assert_eq!(report.stop, StopReason::Exhausted, "{engine:?}");
+        assert_eq!(sink.count, total, "{engine:?}");
+    }
+}
+
+#[test]
+fn work_steal_cancellation_marks_the_run_stopped_early() {
+    let g = chung_lu(33);
+    let mut sink = CollectSink::new();
+    let report = Enumerator::new(&g)
+        .k(2)
+        .engine(Engine::WorkSteal)
+        .threads(4)
+        .limit(2)
+        .run(&mut sink)
+        .expect("valid facade configuration");
+    assert_eq!(report.stop, StopReason::LimitReached);
+    let EngineStats::Parallel(stats) = &report.stats else {
+        panic!("work-steal runs report parallel stats");
+    };
+    assert!(stats.stopped_early, "cooperative cancellation must reach the workers");
+}
+
+#[test]
+fn stream_collection_agrees_with_legacy_collect_byte_for_byte() {
+    for seed in 0..3u64 {
+        let g = chung_lu(seed + 40);
+        let k = 1;
+        let expected = enumerate_all(&g, k);
+        for engine in [Engine::Sequential, Engine::WorkSteal, Engine::GlobalQueue] {
+            let mut e = Enumerator::new(&g).k(k);
+            if engine != Engine::Sequential {
+                e = e.engine(engine).threads(3);
+            }
+            let mut sink = CollectSink::new();
+            for b in e.stream().expect("valid facade configuration") {
+                sink.on_solution(&b);
+            }
+            // `into_sorted` dedups defensively, so stream collection and the
+            // legacy collect agree byte-for-byte.
+            assert_eq!(sink.into_sorted(), expected, "seed {seed} {engine:?}");
+        }
+    }
+}
+
+#[test]
+fn time_budget_stops_within_the_run() {
+    let g = chung_lu(51);
+    for engine in [Engine::Sequential, Engine::WorkSteal] {
+        let mut e = Enumerator::new(&g).k(2).time_budget(Duration::ZERO);
+        if engine != Engine::Sequential {
+            e = e.engine(engine).threads(2);
+        }
+        let mut sink = CountingSink::new();
+        let report = e.run(&mut sink).expect("valid facade configuration");
+        assert_eq!(report.stop, StopReason::TimeBudget, "{engine:?}");
+        assert_eq!(sink.count, 0, "{engine:?}");
+        // A generous budget never fires.
+        let mut e = Enumerator::new(&g).k(1).time_budget(Duration::from_secs(3600));
+        if engine != Engine::Sequential {
+            e = e.engine(engine).threads(2);
+        }
+        let report = e.run(&mut CountingSink::new()).expect("valid facade configuration");
+        assert_eq!(report.stop, StopReason::Exhausted, "{engine:?}");
+    }
+}
+
+#[test]
+fn deprecated_wrappers_still_agree_with_the_facade() {
+    // The thin wrappers must stay exact aliases of the facade paths.
+    let g = chung_lu(60);
+    let k = 1;
+    let via_facade = facade(&Enumerator::new(&g).k(k));
+    assert_eq!(enumerate_all(&g, k), via_facade);
+    assert_eq!(par_collect_mbps(&g, k, 3), via_facade);
+
+    let report: LargeMbpReport = {
+        let mut sink = CollectSink::new();
+        mbpe::kbiplex::enumerate_large_mbps(
+            &g,
+            &mbpe::kbiplex::LargeMbpParams::symmetric(k, 2),
+            &TraversalConfig::itraversal(k),
+            &mut sink,
+        )
+    };
+    assert!(report.reduced_size.0 <= g.num_left());
+}

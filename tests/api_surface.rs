@@ -1,0 +1,147 @@
+//! Curated public-API snapshot of the `Enumerator` facade.
+//!
+//! The workspace has no `cargo public-api` dependency (offline build), so
+//! this file pins the exported surface the cheap way: every facade symbol,
+//! builder method and enum variant is referenced *by name and signature*
+//! below. Renaming, removing or changing the signature of any of them
+//! breaks this compile — which is exactly the review speed bump an API
+//! snapshot is for. Extending the surface (new methods, new variants with
+//! a wildcard-free match updated here) is the intended cheap path.
+
+use std::time::Duration;
+
+use kbiplex::api::{
+    Algorithm, ApiError, Engine, EngineStats, Enumerator, ReducedGraph, RunReport, SolutionStream,
+    StopReason,
+};
+use kbiplex::CollectSink;
+
+/// The facade types are also re-exported at the crate root; keep both paths
+/// alive.
+#[allow(unused_imports)]
+use kbiplex::{
+    Algorithm as RootAlgorithm, ApiError as RootApiError, Engine as RootEngine,
+    EngineStats as RootEngineStats, Enumerator as RootEnumerator, ReducedGraph as RootReducedGraph,
+    RunReport as RootRunReport, SolutionStream as RootSolutionStream, StopReason as RootStopReason,
+};
+
+/// Signature pins: these function-pointer coercions fail to compile if a
+/// builder method changes its shape.
+#[allow(dead_code)]
+fn signature_pins<'g>(_g: &'g bigraph::BipartiteGraph) {
+    let _new: fn(&'g bigraph::BipartiteGraph) -> Enumerator<'g> = Enumerator::new;
+    let _k: fn(Enumerator<'g>, usize) -> Enumerator<'g> = Enumerator::k;
+    let _k_pair: fn(Enumerator<'g>, kbiplex::KPair) -> Enumerator<'g> = Enumerator::k_pair;
+    let _algorithm: fn(Enumerator<'g>, Algorithm) -> Enumerator<'g> = Enumerator::algorithm;
+    let _engine: fn(Enumerator<'g>, Engine) -> Enumerator<'g> = Enumerator::engine;
+    let _order: fn(Enumerator<'g>, kbiplex::VertexOrder) -> Enumerator<'g> = Enumerator::order;
+    let _enum_kind: fn(Enumerator<'g>, kbiplex::EnumKind) -> Enumerator<'g> = Enumerator::enum_kind;
+    let _emit: fn(Enumerator<'g>, kbiplex::EmitMode) -> Enumerator<'g> = Enumerator::emit;
+    let _anchor: fn(Enumerator<'g>, kbiplex::Anchor) -> Enumerator<'g> = Enumerator::anchor;
+    let _thresholds: fn(Enumerator<'g>, usize, usize) -> Enumerator<'g> = Enumerator::thresholds;
+    let _core_reduction: fn(Enumerator<'g>, bool) -> Enumerator<'g> = Enumerator::core_reduction;
+    let _threads: fn(Enumerator<'g>, usize) -> Enumerator<'g> = Enumerator::threads;
+    let _seen_segments: fn(Enumerator<'g>, usize) -> Enumerator<'g> = Enumerator::seen_segments;
+    let _steal_adaptive: fn(Enumerator<'g>, bool) -> Enumerator<'g> = Enumerator::steal_adaptive;
+    let _limit: fn(Enumerator<'g>, u64) -> Enumerator<'g> = Enumerator::limit;
+    let _time_budget: fn(Enumerator<'g>, Duration) -> Enumerator<'g> = Enumerator::time_budget;
+    let _stream_buffer: fn(Enumerator<'g>, usize) -> Enumerator<'g> = Enumerator::stream_buffer;
+    let _validate: fn(&Enumerator<'g>) -> Result<(), ApiError> = Enumerator::validate;
+    let _collect: fn(&Enumerator<'g>) -> Result<Vec<kbiplex::Biplex>, ApiError> =
+        Enumerator::collect;
+    let _run: fn(&Enumerator<'g>, &mut CollectSink) -> Result<RunReport, ApiError> =
+        Enumerator::run::<CollectSink>;
+    let _stream: fn(&Enumerator<'g>) -> Result<SolutionStream, ApiError> = Enumerator::stream;
+    let _finish: fn(SolutionStream) -> RunReport = SolutionStream::finish;
+    let _cancel: fn(&SolutionStream) = SolutionStream::cancel;
+}
+
+/// Variant pins: wildcard-free matches fail to compile when a variant is
+/// added (update the snapshot) or removed (the surface shrank — a breaking
+/// change someone must have meant).
+#[test]
+fn enums_are_exactly_the_snapshot() {
+    let algorithms = [
+        Algorithm::ITraversal,
+        Algorithm::ITraversalNoExclusion,
+        Algorithm::LeftAnchoredOnly,
+        Algorithm::BTraversal,
+        Algorithm::Large,
+        Algorithm::Asym,
+        Algorithm::BruteForce,
+    ];
+    for a in algorithms {
+        let name = match a {
+            Algorithm::ITraversal => "itraversal",
+            Algorithm::ITraversalNoExclusion => "itraversal-es",
+            Algorithm::LeftAnchoredOnly => "itraversal-es-rs",
+            Algorithm::BTraversal => "btraversal",
+            Algorithm::Large => "large",
+            Algorithm::Asym => "asym",
+            Algorithm::BruteForce => "brute-force",
+        };
+        assert_eq!(a.to_string(), name);
+        assert_eq!(name.parse::<Algorithm>().unwrap(), a);
+    }
+
+    for e in [Engine::Sequential, Engine::GlobalQueue, Engine::WorkSteal] {
+        let name = match e {
+            Engine::Sequential => "sequential",
+            Engine::GlobalQueue => "global",
+            Engine::WorkSteal => "steal",
+        };
+        assert_eq!(e.to_string(), name);
+        assert_eq!(name.parse::<Engine>().unwrap(), e);
+    }
+
+    for s in [
+        StopReason::Exhausted,
+        StopReason::LimitReached,
+        StopReason::TimeBudget,
+        StopReason::SinkStopped,
+        StopReason::Cancelled,
+    ] {
+        let name = match s {
+            StopReason::Exhausted => "exhausted",
+            StopReason::LimitReached => "limit-reached",
+            StopReason::TimeBudget => "time-budget",
+            StopReason::SinkStopped => "sink-stopped",
+            StopReason::Cancelled => "cancelled",
+        };
+        assert_eq!(s.to_string(), name);
+    }
+}
+
+/// Field pins for the report structs (removing or retyping a field breaks
+/// the destructuring).
+#[test]
+fn report_shapes_are_the_snapshot() {
+    let g = bigraph::BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+    let mut sink = CollectSink::new();
+    let report = Enumerator::new(&g)
+        .k(1)
+        .algorithm(Algorithm::Large)
+        .thresholds(1, 1)
+        .run(&mut sink)
+        .unwrap();
+    let RunReport { solutions, stop, elapsed, stats, reduced } = report;
+    let _: u64 = solutions;
+    let _: StopReason = stop;
+    let _: Duration = elapsed;
+    match stats {
+        EngineStats::Sequential(s) => {
+            let _: kbiplex::TraversalStats = s;
+        }
+        EngineStats::Parallel(s) => {
+            let _: kbiplex::ParallelStats = s;
+        }
+        EngineStats::Asym(_) | EngineStats::Oracle => {}
+    }
+    let ReducedGraph { left, right, edges } = reduced.expect("large runs report the reduction");
+    let _: (u32, u32, u64) = (left, right, edges);
+
+    // Both ApiError variants render through Display.
+    for err in [ApiError::Unsupported("x".to_string()), ApiError::InvalidConfig("y".to_string())] {
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,5 +1,11 @@
 //! Cross-crate integration tests for the asymmetric (k_L, k_R) extension.
 
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the regression net that keeps the thin wrappers
+// equivalent to the engines behind them. The `Enumerator` facade gets the
+// same coverage in `tests/api_facade.rs`.
+#![allow(deprecated)]
+
 use mbpe::bigraph::gen::er::er_bipartite;
 use mbpe::cohesive::{collect_maximal_bicliques, BicliqueConfig};
 use mbpe::kbiplex::asym::{brute_force_asym_mbps, is_maximal_asym_biplex};

@@ -2,6 +2,12 @@
 //! agree on the set of maximal k-biplexes, and that set must match the
 //! brute-force oracle.
 
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the regression net that keeps the thin wrappers
+// equivalent to the engines behind them. The `Enumerator` facade gets the
+// same coverage in `tests/api_facade.rs`.
+#![allow(deprecated)]
+
 use mbpe::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

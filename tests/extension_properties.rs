@@ -1,6 +1,12 @@
 //! Property-based tests (proptest) over the extension modules: asymmetric
 //! budgets, the parallel engine and the extra on-disk formats.
 
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the regression net that keeps the thin wrappers
+// equivalent to the engines behind them. The `Enumerator` facade gets the
+// same coverage in `tests/api_facade.rs`.
+#![allow(deprecated)]
+
 use mbpe::bigraph::formats::{
     read_adjacency, read_konect, sniff_format, write_adjacency, write_konect, Format,
 };

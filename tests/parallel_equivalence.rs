@@ -2,6 +2,12 @@
 //! the sequential frameworks and the baselines on every input we can afford
 //! to cross-check exhaustively.
 
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the regression net that keeps the thin wrappers
+// equivalent to the engines behind them. The `Enumerator` facade gets the
+// same coverage in `tests/api_facade.rs`.
+#![allow(deprecated)]
+
 use mbpe::baselines::{collect_imb, ImbConfig};
 use mbpe::bigraph::gen::chung_lu::chung_lu_bipartite;
 use mbpe::bigraph::gen::er::er_bipartite;

@@ -1,6 +1,12 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! enumeration invariants.
 
+// These tests exercise the deprecated free-function entry points on
+// purpose: they are the regression net that keeps the thin wrappers
+// equivalent to the engines behind them. The `Enumerator` facade gets the
+// same coverage in `tests/api_facade.rs`.
+#![allow(deprecated)]
+
 use mbpe::prelude::*;
 use proptest::prelude::*;
 
