@@ -19,7 +19,6 @@
 //! produce the same output.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod imb;
 pub mod inflation;

@@ -34,7 +34,7 @@ impl Csr {
     /// per-source slices sorted) are debug-asserted, not re-checked.
     pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<u32>) -> Csr {
         debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(offsets[offsets.len() - 1], targets.len());
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         Csr { offsets, targets }
     }

@@ -107,7 +107,7 @@ impl CumulativeSampler {
 
     fn sample(&self, rng: &mut StdRng) -> usize {
         let x = rng.gen::<f64>() * self.total;
-        match self.cumulative.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
+        match self.cumulative.binary_search_by(|probe| probe.total_cmp(&x)) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }

@@ -14,7 +14,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;

@@ -2,6 +2,8 @@
 //! workspace. All logic lives in the library crate so it can be tested; this
 //! binary only wires stdin/stdout/exit codes.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

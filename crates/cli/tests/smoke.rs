@@ -49,6 +49,34 @@ fn enumerate_prints_well_formed_solutions() {
 }
 
 #[test]
+fn first_is_a_deprecated_alias_of_limit() {
+    // `--first N` must behave exactly like `--limit N`.
+    let via_first = run(&["enumerate", &tiny_graph(), "--k", "1", "--first", "2", "--print"]);
+    let via_limit = run(&["enumerate", &tiny_graph(), "--k", "1", "--limit", "2", "--print"]);
+    let solutions = |text: &str| text.lines().filter(|l| l.starts_with("L=")).count();
+    assert_eq!(solutions(&via_first), solutions(&via_limit), "--first maps onto --limit");
+    assert!(
+        via_first.contains("stop: limit-reached"),
+        "the alias reaches the same stop reason: {via_first}"
+    );
+
+    // Passing both spellings at once is ambiguous and must be rejected as a
+    // usage error, not silently resolved.
+    let raw: Vec<String> = ["enumerate", &tiny_graph(), "--k", "1", "--first", "2", "--limit", "3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    match mbpe_cli::run(&raw, &mut out) {
+        Err(mbpe_cli::CliError::Usage(msg)) => {
+            assert!(msg.contains("--first"), "the error names the deprecated flag: {msg}");
+            assert!(msg.contains("--limit"), "the error names the canonical flag: {msg}");
+        }
+        other => panic!("--first + --limit must be a usage error, got {other:?}"),
+    }
+}
+
+#[test]
 fn parallel_seen_and_steal_flags_match_the_sequential_count() {
     let sequential = run(&["enumerate", &tiny_graph(), "--k", "1", "--count-only"]);
     let count = |text: &str| -> usize {

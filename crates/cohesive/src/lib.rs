@@ -15,7 +15,6 @@
 //! subgraph mining.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod biclique;
 pub mod bitruss;

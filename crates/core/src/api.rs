@@ -59,9 +59,8 @@
 //!    expansion instead of running to completion.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -76,6 +75,8 @@ use crate::large::{par_run_large, run_large, LargeMbpParams};
 use crate::parallel::{par_run, ParRuntime, ParallelConfig, ParallelEngine, ParallelStats};
 use crate::sink::{Control, SolutionSink};
 use crate::stats::TraversalStats;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{plock, Mutex};
 use crate::traversal::{traverse, Anchor, EmitMode, TraversalConfig};
 
 /// Which enumeration algorithm the facade runs.
@@ -261,6 +262,9 @@ pub enum ApiError {
     Unsupported(String),
     /// A knob value is invalid on its own terms.
     InvalidConfig(String),
+    /// The operating system refused a resource the run needs (today: the
+    /// background thread of [`Enumerator::stream`]).
+    Resource(String),
 }
 
 impl fmt::Display for ApiError {
@@ -268,6 +272,7 @@ impl fmt::Display for ApiError {
         match self {
             ApiError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
             ApiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ApiError::Resource(msg) => write!(f, "resource error: {msg}"),
         }
     }
 }
@@ -582,7 +587,7 @@ impl<'g> Enumerator<'g> {
                 // of pulling from a bounded channel.
                 execute(&graph, &spec, &mut sink, &thread_cancel, Some(&undelivered), true)
             })
-            .expect("failed to spawn enumerator thread");
+            .map_err(|e| ApiError::Resource(format!("failed to spawn enumerator thread: {e}")))?;
         Ok(SolutionStream { rx: Some(rx), cancel, handle: Some(handle) })
     }
 }
@@ -601,6 +606,8 @@ impl SolutionSink for ChannelSink<'_> {
         match self.tx.send(solution.clone()) {
             Ok(()) => Control::Continue,
             Err(_) => {
+                // ordering: Relaxed — advisory flag read under the gate
+                // lock; see DESIGN.md "cancel-flag".
                 self.undelivered.store(true, Ordering::Relaxed);
                 Control::Stop
             }
@@ -625,6 +632,8 @@ impl SolutionStream {
     /// Requests cooperative cancellation of the producing run without
     /// consuming the stream; already-buffered solutions remain readable.
     pub fn cancel(&self) {
+        // ordering: Relaxed — liveness-only stop request; see DESIGN.md
+        // "cancel-flag".
         self.cancel.store(true, Ordering::Relaxed);
     }
 
@@ -638,15 +647,21 @@ impl SolutionStream {
     }
 
     fn shutdown(&mut self) -> RunReport {
+        // ordering: Relaxed — liveness-only stop request; see DESIGN.md
+        // "cancel-flag".
         self.cancel.store(true, Ordering::Relaxed);
         // Drop the receiver before joining: a producer blocked on a full
         // channel unblocks through the send error.
         drop(self.rx.take());
-        self.handle
-            .take()
-            .expect("stream already finished")
-            .join()
-            .expect("enumerator thread panicked")
+        let Some(handle) = self.handle.take() else {
+            // `shutdown` is only reachable from `finish`, which consumes the
+            // stream; `Drop` (the other taker) runs after that.
+            unreachable!("stream already finished")
+        };
+        match handle.join() {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
 }
 
@@ -661,6 +676,8 @@ impl Iterator for SolutionStream {
 impl Drop for SolutionStream {
     fn drop(&mut self) {
         if let Some(handle) = self.handle.take() {
+            // ordering: Relaxed — liveness-only stop request; see DESIGN.md
+            // "cancel-flag".
             self.cancel.store(true, Ordering::Relaxed);
             drop(self.rx.take());
             // Swallow a producer panic here: panicking inside drop would
@@ -711,7 +728,7 @@ impl<'a> Gate<'a> {
     /// Applies the stopping rules without delivering a solution (used by
     /// post-filters for solutions they drop).
     fn check(&self) -> Control {
-        let mut inner = self.inner.lock().expect("facade gate poisoned");
+        let mut inner = plock(&self.inner);
         match self.pre_checks(&mut inner) {
             Some(control) => control,
             None => Control::Continue,
@@ -720,11 +737,14 @@ impl<'a> Gate<'a> {
 
     /// Delivers one solution through the stopping rules.
     fn offer(&self, solution: &Biplex) -> Control {
-        let mut inner = self.inner.lock().expect("facade gate poisoned");
+        let mut inner = plock(&self.inner);
         if let Some(control) = self.pre_checks(&mut inner) {
             return control;
         }
         let verdict = inner.sink.on_solution(solution);
+        // ordering: Relaxed — the flag was set by this same delivery attempt
+        // before on_solution returned; no cross-thread data rides on it. See
+        // DESIGN.md "cancel-flag".
         if verdict == Control::Stop && self.undelivered.is_some_and(|u| u.load(Ordering::Relaxed)) {
             // The stream's channel sink reports the send failed (receiver
             // dropped mid-run). The solution was not consumed: report a
@@ -750,6 +770,8 @@ impl<'a> Gate<'a> {
         if inner.reason.is_some() {
             return Some(Control::Stop);
         }
+        // ordering: Relaxed — cancellation poll, liveness only; see
+        // DESIGN.md "cancel-flag".
         if self.cancel.load(Ordering::Relaxed) {
             return Some(self.stop(inner, StopReason::Cancelled));
         }
@@ -766,12 +788,14 @@ impl<'a> Gate<'a> {
 
     fn stop(&self, inner: &mut GateInner<'_>, reason: StopReason) -> Control {
         inner.reason = Some(reason);
+        // ordering: Relaxed — liveness-only stop request; the decision
+        // itself is published by the gate lock. See DESIGN.md "cancel-flag".
         self.cancel.store(true, Ordering::Relaxed);
         Control::Stop
     }
 
     fn finish(self) -> (u64, Option<StopReason>) {
-        let inner = self.inner.into_inner().expect("facade gate poisoned");
+        let inner = self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         (inner.delivered, inner.reason)
     }
 }

@@ -25,14 +25,6 @@ struct LocalInflatedView<'a> {
 }
 
 impl LocalInflatedView<'_> {
-    /// Number of left vertices of the local view, `|L| + 1` (the host's left
-    /// side plus the new vertex `v`).
-    #[cfg_attr(not(test), allow(dead_code))]
-    #[inline]
-    fn left_count(&self) -> usize {
-        self.left.len() + 1
-    }
-
     /// Maps a local id to the original graph: `(is_left, original_id)`.
     #[inline]
     fn original(&self, id: u32) -> (bool, u32) {
@@ -125,6 +117,15 @@ where
 mod tests {
     use super::*;
     use crate::enum_almost_sat::{brute_force_local_solutions, EnumKind};
+
+    impl LocalInflatedView<'_> {
+        /// Number of left vertices of the local view, `|L| + 1` (the host's
+        /// left side plus the new vertex `v`). Only the tests need this;
+        /// production code works through the `LocalGraph` trait.
+        fn left_count(&self) -> usize {
+            self.left.len() + 1
+        }
+    }
 
     #[test]
     fn inflation_matches_brute_force() {

@@ -296,11 +296,9 @@ impl ComboContext<'_> {
         // non-neighbours was removed.
         if total < k {
             for &w in removal {
-                let pos = self
-                    .host
-                    .left()
-                    .binary_search(&w)
-                    .expect("removal vertices come from the host left side");
+                let Ok(pos) = self.host.left().binary_search(&w) else {
+                    unreachable!("removal vertices come from the host left side")
+                };
                 // non-neighbours of w inside R² \ R''₂
                 let miss_in_r2_all = self.r2_all.len() as u32 - self.adj_r2[pos];
                 let miss_in_r2_part = v2.iter().filter(|&&u| !g.has_edge(w, u)).count() as u32;

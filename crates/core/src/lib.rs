@@ -53,7 +53,6 @@
 //! reproducible.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod api;
 pub mod asym;
@@ -67,6 +66,7 @@ pub mod parallel;
 pub mod sink;
 pub mod stats;
 pub mod store;
+pub mod sync;
 pub mod traversal;
 
 pub use api::{

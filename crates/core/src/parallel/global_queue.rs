@@ -10,10 +10,12 @@
 //! quantify the difference.
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::PoisonError;
 use std::time::Duration;
 
 use bigraph::BipartiteGraph;
+
+use crate::sync::{plock, thread, Condvar, Mutex};
 
 use super::seen::fnv1a;
 use super::{expand_solution, ParRuntime, ParallelConfig, ParallelStats, WorkerCounters};
@@ -49,12 +51,12 @@ impl Shared {
     fn insert(&self, solution: &Biplex) -> bool {
         let key = solution.canonical_key();
         let shard = fnv1a(&key) as usize % SHARDS;
-        self.seen[shard].lock().expect("seen shard poisoned").insert(key)
+        plock(&self.seen[shard]).insert(key)
     }
 
     /// Pushes a freshly discovered solution onto the work queue.
     fn push_work(&self, solution: Biplex) {
-        let mut q = self.queue.lock().expect("queue poisoned");
+        let mut q = plock(&self.queue);
         q.0.push_back(solution);
         drop(q);
         self.wake.notify_one();
@@ -65,7 +67,7 @@ impl Shared {
     /// the in-flight counter: the caller *must* call [`Shared::finish_work`]
     /// after processing a returned item.
     fn pop_work(&self, rt: &ParRuntime<'_>) -> Option<Biplex> {
-        let mut q = self.queue.lock().expect("queue poisoned");
+        let mut q = plock(&self.queue);
         loop {
             if rt.should_stop() {
                 // Abandon queued work; wake everyone so they observe the
@@ -87,16 +89,19 @@ impl Shared {
                 // With a cancellation flag or deadline in play the sleep is
                 // bounded, so an external cancel (e.g. a dropped stream) or
                 // an expiring deadline is observed without a notifier.
-                self.wake.wait_timeout(q, Duration::from_millis(1)).expect("queue poisoned").0
+                self.wake
+                    .wait_timeout(q, Duration::from_millis(1))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0
             } else {
-                self.wake.wait(q).expect("queue poisoned")
+                self.wake.wait(q).unwrap_or_else(PoisonError::into_inner)
             };
         }
     }
 
     /// Marks the current work item as fully expanded.
     fn finish_work(&self) {
-        let mut q = self.queue.lock().expect("queue poisoned");
+        let mut q = plock(&self.queue);
         q.1 -= 1;
         if q.0.is_empty() && q.1 == 0 {
             drop(q);
@@ -122,21 +127,24 @@ pub(super) fn run(
     if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
         stats.reported = 1;
         if !rt.deliver(&initial) {
-            shared.results.lock().expect("results poisoned").push(initial.clone());
+            plock(&shared.results).push(initial.clone());
         }
     }
     shared.push_work(initial);
 
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> =
             (0..threads).map(|_| scope.spawn(|| worker(g, config, rt, &shared))).collect();
         for handle in handles {
-            handle.join().expect("worker panicked").merge_into(&mut stats);
+            match handle.join() {
+                Ok(counters) => counters.merge_into(&mut stats),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
     });
 
     stats.stopped_early = rt.cancelled();
-    let results = shared.results.into_inner().expect("results poisoned");
+    let results = shared.results.into_inner().unwrap_or_else(PoisonError::into_inner);
     (results, stats)
 }
 
@@ -151,7 +159,7 @@ fn worker(
     while let Some(host) = shared.pop_work(rt) {
         let mut on_new = |solution: Biplex, report: bool, expandable: bool| {
             if report && !rt.deliver(&solution) {
-                shared.results.lock().expect("results poisoned").push(solution.clone());
+                plock(&shared.results).push(solution.clone());
             }
             if expandable && !rt.cancelled() {
                 shared.push_work(solution);

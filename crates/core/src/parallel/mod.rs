@@ -51,7 +51,6 @@ pub mod global_queue;
 pub mod seen;
 pub mod work_steal;
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use bigraph::order::{Relabeling, VertexOrder};
@@ -61,6 +60,7 @@ use crate::biplex::{sorted_intersection_len, Biplex, PartialBiplex};
 use crate::enum_almost_sat::{enum_almost_sat, EnumKind};
 use crate::extend::{extend_to_maximal, ExtendMode};
 use crate::sink::Control;
+use crate::sync::atomic::{AtomicBool, Ordering};
 
 /// Scheduler-independent runtime hooks of one parallel run, injected by the
 /// facade: an optional per-solution callback (streaming delivery instead of
@@ -84,8 +84,8 @@ pub(crate) struct ParRuntime<'a> {
 impl ParRuntime<'_> {
     /// `true` once cancellation has been requested.
     pub(crate) fn cancelled(&self) -> bool {
-        // Relaxed suffices: the flag is a pure liveness signal, no data is
-        // published through it.
+        // ordering: Relaxed — the flag is a pure liveness signal, no data is
+        // published through it; see DESIGN.md "cancel-flag".
         self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
@@ -106,6 +106,8 @@ impl ParRuntime<'_> {
     /// Requests cancellation (no-op without a flag).
     pub(crate) fn request_cancel(&self) {
         if let Some(c) = self.cancel {
+            // ordering: Relaxed — liveness-only signal, no data published
+            // through the flag; see DESIGN.md "cancel-flag".
             c.store(true, Ordering::Relaxed);
         }
     }
@@ -324,6 +326,8 @@ pub(crate) fn expand_solution(
     let host_partial = PartialBiplex::from_sets(g, &host.left, &host.right);
 
     for v in 0..g.num_left() {
+        // ordering: Relaxed — cancellation poll, liveness only; see
+        // DESIGN.md "cancel-flag".
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
             return;
         }
@@ -342,6 +346,8 @@ pub(crate) fn expand_solution(
         counters.almost_sat_graphs += 1;
 
         enum_almost_sat(g, k, config.enum_kind, &host_partial, v, |local: Biplex| -> bool {
+            // ordering: Relaxed — cancellation poll, liveness only; see
+            // DESIGN.md "cancel-flag".
             if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
                 return false;
             }

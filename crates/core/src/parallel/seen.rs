@@ -47,8 +47,8 @@
 //! inserters cooperatively pause for the new segments' allocation plus (at
 //! most) the longest in-flight chain walk; probes never block.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{order, OnceLock};
 
 /// Buckets per segment (2¹²): one segment is 64 KiB of bucket heads, so a
 /// tiny enumeration pays ~128 KiB (one segment plus the 4096-slot root
@@ -77,6 +77,7 @@ const INFLIGHT_STRIPES: usize = 16;
 /// Round-robin stripe assignment, cached per thread. Correctness only
 /// needs every in-flight insert counted on *some* stripe (the drain reads
 /// them all), so the choice is free to optimise for contention.
+#[cfg(not(kbiplex_model))]
 fn my_stripe() -> usize {
     use std::cell::Cell;
     static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -86,11 +87,21 @@ fn my_stripe() -> usize {
     STRIPE.with(|s| {
         let mut v = s.get();
         if v == usize::MAX {
+            // ordering: Relaxed — the counter only spreads threads across
+            // stripes; no data is published through it.
             v = NEXT.fetch_add(1, Ordering::Relaxed) % INFLIGHT_STRIPES;
             s.set(v);
         }
         v
     })
+}
+
+/// Model-backend stripe assignment: derived from the model-thread index so
+/// it is deterministic per execution (a thread-local cache would leak
+/// stripe choices across model executions and break schedule replay).
+#[cfg(kbiplex_model)]
+fn my_stripe() -> usize {
+    crate::sync::thread::current_index() % INFLIGHT_STRIPES
 }
 
 /// One cache-line-padded counter stripe.
@@ -156,7 +167,8 @@ impl ConcurrentSeenSet {
         let root: Vec<OnceLock<Box<Segment>>> =
             (0..MAX_SEGMENTS).map(|_| OnceLock::new()).collect();
         for slot in root.iter().take(initial) {
-            slot.set(Segment::new(segment_buckets)).ok().expect("fresh root slot");
+            let fresh = slot.set(Segment::new(segment_buckets)).is_ok();
+            debug_assert!(fresh, "fresh root slot");
         }
         ConcurrentSeenSet {
             root,
@@ -187,8 +199,13 @@ impl ConcurrentSeenSet {
         let stripe = &self.inflight[my_stripe()].0;
         let segments = self.enter(stripe);
         let added = self.insert_under(h, key, segments);
-        stripe.fetch_sub(1, Ordering::SeqCst);
+        // ordering: SeqCst — the exit decrement must come after the node
+        // link in the single total order the growth drain reads (mutation
+        // site, see DESIGN.md "seen-exit-stripe").
+        stripe.fetch_sub(1, order!(SeqCst, "seen-exit-stripe"));
         if added {
+            // ordering: Relaxed — len is a statistic plus a growth trigger;
+            // the growth protocol itself re-reads it under the flag.
             let len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
             // Load factor 1: whoever crosses the published bucket count
             // kicks off the next doubling.
@@ -205,16 +222,29 @@ impl ConcurrentSeenSet {
     /// protocol's drain wait terminates.
     fn enter(&self, stripe: &AtomicUsize) -> usize {
         loop {
-            stripe.fetch_add(1, Ordering::SeqCst);
+            // ordering: SeqCst — Dekker-style with `growing`: the increment
+            // and the flag check must not reorder, or the grower could miss
+            // this in-flight insert (mutation site, see DESIGN.md
+            // "seen-enter-stripe").
+            stripe.fetch_add(1, order!(SeqCst, "seen-enter-stripe"));
+            // ordering: SeqCst — pairs with the increment above against the
+            // grower's swap/drain; see DESIGN.md "seen-enter-growing".
             if !self.growing.load(Ordering::SeqCst) {
+                // ordering: SeqCst — the count read here decides which era
+                // the insert links under; it must be at least as new as the
+                // publication the cleared flag proves finished; see
+                // DESIGN.md "seen-enter-segments".
                 return self.segments.load(Ordering::SeqCst);
             }
+            // ordering: SeqCst — backout must be ordered before the re-read
+            // of the flag so the drain can terminate.
             stripe.fetch_sub(1, Ordering::SeqCst);
+            // ordering: SeqCst — spin until the publication completes.
             while self.growing.load(Ordering::SeqCst) {
                 // Publication is rare and the wait is bounded by one drain;
                 // yielding (rather than spinning) keeps oversubscribed
                 // boxes from burning the publisher's timeslice.
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
     }
@@ -260,7 +290,11 @@ impl ConcurrentSeenSet {
                 Ok(()) => return true,
                 Err(returned) => {
                     node = returned;
-                    let occupant = slot.get().expect("slot observed occupied");
+                    let Some(occupant) = slot.get() else {
+                        // A failed set proves the slot was occupied, and
+                        // chain links are never removed.
+                        unreachable!("slot observed occupied");
+                    };
                     if occupant.hash == node.hash && occupant.key == node.key {
                         return false;
                     }
@@ -290,7 +324,11 @@ impl ConcurrentSeenSet {
 
     /// Resolves a global bucket index through the directory.
     fn bucket_slot(&self, idx: usize) -> &OnceLock<Box<Node>> {
-        let segment = self.root[idx / self.segment_buckets].get().expect("published segment");
+        let Some(segment) = self.root[idx / self.segment_buckets].get() else {
+            // Indices are always masked to a published count, and segments
+            // are set strictly before the count covering them.
+            unreachable!("published segment");
+        };
         &segment.buckets[idx % self.segment_buckets]
     }
 
@@ -298,13 +336,18 @@ impl ConcurrentSeenSet {
     /// waiting out in-flight inserts first; no-op if another thread is
     /// already publishing.
     fn try_grow(&self) {
+        // ordering: SeqCst — the pre-election snapshot the post-election
+        // re-check compares against.
         let observed = self.segments.load(Ordering::SeqCst);
+        // ordering: Relaxed (len) — the threshold is heuristic; the
+        // authoritative re-check happens under the flag below.
+        // ordering: SeqCst (growing.swap) — the swap elects exactly one
+        // grower *before* anything is allocated, so racing
+        // threshold-crossers never each build (and discard) a capacity's
+        // worth of segments; see DESIGN.md "seen-elect-growing".
         if self.pinned
             || observed >= MAX_SEGMENTS
             || (self.len.load(Ordering::Relaxed) as usize) <= observed * self.segment_buckets
-            // The swap elects exactly one grower *before* anything is
-            // allocated, so racing threshold-crossers never each build (and
-            // discard) a capacity's worth of segments.
             || self.growing.swap(true, Ordering::SeqCst)
         {
             return;
@@ -312,7 +355,11 @@ impl ConcurrentSeenSet {
         // Elected. Re-check under the flag: a racer may have published
         // while this thread was entering, in which case the doubling it
         // observed is already done and the flag comes straight back down.
+        // ordering: SeqCst — reads the count the previous publication wrote
+        // before clearing the flag this thread now holds.
         let current = self.segments.load(Ordering::SeqCst);
+        // ordering: Relaxed (len) — same heuristic as above; a stale read
+        // only delays growth by one insert.
         if current == observed
             && self.len.load(Ordering::Relaxed) as usize > current * self.segment_buckets
         {
@@ -320,23 +367,33 @@ impl ConcurrentSeenSet {
             // stall for the allocation as well as the drain, but only on
             // this rare true-growth path, and only one thread allocates.
             for (slot, _) in self.root.iter().skip(current).zip(0..current) {
-                slot.set(Segment::new(self.segment_buckets)).ok().expect("unpublished root slot");
+                let unpublished = slot.set(Segment::new(self.segment_buckets)).is_ok();
+                debug_assert!(unpublished, "unpublished root slot");
             }
             // Drain: every insert that read the old count links its node
             // before decrementing, so after the drain the new mask can be
             // published without a same-key insert straddling two eras.
-            while self.inflight.iter().any(|s| s.0.load(Ordering::SeqCst) > 0) {
+            // ordering: SeqCst — each stripe read must observe every
+            // increment ordered before this thread's flag swap (mutation
+            // site, see DESIGN.md "seen-drain-stripe").
+            while self.inflight.iter().any(|s| s.0.load(order!(SeqCst, "seen-drain-stripe")) > 0) {
                 // The holders are mid-chain-walk; let them run (matters on
                 // oversubscribed boxes where they may not be scheduled).
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
+            // ordering: SeqCst — publication: every later `enter` must see
+            // this count once the flag below is observed clear; see
+            // DESIGN.md "seen-publish-segments".
             self.segments.store(current * 2, Ordering::SeqCst);
         }
+        // ordering: SeqCst — releases the election; ordered after the
+        // publication store so waiters resume under the new mask.
         self.growing.store(false, Ordering::SeqCst);
     }
 
     /// Number of distinct keys inserted so far.
     pub fn len(&self) -> u64 {
+        // ordering: Relaxed — a monotonic statistic; readers tolerate lag.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -348,6 +405,8 @@ impl ConcurrentSeenSet {
     /// Published segment count (grows from the constructor's value up to
     /// [`MAX_SEGMENTS`], doubling each time the load factor crosses 1).
     pub fn segments(&self) -> usize {
+        // ordering: SeqCst — observers see counts no older than the inserts
+        // they synchronised with.
         self.segments.load(Ordering::SeqCst)
     }
 
@@ -360,6 +419,7 @@ impl ConcurrentSeenSet {
     /// insert completed before the call are all present; keys racing with
     /// the call may or may not be.
     pub fn keys(&self) -> Vec<Vec<u32>> {
+        // ordering: SeqCst — walk everything published before the call.
         let segments = self.segments.load(Ordering::SeqCst);
         let mut out = Vec::with_capacity(self.len() as usize);
         for slot in self.root.iter().take(segments) {
@@ -383,7 +443,10 @@ impl Drop for ConcurrentSeenSet {
         // Only the published prefix can hold segments (publication sets a
         // slot strictly before the count covering it is stored, and counts
         // never shrink).
-        let published = *self.segments.get_mut();
+        // ordering: SeqCst — `&mut self` already guarantees exclusivity; a
+        // plain load keeps the facade surface small (the model backend has
+        // no `get_mut`).
+        let published = self.segments.load(Ordering::SeqCst);
         for slot in &mut self.root[..published] {
             let Some(segment) = slot.get_mut() else { continue };
             for head in &mut segment.buckets {

@@ -26,10 +26,12 @@
 //! vector in batches of [`ParallelConfig::result_batch`].
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::PoisonError;
 
 use bigraph::BipartiteGraph;
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{hint, plock, thread, Mutex};
 
 use super::seen::{ConcurrentSeenSet, SEGMENT_BUCKETS};
 use super::{expand_solution, ParRuntime, ParallelConfig, ParallelStats, WorkerCounters};
@@ -67,13 +69,15 @@ pub(super) fn run(
     if initial.left.len() >= config.theta_left && initial.right.len() >= config.theta_right {
         stats.reported = 1;
         if !rt.deliver(&initial) {
-            results.lock().expect("results poisoned").push(initial.clone());
+            plock(&results).push(initial.clone());
         }
     }
+    // ordering: SeqCst — the seed item is counted before any worker can
+    // observe the deque; see DESIGN.md "steal-pending".
     pending.store(1, Ordering::SeqCst);
-    deques[0].lock().expect("deque poisoned").push_back(initial);
+    plock(&deques[0]).push_back(initial);
 
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let deques = &deques;
@@ -84,12 +88,15 @@ pub(super) fn run(
             })
             .collect();
         for handle in handles {
-            handle.join().expect("worker panicked").merge_into(&mut stats);
+            match handle.join() {
+                Ok(counters) => counters.merge_into(&mut stats),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
     });
 
     stats.stopped_early = rt.cancelled();
-    let results = results.into_inner().expect("results poisoned");
+    let results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     (results, stats)
 }
 
@@ -122,23 +129,26 @@ fn worker(
         let host = pop_own(&deques[w])
             .or_else(|| steal(w, deques, config.steal_adaptive, &mut rng, &mut counters));
         let Some(host) = host else {
+            // ordering: SeqCst — the termination check must observe every
+            // fetch_add that happened before the matching deque push it
+            // failed to find; see DESIGN.md "steal-pending".
             if pending.load(Ordering::SeqCst) == 0 {
                 break;
             }
             idle += 1;
             if idle < 8 {
-                std::hint::spin_loop();
+                hint::spin_loop();
             } else if idle < 64 {
                 // Oversubscribed boxes (threads > cores) need the yield to
                 // let the worker that owns the remaining work run.
-                std::thread::yield_now();
+                thread::yield_now();
             } else {
                 // Escalate the sleep so long-idle workers stop competing
                 // with the workers that still have work: 100 µs doubling up
                 // to 1.6 ms. Steal latency on refill stays bounded while the
                 // idle loop's CPU share goes to ~zero.
                 let step = ((idle - 64) / 32).min(4);
-                std::thread::sleep(std::time::Duration::from_micros(100 << step));
+                thread::sleep(std::time::Duration::from_micros(100 << step));
             }
             continue;
         };
@@ -155,13 +165,15 @@ fn worker(
                 }
                 // Count the item before it becomes stealable so the
                 // termination check can never miss it.
+                // ordering: SeqCst — must not be reordered after the deque
+                // push below; see DESIGN.md "steal-pending".
                 pending.fetch_add(1, Ordering::SeqCst);
-                my_deque.lock().expect("deque poisoned").push_back(solution);
+                plock(my_deque).push_back(solution);
             } else if collect {
                 batch.push(solution);
             }
             if batch.len() >= batch_limit {
-                results.lock().expect("results poisoned").append(&mut batch);
+                plock(results).append(&mut batch);
             }
         };
         expand_solution(
@@ -174,18 +186,22 @@ fn worker(
             rt.cancel,
         );
         // Only now is this item fully accounted for.
+        // ordering: SeqCst — all child fetch_adds from this expansion are
+        // sequenced before this decrement, so the counter can only hit zero
+        // once no queued or in-flight item remains; see DESIGN.md
+        // "steal-pending".
         pending.fetch_sub(1, Ordering::SeqCst);
     }
 
     if !batch.is_empty() {
-        results.lock().expect("results poisoned").append(&mut batch);
+        plock(results).append(&mut batch);
     }
     counters
 }
 
 /// LIFO pop from the worker's own deque.
 fn pop_own(deque: &Mutex<VecDeque<Biplex>>) -> Option<Biplex> {
-    deque.lock().expect("deque poisoned").pop_back()
+    plock(deque).pop_back()
 }
 
 /// Scans the other deques from a random start and steals from the old end
@@ -210,7 +226,7 @@ fn steal(
         if v == w {
             continue;
         }
-        let mut victim = deques[v].lock().expect("deque poisoned");
+        let mut victim = plock(&deques[v]);
         let len = victim.len();
         if len == 0 {
             continue;
@@ -221,7 +237,7 @@ fn steal(
         counters.steals += 1;
         let first = stolen.pop_front();
         if !stolen.is_empty() {
-            let mut mine = deques[w].lock().expect("deque poisoned");
+            let mut mine = plock(&deques[w]);
             mine.extend(stolen);
         }
         return first;

@@ -1,0 +1,110 @@
+//! Synchronisation facade for the lock-free core.
+//!
+//! Everything in [`crate::parallel`] reaches its atomics, locks, condvars
+//! and threads through this module instead of `std` directly (the
+//! `cargo xtask lint` pass enforces it for `parallel/`). The facade has two
+//! backends selected at compile time by the `kbiplex_model` cfg:
+//!
+//! * **Production** (default): direct re-exports of the `std` types. No
+//!   wrapper types, no indirection — binaries are byte-for-byte identical
+//!   to importing `std::sync` directly, and the `modelsim` crate is not in
+//!   the dependency graph at all.
+//! * **Model** (`--cfg kbiplex_model` + `--features model`): the vendored
+//!   `modelsim` deterministic concurrency model checker. Every operation
+//!   becomes a scheduling point, atomics run under a weak-memory visibility
+//!   simulation, and `modelsim::check` explores interleavings. Used by
+//!   `tests/model_check.rs` and the CI `analysis` job.
+//!
+//! # Ordering mutations
+//!
+//! The `order!` macro (crate-internal) names a memory ordering *site*:
+//! `order!(SeqCst, "seen-drain-stripe")`. In production it expands to the
+//! literal ordering. Under the model backend it consults
+//! `modelsim::mutation_active` so a model test can *downgrade* one site to
+//! `Relaxed` at runtime and prove the checker catches the resulting bug —
+//! mutation coverage for memory orderings, without per-mutant rebuilds.
+//! Sites are documented in DESIGN.md § "Memory-ordering arguments".
+
+// The model backend is only compiled when explicitly requested; forgetting
+// the feature while setting the cfg would otherwise produce confusing
+// "unresolved import" errors deep inside the facade.
+#[cfg(all(kbiplex_model, not(feature = "model")))]
+compile_error!(
+    "--cfg kbiplex_model requires the `model` feature of kbiplex \
+     (cargo test -p kbiplex --features model with RUSTFLAGS=\"--cfg kbiplex_model\")"
+);
+
+#[cfg(not(kbiplex_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+#[cfg(kbiplex_model)]
+pub use modelsim::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Atomic types and memory orderings (std or modelsim, by backend).
+pub mod atomic {
+    #[cfg(not(kbiplex_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(kbiplex_model)]
+    pub use modelsim::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning and scheduling hints (std or modelsim, by backend).
+pub mod thread {
+    #[cfg(not(kbiplex_model))]
+    pub use std::thread::{scope, sleep, yield_now, Scope, ScopedJoinHandle};
+
+    #[cfg(kbiplex_model)]
+    pub use modelsim::thread::{scope, sleep, yield_now, Scope, ScopedJoinHandle};
+
+    /// Model-thread index of the calling thread; used for counter striping
+    /// so stripe choice is deterministic inside model executions.
+    #[cfg(kbiplex_model)]
+    pub use modelsim::thread::current_index;
+}
+
+/// Spin-wait hint (std or modelsim, by backend).
+pub mod hint {
+    #[cfg(not(kbiplex_model))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(kbiplex_model)]
+    pub use modelsim::hint::spin_loop;
+}
+
+/// Names a memory-ordering site: `order!(SeqCst, "site-tag")`.
+///
+/// Expands to `Ordering::SeqCst` in production. Under the model backend the
+/// site can be downgraded to `Relaxed` by an active modelsim mutation —
+/// which model tests use to prove the checker would catch an accidental
+/// weakening of the real code.
+#[cfg(not(kbiplex_model))]
+macro_rules! order {
+    ($ord:ident, $site:literal) => {
+        $crate::sync::atomic::Ordering::$ord
+    };
+}
+
+/// Model-backend [`order!`]: consults the modelsim mutation registry.
+#[cfg(kbiplex_model)]
+macro_rules! order {
+    ($ord:ident, $site:literal) => {
+        if ::modelsim::mutation_active($site) {
+            $crate::sync::atomic::Ordering::Relaxed
+        } else {
+            $crate::sync::atomic::Ordering::$ord
+        }
+    };
+}
+
+pub(crate) use order;
+
+/// Locks a mutex, recovering the guard from a poisoned lock. The parallel
+/// engines hold locks only around short queue/buffer operations that leave
+/// the data consistent at every await point, so a panic elsewhere never
+/// leaves them half-updated and continuing with the inner value is sound —
+/// and the engines must not *compound* a worker panic into a second one
+/// while the scope unwinds.
+pub(crate) fn plock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

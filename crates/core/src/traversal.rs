@@ -477,11 +477,12 @@ impl<S: SolutionSink + ?Sized> Engine<'_, S> {
         let (enum_graph, enum_host, flip): (&BipartiteGraph, PartialBiplex, bool) = match cand.side
         {
             Side::Left => (g, host.clone(), false),
-            Side::Right => (
-                gt.as_ref().expect("transpose is built when right candidates are enabled"),
-                host.flipped(),
-                true,
-            ),
+            Side::Right => {
+                let Some(gt) = gt.as_ref() else {
+                    unreachable!("transpose is built when right candidates are enabled")
+                };
+                (gt, host.flipped(), true)
+            }
         };
 
         let theta_filter_left = cfg.theta_left;

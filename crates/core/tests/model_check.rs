@@ -1,0 +1,210 @@
+//! Deterministic model-checking of the lock-free core's concurrency
+//! protocols, driven by the vendored [`modelsim`] runtime.
+//!
+//! Compiled only under the model backend of [`kbiplex::sync`]:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg kbiplex_model" cargo test -p kbiplex --features model --test model_check
+//! ```
+//!
+//! Each test hands a protocol closure to [`modelsim::check`], which runs it
+//! thousands of times under bounded-exhaustive (preemption-bounded DFS) and
+//! randomized schedule exploration with a weak-memory visibility
+//! simulation. The positive tests assert the protocol invariants hold on
+//! every explored schedule *and* that coverage met the floor; the mutation
+//! tests downgrade one named memory-ordering site to `Relaxed` (through the
+//! `order!` registry — no rebuild) and assert the checker refutes the
+//! weakened protocol, proving the harness would catch an accidental
+//! downgrade of the real code.
+
+#![cfg(all(kbiplex_model, feature = "model"))]
+
+use bigraph::BipartiteGraph;
+use kbiplex::sync::thread;
+use kbiplex::{
+    Biplex, CollectSink, ConcurrentSeenSet, Engine, Enumerator, ParallelConfig, ParallelEngine,
+    StopReason,
+};
+use modelsim::{check, Config, Report};
+
+/// Coverage floor: either the preemption-bounded DFS tree was exhausted or
+/// at least this many distinct schedules ran.
+const DISTINCT_FLOOR: usize = 10_000;
+
+fn assert_coverage(report: &Report, what: &str) {
+    assert!(
+        report.dfs_complete || report.distinct >= DISTINCT_FLOOR,
+        "{what}: insufficient schedule coverage: {report:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 1: one-winner insert on a hot key
+// ---------------------------------------------------------------------------
+
+/// Three threads race to insert the same key; the chain-tail CAS protocol
+/// must hand exactly one of them the win, on every schedule.
+fn hot_key_protocol() {
+    let set = ConcurrentSeenSet::with_geometry(1, 4);
+    let wins = thread::scope(|s| {
+        let h1 = s.spawn(|| set.insert(vec![7]) as usize);
+        let h2 = s.spawn(|| set.insert(vec![7]) as usize);
+        let mine = set.insert(vec![7]) as usize;
+        mine + h1.join().expect("inserter 1") + h2.join().expect("inserter 2")
+    });
+    assert_eq!(wins, 1, "exactly one racer claims the hot key");
+    assert_eq!(set.len(), 1);
+    assert!(!set.insert(vec![7]), "the key stays claimed");
+}
+
+#[test]
+fn seen_one_winner_on_hot_key() {
+    let report = check(&Config::default(), hot_key_protocol).unwrap_or_else(|failure| {
+        panic!("one-winner protocol refuted: {failure}");
+    });
+    assert_coverage(&report, "one-winner");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 2: segment doubling with the striped in-flight drain
+// ---------------------------------------------------------------------------
+
+/// Two threads race on one key (whose bucket *moves* between eras: its hash
+/// is odd, so the one-bucket era maps it to bucket 0 and the two-bucket era
+/// to bucket 1) while the root thread drives a publication by inserting two
+/// filler keys past the load factor. The drain protocol must guarantee no
+/// insert straddles the doubling: the racing key is claimed exactly once
+/// and every key survives into the new era.
+fn growth_protocol() {
+    let set = ConcurrentSeenSet::with_geometry(1, 1);
+    let wins = thread::scope(|s| {
+        let h1 = s.spawn(|| set.insert(vec![2]) as usize);
+        let h2 = s.spawn(|| set.insert(vec![2]) as usize);
+        set.insert(vec![1]);
+        set.insert(vec![3]); // len 2 > capacity 1: triggers a doubling
+        h1.join().expect("inserter 1") + h2.join().expect("inserter 2")
+    });
+    assert_eq!(wins, 1, "the era-straddling key is claimed exactly once");
+    assert_eq!(set.len(), 3);
+    for key in [vec![1], vec![2], vec![3]] {
+        assert!(!set.insert(key.clone()), "key {key:?} lost across the doubling");
+    }
+}
+
+#[test]
+fn seen_growth_drain_never_straddles_eras() {
+    // The growth protocol's deeper schedules repeat more often under the
+    // randomized phase (PCT runs favour long uninterrupted stretches), so
+    // it needs a little extra budget to clear the distinct-schedule floor.
+    let config = Config { max_executions: 15_000, ..Config::default() };
+    let report = check(&config, growth_protocol).unwrap_or_else(|failure| {
+        panic!("growth protocol refuted: {failure}");
+    });
+    assert_coverage(&report, "growth-drain");
+}
+
+/// Downgrading any one of the three striped in-flight counter orderings to
+/// `Relaxed` breaks the Dekker-style handshake between inserters and the
+/// growth drain (a counter update the drain cannot observe lets the
+/// publication overtake an in-flight insert). The checker must refute every
+/// such mutant — this is the regression test for the checker itself.
+#[test]
+fn growth_protocol_mutants_are_caught() {
+    for site in ["seen-enter-stripe", "seen-exit-stripe", "seen-drain-stripe"] {
+        // Skip the DFS phase: the refuting schedules need one thread to run
+        // far ahead of a preempted inserter, which lies beyond the DFS
+        // preemption bound — the randomized (uniform + PCT) phase finds
+        // them within ~1k executions.
+        let config = Config { dfs_executions: 0, max_executions: 6_000, ..Config::default() }
+            .with_mutation(site);
+        let failure = check(&config, growth_protocol).err().unwrap_or_else(|| {
+            panic!("ordering mutant {site} survived the model checker");
+        });
+        eprintln!("mutant {site}: refuted at execution {}", failure.execution);
+        assert!(
+            failure.message.contains("claimed exactly once")
+                || failure.message.contains("lost across"),
+            "mutant {site} failed for an unexpected reason: {failure}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocols 3+4: engine termination (pending counter / condvar wakeup)
+// ---------------------------------------------------------------------------
+
+/// The reference answer, computed once by the sequential engine.
+fn expected_solutions(g: &BipartiteGraph) -> Vec<Biplex> {
+    Enumerator::new(g).k(1).collect().expect("sequential reference")
+}
+
+fn tiny_graph() -> BipartiteGraph {
+    BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).expect("valid edges")
+}
+
+/// Work-stealing engine under the model: the pending-work counter must
+/// prove termination on every schedule — no early exit with nonempty
+/// deques (missing solutions) and no lost decrement (hang, caught by the
+/// deadlock detector / step cap showing up as a refutation or no coverage).
+#[test]
+fn work_steal_engine_terminates_exactly() {
+    let g = tiny_graph();
+    let expected = expected_solutions(&g);
+    let config = ParallelConfig::new(1).with_threads(2);
+    let report = check(&Config::default(), || {
+        #[allow(deprecated)]
+        let (mut got, stats) = kbiplex::par_enumerate_mbps(&g, &config);
+        got.sort();
+        assert_eq!(got, expected, "work-steal run must be exact on every schedule");
+        assert_eq!(stats.solutions, expected.len() as u64);
+        assert!(!stats.stopped_early);
+    })
+    .unwrap_or_else(|failure| panic!("work-steal termination refuted: {failure}"));
+    assert_coverage(&report, "work-steal termination");
+}
+
+/// Global-queue engine under the model: the mutex+condvar hand-off must
+/// never lose a wakeup (a sleeper missing the last notify deadlocks, which
+/// the model reports as a refutation).
+#[test]
+fn global_queue_engine_terminates_exactly() {
+    let g = tiny_graph();
+    let expected = expected_solutions(&g);
+    let config = ParallelConfig::new(1).with_threads(2).with_engine(ParallelEngine::GlobalQueue);
+    let report = check(&Config::default(), || {
+        #[allow(deprecated)]
+        let (mut got, stats) = kbiplex::par_enumerate_mbps(&g, &config);
+        got.sort();
+        assert_eq!(got, expected, "global-queue run must be exact on every schedule");
+        assert_eq!(stats.solutions, expected.len() as u64);
+    })
+    .unwrap_or_else(|failure| panic!("global-queue termination refuted: {failure}"));
+    assert_coverage(&report, "global-queue termination");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 5: cancellation delivery through the facade gate
+// ---------------------------------------------------------------------------
+
+/// A limited run through the full `Enumerator` facade: the gate must
+/// deliver exactly one solution, raise the shared cancel flag and wind the
+/// workers down on every schedule (stale flag reads only delay the stop —
+/// the run still terminates through the pending counter).
+#[test]
+fn cancellation_delivers_limit_exactly() {
+    let g = tiny_graph();
+    let report = check(&Config::default(), || {
+        let mut sink = CollectSink::new();
+        let run = Enumerator::new(&g)
+            .k(1)
+            .engine(Engine::WorkSteal)
+            .threads(2)
+            .limit(1)
+            .run(&mut sink)
+            .expect("valid spec");
+        assert_eq!(run.stop, StopReason::LimitReached);
+        assert_eq!(sink.solutions.len(), 1, "limit(1) must deliver exactly one solution");
+    })
+    .unwrap_or_else(|failure| panic!("cancellation protocol refuted: {failure}"));
+    assert_coverage(&report, "cancellation");
+}

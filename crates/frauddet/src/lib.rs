@@ -16,7 +16,6 @@
 //! §3 for the substitution rationale.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod detect;
 pub mod scenario;

@@ -22,7 +22,6 @@
 //! *exponential delay* behaviour of the baselines it models.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use bigraph::general::GraphView;
 

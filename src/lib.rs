@@ -19,7 +19,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use baselines;
 pub use bigraph;

@@ -26,8 +26,8 @@ use kbiplex::{
 };
 
 /// Signature pins: these function-pointer coercions fail to compile if a
-/// builder method changes its shape.
-#[allow(dead_code)]
+/// builder method changes its shape. Never called — the test below takes
+/// its address so the compiler keeps (and checks) it.
 fn signature_pins<'g>(_g: &'g bigraph::BipartiteGraph) {
     let _new: fn(&'g bigraph::BipartiteGraph) -> Enumerator<'g> = Enumerator::new;
     let _k: fn(Enumerator<'g>, usize) -> Enumerator<'g> = Enumerator::k;
@@ -54,6 +54,13 @@ fn signature_pins<'g>(_g: &'g bigraph::BipartiteGraph) {
     let _stream: fn(&Enumerator<'g>) -> Result<SolutionStream, ApiError> = Enumerator::stream;
     let _finish: fn(SolutionStream) -> RunReport = SolutionStream::finish;
     let _cancel: fn(&SolutionStream) = SolutionStream::cancel;
+}
+
+#[test]
+fn signature_pins_stay_checked() {
+    // Coercing the pin function itself proves it still compiles and keeps
+    // it from being dead code without any lint suppression.
+    let _pins: fn(&bigraph::BipartiteGraph) = signature_pins;
 }
 
 /// Variant pins: wildcard-free matches fail to compile when a variant is

@@ -1,0 +1,196 @@
+//! Model replacements for `std::sync::atomic` types.
+//!
+//! Inside a model execution every operation is a scheduling point and
+//! reads/writes go through the vector-clock visibility model in
+//! the `exec` scheduler — so a `Relaxed` load really can observe a stale value,
+//! which is what gives ordering mutants a way to fail. Outside an execution
+//! the types degrade to mutex-protected scalars, so library code compiled
+//! with the model backend still runs correctly (if slowly) under ordinary
+//! tests.
+
+use crate::exec::AtomicCell;
+
+/// Memory orderings, mirroring `std::sync::atomic::Ordering` so facade
+/// call sites compile unchanged against either backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Ordering {
+    /// No synchronisation; only the modification order of the one location.
+    Relaxed,
+    /// Loads join the release clock of the store they read.
+    Acquire,
+    /// Stores publish the writer's clock for acquire loads to join.
+    Release,
+    /// Both of the above (read-modify-write operations).
+    AcqRel,
+    /// Acquire/release plus participation in the single SC order: an
+    /// `SeqCst` load cannot read anything older than the newest `SeqCst`
+    /// store.
+    SeqCst,
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            cell: AtomicCell,
+        }
+
+        impl $name {
+            /// Creates a new atomic (const, usable in statics).
+            #[must_use]
+            pub const fn new(v: $prim) -> Self {
+                $name { cell: AtomicCell::new(v as u64) }
+            }
+
+            /// Loads the value under the model's visibility rules.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                self.cell.load(ord) as $prim
+            }
+
+            /// Stores a value, appending to the modification order.
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                self.cell.store(v as u64, ord);
+            }
+
+            /// Atomically replaces the value, returning the previous one.
+            pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                self.cell.rmw(ord, ord, |_| Some(v as u64)) as $prim
+            }
+
+            /// Atomically adds, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                self.cell.rmw(ord, ord, |old| Some(old.wrapping_add(v as u64))) as $prim
+            }
+
+            /// Atomically subtracts, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                self.cell.rmw(ord, ord, |old| Some(old.wrapping_sub(v as u64))) as $prim
+            }
+
+            /// Atomically takes the maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $prim, ord: Ordering) -> $prim {
+                self.cell
+                    .rmw(ord, ord, |old| Some((old as $prim).max(v) as u64))
+                    as $prim
+            }
+
+            /// Strong compare-exchange; failed exchanges still read the
+            /// newest store (RMW atomicity), so `Ok`/`Err` match `std`.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let old = self.cell.rmw(success, failure, |old| {
+                    (old as $prim == current).then_some(new as u64)
+                }) as $prim;
+                if old == current {
+                    Ok(old)
+                } else {
+                    Err(old)
+                }
+            }
+
+            /// The model checker has no spurious CAS failures, so weak
+            /// compare-exchange is the strong one.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0 as $prim)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.cell.load_latest() as $prim)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Model `AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+int_atomic!(
+    /// Model `AtomicU64`.
+    AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Model `AtomicU32`.
+    AtomicU32,
+    u32
+);
+
+/// Model `AtomicBool`.
+pub struct AtomicBool {
+    cell: AtomicCell,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic bool (const, usable in statics).
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        AtomicBool { cell: AtomicCell::new(v as u64) }
+    }
+
+    /// Loads the value under the model's visibility rules.
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.cell.load(ord) != 0
+    }
+
+    /// Stores a value, appending to the modification order.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.cell.store(v as u64, ord);
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.cell.rmw(ord, ord, |_| Some(v as u64)) != 0
+    }
+
+    /// Strong compare-exchange, mirroring `std`.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        let old =
+            self.cell.rmw(success, failure, |old| ((old != 0) == current).then_some(new as u64))
+                != 0;
+        if old == current {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBool({})", self.cell.load_latest() != 0)
+    }
+}

@@ -1,0 +1,86 @@
+//! Vector clocks tracking the happens-before partial order between model
+//! threads.
+//!
+//! Every model thread carries a [`VClock`]; every synchronising operation
+//! (release store, mutex unlock, thread spawn/join, …) snapshots the acting
+//! thread's clock, and the matching acquire side joins that snapshot into
+//! its own clock. A store `s` *happens before* an event of thread `t`
+//! exactly when the storing thread's snapshot at the store is `≤` the
+//! clock of `t` at the event — the visibility model in
+//! the `exec` scheduler is built entirely on this comparison.
+
+/// A vector clock: one logical-time component per model thread.
+///
+/// Clocks are grown on demand (executions register threads dynamically), and
+/// a missing component reads as zero, so clocks of different lengths compare
+/// correctly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component of thread `tid` (zero when never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances the component of thread `tid` by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `true` when `self ≤ other` pointwise — i.e. every event `self`
+    /// describes happens before (or is) the frontier `other` describes.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(tid, &c)| c <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_compare() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(2);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 0);
+        assert_eq!(j.get(2), 1);
+    }
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VClock::new();
+        let mut t = VClock::new();
+        t.tick(5);
+        assert!(zero.le(&t));
+        assert!(zero.le(&zero));
+    }
+}

@@ -1,0 +1,953 @@
+//! The execution engine: a cooperative scheduler that serialises model
+//! threads onto a single token and explores the tree of scheduling /
+//! visibility choices, plus the vector-clock memory model shared by every
+//! model synchronisation type.
+//!
+//! # Scheduling
+//!
+//! Model threads are real OS threads, but at most one ever runs: every
+//! model operation (atomic access, mutex acquire, condvar wait, …) first
+//! calls [`ExecHandle::schedule`], which consults the current *trace* — the
+//! recorded sequence of choices — and either keeps the token or hands it to
+//! another runnable thread. Replaying a trace prefix reproduces an
+//! execution exactly; extending past the prefix records new choices, and
+//! depth-first backtracking over recorded choices enumerates distinct
+//! interleavings. Exploration is *preemption-bounded* in DFS mode (CHESS
+//! style): involuntary switches at non-yield points consume a budget, which
+//! keeps the tree tractable while still covering the racy interleavings
+//! low preemption counts express. A randomized mode (uniform choice at
+//! every point, seeded) explores beyond the bound.
+//!
+//! # Memory model
+//!
+//! Each atomic location keeps its full modification order as a list of
+//! [`StoreRec`]s carrying the storing thread's vector clock. A load may
+//! read any store that coherence does not forbid: everything from the
+//! newest store that *happens before* the load onwards (and never older
+//! than a store the thread already read — per-thread floors). `Acquire`
+//! loads join the release clock of the store they read; `SeqCst` loads are
+//! additionally floored at the newest `SeqCst` store, approximating the
+//! single total order of SC operations. Read-modify-writes always operate
+//! on the newest store (atomicity) and continue release sequences. The
+//! model is therefore *weaker* than the hardware you run on — `Relaxed`
+//! loads really do return stale values — which is exactly what makes
+//! ordering-downgrade mutants detectable.
+
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VClock;
+use crate::Ordering;
+
+/// Hard cap on model threads per execution (root + spawned).
+pub const MAX_THREADS: usize = 16;
+
+/// Message used when an execution is being torn down; blocked threads
+/// unwind with it so the whole thread scope collapses quickly.
+pub(crate) const ABORT_MSG: &str = "modelsim: execution aborted";
+
+/// Why a thread is not currently schedulable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    /// Waiting to acquire the model mutex with this id.
+    Mutex(u64),
+    /// Waiting on the condvar with this id (infinite wait).
+    Condvar(u64),
+    /// Waiting on the condvar with this id, but with a timeout: the
+    /// scheduler may wake it at any point (the timeout firing).
+    CondvarTimeout(u64),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+/// Scheduler state of one model thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Run {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub state: Run,
+    /// The thread's happens-before frontier.
+    pub clock: VClock,
+    /// Set when the thread was woken from a `CondvarTimeout` wait by the
+    /// scheduler (i.e. its timeout fired) rather than by a notification.
+    pub timed_out: bool,
+    /// Final clock of a finished thread, joined by `join()`.
+    pub final_clock: Option<VClock>,
+}
+
+/// One recorded decision. `options` is remembered so replay can detect
+/// divergence (a model bug) and backtracking knows the branching factor.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub options: u32,
+    pub chosen: u32,
+}
+
+/// Exploration mode of one execution.
+pub(crate) enum Mode {
+    /// Depth-first systematic exploration with a preemption budget.
+    Dfs { preemptions: usize, used: usize },
+    /// Randomized exploration from a seeded generator; no bound. With
+    /// `prio: None`, every scheduling point is a fresh uniform choice —
+    /// maximal trace diversity, but the probability of one thread running
+    /// `k` consecutive steps decays exponentially in `k`. With
+    /// `prio: Some`, scheduling is PCT-style: each thread gets a random
+    /// priority at spawn, the highest-priority runnable thread always
+    /// runs, and the running thread's priority is redrawn with small
+    /// probability per step — so long uninterrupted runs punctuated by a
+    /// few context switches are the *default*, which is the schedule shape
+    /// that exposes bugs where one thread must stall across another's
+    /// entire critical phase. Value choices stay uniform in both.
+    Random { state: u64, prio: Option<Vec<u64>> },
+}
+
+/// Per-execution limits (from [`crate::Config`]).
+#[derive(Clone, Copy)]
+pub(crate) struct Limits {
+    pub max_steps: usize,
+}
+
+pub(crate) struct ExecInner {
+    pub threads: Vec<ThreadState>,
+    /// Thread currently holding the run token.
+    pub active: usize,
+    pub trace: Vec<Choice>,
+    /// Next trace index to replay; past the end, choices are recorded.
+    pub pos: usize,
+    pub mode: Mode,
+    pub limits: Limits,
+    pub steps: usize,
+    /// First failure observed (assertion/panic/deadlock); ends exploration.
+    pub failure: Option<String>,
+    /// The recorded failure is a generic tear-down message; a root panic
+    /// payload, if any, is the better diagnostic.
+    pub secondary_failure: bool,
+    /// The execution hit its step cap (treated as pruned, not failed).
+    pub pruned: bool,
+    /// Tear-down flag: every wait loop exits by panicking when set.
+    pub abort: bool,
+}
+
+/// The shared execution context handed to every model thread.
+pub struct ExecShared {
+    pub(crate) inner: StdMutex<ExecInner>,
+    pub(crate) cv: StdCondvar,
+}
+
+/// Cheap clonable handle; thread-locals hold one per participating thread.
+pub type ExecHandle = Arc<ExecShared>;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(ExecHandle, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution the calling thread participates in, if any.
+pub(crate) fn current() -> Option<(ExecHandle, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Model-thread id of the calling thread (0 outside a model run).
+pub fn current_thread_index() -> usize {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(_, tid)| *tid).unwrap_or(0))
+}
+
+/// Installs/clears the calling thread's execution context.
+pub(crate) fn set_current(ctx: Option<(ExecHandle, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn lock(shared: &ExecShared) -> StdMutexGuard<'_, ExecInner> {
+    // Model threads panic by design on failed executions; the scheduler
+    // state stays consistent, so poisoning is ignored.
+    shared.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// xorshift-free SplitMix64 step for the random exploration mode.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ExecInner {
+    /// Replays or extends the trace with an `n`-way choice.
+    fn choose(&mut self, n: u32) -> u32 {
+        debug_assert!(n >= 2, "single-option points must not consume a choice");
+        if self.pos < self.trace.len() {
+            let c = self.trace[self.pos];
+            self.pos += 1;
+            if c.options != n {
+                // Divergent replay means the program under test is not
+                // deterministic given the schedule — a model-usage bug.
+                self.fail(format!(
+                    "modelsim: replay divergence at choice {} ({} options recorded, {} now)",
+                    self.pos - 1,
+                    c.options,
+                    n
+                ));
+                return 0;
+            }
+            c.chosen.min(n - 1)
+        } else {
+            let chosen = match &mut self.mode {
+                Mode::Dfs { .. } => 0,
+                Mode::Random { state, .. } => (splitmix(state) % n as u64) as u32,
+            };
+            self.trace.push(Choice { options: n, chosen });
+            self.pos += 1;
+            chosen
+        }
+    }
+
+    /// Records a scheduling decision made outside the uniform chooser (the
+    /// PCT priority scheduler), keeping the trace a complete record of the
+    /// schedule so replay and distinct-schedule counting stay exact.
+    fn choose_forced(&mut self, n: u32, pick: u32) -> u32 {
+        if self.pos < self.trace.len() {
+            let c = self.trace[self.pos];
+            self.pos += 1;
+            if c.options != n {
+                self.fail(format!(
+                    "modelsim: replay divergence at choice {} ({} options recorded, {} now)",
+                    self.pos - 1,
+                    c.options,
+                    n
+                ));
+                return 0;
+            }
+            c.chosen.min(n - 1)
+        } else {
+            self.trace.push(Choice { options: n, chosen: pick });
+            self.pos += 1;
+            pick
+        }
+    }
+
+    /// `true` when this execution runs under the PCT priority scheduler.
+    fn is_pct(&self) -> bool {
+        matches!(self.mode, Mode::Random { prio: Some(_), .. })
+    }
+
+    /// PCT priority-change point: with small probability per step the
+    /// running thread's priority is redrawn, so every run eventually ends
+    /// but long uninterrupted runs stay the common case.
+    fn pct_maybe_demote(&mut self, me: usize) {
+        if let Mode::Random { state, prio: Some(prio) } = &mut self.mode {
+            if splitmix(state).is_multiple_of(32) {
+                prio[me] = splitmix(state);
+            }
+        }
+    }
+
+    /// PCT step: `0` to keep running `me`, `i + 1` to switch to
+    /// `others[i]` — whichever holds the highest priority.
+    fn pct_pick(&mut self, me: usize, others: &[usize]) -> u32 {
+        self.pct_maybe_demote(me);
+        let Mode::Random { prio: Some(prio), .. } = &self.mode else { return 0 };
+        let mut pick = 0u32;
+        let mut best = prio[me];
+        for (i, &tid) in others.iter().enumerate() {
+            if prio[tid] > best {
+                best = prio[tid];
+                pick = (i + 1) as u32;
+            }
+        }
+        pick
+    }
+
+    /// PCT step at a point where `me` cannot continue (yield, block):
+    /// index of the highest-priority candidate.
+    fn pct_pick_others(&self, others: &[usize]) -> u32 {
+        let Mode::Random { prio: Some(prio), .. } = &self.mode else { return 0 };
+        let mut pick = 0usize;
+        for (i, &tid) in others.iter().enumerate() {
+            if prio[tid] > prio[others[pick]] {
+                pick = i;
+            }
+        }
+        pick as u32
+    }
+
+    /// Records the first failure and flips the tear-down flag.
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+
+    /// Other threads the scheduler may hand the token to.
+    fn candidates(&self, me: usize) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(tid, t)| {
+                *tid != me
+                    && matches!(t.state, Run::Runnable | Run::Blocked(BlockOn::CondvarTimeout(_)))
+            })
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    /// Hands the token to `next`, waking a timeout waiter if that is what
+    /// was chosen.
+    fn grant(&mut self, next: usize) {
+        if let Run::Blocked(BlockOn::CondvarTimeout(_)) = self.threads[next].state {
+            self.threads[next].state = Run::Runnable;
+            self.threads[next].timed_out = true;
+        }
+        self.active = next;
+    }
+}
+
+impl ExecShared {
+    pub(crate) fn new(prefix: Vec<Choice>, mode: Mode, limits: Limits) -> Self {
+        ExecShared {
+            inner: StdMutex::new(ExecInner {
+                threads: Vec::new(),
+                active: 0,
+                trace: prefix,
+                pos: 0,
+                mode,
+                limits,
+                steps: 0,
+                failure: None,
+                secondary_failure: false,
+                pruned: false,
+                abort: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Registers a new model thread whose clock starts at `parent_clock`
+    /// (the happens-before edge of the spawn); returns its id.
+    pub(crate) fn register_thread(&self, parent_clock: VClock) -> usize {
+        let mut inner = lock(self);
+        let tid = inner.threads.len();
+        assert!(tid < MAX_THREADS, "modelsim: more than {MAX_THREADS} model threads");
+        let mut clock = parent_clock;
+        clock.tick(tid);
+        inner.threads.push(ThreadState {
+            state: Run::Runnable,
+            clock,
+            timed_out: false,
+            final_clock: None,
+        });
+        if let Mode::Random { state, prio: Some(prio) } = &mut inner.mode {
+            prio.push(splitmix(state));
+        }
+        tid
+    }
+
+    /// Snapshot of the calling thread's clock.
+    pub(crate) fn clock_of(&self, tid: usize) -> VClock {
+        lock(self).threads[tid].clock.clone()
+    }
+
+    /// Ticks `tid`'s clock and returns the snapshot (store/release events).
+    pub(crate) fn tick_clock(&self, tid: usize) -> VClock {
+        let mut inner = lock(self);
+        inner.threads[tid].clock.tick(tid);
+        inner.threads[tid].clock.clone()
+    }
+
+    /// Joins `other` into `tid`'s clock (acquire events).
+    pub(crate) fn join_clock(&self, tid: usize, other: &VClock) {
+        lock(self).threads[tid].clock.join(other);
+    }
+
+    /// A scheduling point. `yield_hint` marks voluntary descheduling
+    /// (`yield_now`, `spin_loop`, `sleep`): the thread *prefers* to switch,
+    /// a switch costs no preemption budget, and in DFS mode the switch is
+    /// mandatory when another thread can run (so spin loops always let the
+    /// spun-on thread make progress).
+    pub(crate) fn schedule(&self, me: usize, yield_hint: bool) {
+        // Teardown mode: a thread already unwinding (the abort panic or a
+        // protocol assertion) must run its destructors to completion, so
+        // model ops it performs on the way out skip scheduling entirely —
+        // panicking here again would be a fatal double panic.
+        if std::thread::panicking() {
+            return;
+        }
+        let mut inner = lock(self);
+        if inner.abort {
+            drop(inner);
+            panic!("{ABORT_MSG}");
+        }
+        inner.steps += 1;
+        if inner.steps > inner.limits.max_steps {
+            inner.pruned = true;
+            inner.abort = true;
+            self.cv.notify_all();
+            drop(inner);
+            panic!("{ABORT_MSG}");
+        }
+        let others = inner.candidates(me);
+        let next = if others.is_empty() {
+            me
+        } else if yield_hint {
+            // Forced switch: pick among the others only.
+            let idx = if others.len() == 1 {
+                0
+            } else if inner.is_pct() {
+                let pick = inner.pct_pick_others(&others);
+                inner.choose_forced(others.len() as u32, pick) as usize
+            } else {
+                inner.choose(others.len() as u32) as usize
+            };
+            others[idx]
+        } else {
+            let preempt_ok = match &inner.mode {
+                Mode::Dfs { preemptions, used } => used < preemptions,
+                Mode::Random { .. } => true,
+            };
+            if !preempt_ok {
+                me
+            } else if inner.is_pct() {
+                let pick = inner.pct_pick(me, &others);
+                let idx = inner.choose_forced((others.len() + 1) as u32, pick) as usize;
+                if idx == 0 {
+                    me
+                } else {
+                    others[idx - 1]
+                }
+            } else {
+                let n = (others.len() + 1) as u32;
+                let idx = inner.choose(n) as usize;
+                if idx == 0 {
+                    me
+                } else {
+                    if let Mode::Dfs { used, .. } = &mut inner.mode {
+                        *used += 1;
+                    }
+                    others[idx - 1]
+                }
+            }
+        };
+        if next != me {
+            inner.grant(next);
+            self.cv.notify_all();
+            self.wait_for_token(inner, me);
+        }
+    }
+
+    /// Marks the calling thread blocked *without* giving up the token yet.
+    /// Condvar waits need this split: the wait must register before the
+    /// mutex is released so no notification can slip between unlock and
+    /// sleep (the thread keeps the token throughout, so the two steps are
+    /// atomic with respect to every other model thread).
+    pub(crate) fn set_blocked(&self, me: usize, why: BlockOn) {
+        let mut inner = lock(self);
+        inner.threads[me].state = Run::Blocked(why);
+        inner.threads[me].timed_out = false;
+    }
+
+    /// Blocks the calling thread on `why` and hands the token over; returns
+    /// once the thread is runnable *and* holds the token again. Returns
+    /// `true` if the wakeup was a modeled timeout.
+    pub(crate) fn block(&self, me: usize, why: BlockOn) -> bool {
+        // Teardown mode: never park a thread that is unwinding (see
+        // [`Self::schedule`]) — report a spurious wakeup instead.
+        if std::thread::panicking() {
+            return false;
+        }
+        self.set_blocked(me, why);
+        self.yield_blocked(me)
+    }
+
+    /// Second half of [`Self::block`]: hands the token to another thread
+    /// and parks until woken and granted again.
+    pub(crate) fn yield_blocked(&self, me: usize) -> bool {
+        let mut inner = lock(self);
+        if inner.abort {
+            drop(inner);
+            panic!("{ABORT_MSG}");
+        }
+        let others = inner.candidates(me);
+        if others.is_empty() {
+            let stuck: Vec<_> = inner
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.state, Run::Finished))
+                .map(|(tid, t)| (tid, t.state.clone()))
+                .collect();
+            inner.fail(format!(
+                "deadlock: all {} unfinished threads are blocked ({stuck:?})",
+                stuck.len()
+            ));
+            self.cv.notify_all();
+            drop(inner);
+            panic!("{ABORT_MSG}");
+        }
+        let idx = if others.len() == 1 {
+            0
+        } else if inner.is_pct() {
+            let pick = inner.pct_pick_others(&others);
+            inner.choose_forced(others.len() as u32, pick) as usize
+        } else {
+            inner.choose(others.len() as u32) as usize
+        };
+        inner.grant(others[idx]);
+        self.cv.notify_all();
+        self.wait_for_token(inner, me);
+        let mut inner = lock(self);
+        let timed_out = inner.threads[me].timed_out;
+        inner.threads[me].timed_out = false;
+        timed_out
+    }
+
+    /// Marks threads blocked on `pred` runnable (they still need to be
+    /// granted the token before resuming).
+    pub(crate) fn wake_where(&self, pred: impl Fn(&BlockOn) -> bool) {
+        let mut inner = lock(self);
+        for t in inner.threads.iter_mut() {
+            if let Run::Blocked(why) = &t.state {
+                if pred(why) {
+                    t.state = Run::Runnable;
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wakes exactly one thread blocked on a condvar (`notify_one`). Which
+    /// waiter wins is a recorded model choice. Returns `true` if a waiter
+    /// existed.
+    pub(crate) fn wake_one_condvar(&self, cv_id: u64) -> bool {
+        let mut inner = lock(self);
+        let waiters: Vec<usize> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    &t.state,
+                    Run::Blocked(BlockOn::Condvar(id) | BlockOn::CondvarTimeout(id)) if *id == cv_id
+                )
+            })
+            .map(|(tid, _)| tid)
+            .collect();
+        if waiters.is_empty() {
+            return false;
+        }
+        let idx = if waiters.len() == 1 { 0 } else { inner.choose(waiters.len() as u32) as usize };
+        inner.threads[waiters[idx]].state = Run::Runnable;
+        self.cv.notify_all();
+        true
+    }
+
+    /// Marks the calling thread finished, records its final clock for
+    /// joiners, wakes them, and passes the token on. `panicked` aborts the
+    /// whole execution (the panic is the failure).
+    pub(crate) fn finish_thread(&self, me: usize, panicked: bool) {
+        let mut inner = lock(self);
+        inner.threads[me].state = Run::Finished;
+        let final_clock = inner.threads[me].clock.clone();
+        inner.threads[me].final_clock = Some(final_clock);
+        if panicked && !inner.pruned {
+            inner.fail(format!("model thread {me} panicked"));
+        }
+        for t in inner.threads.iter_mut() {
+            if matches!(&t.state, Run::Blocked(BlockOn::Join(target)) if *target == me) {
+                t.state = Run::Runnable;
+            }
+        }
+        // Pass the token to anyone runnable; if nobody is, the execution is
+        // finishing and the remaining threads exit through their own paths.
+        let others = inner.candidates(me);
+        if let Some(&next) = others.first() {
+            inner.grant(next);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Parks until the token comes back to `me` (or the execution aborts).
+    fn wait_for_token(&self, mut inner: StdMutexGuard<'_, ExecInner>, me: usize) {
+        loop {
+            if inner.abort {
+                drop(inner);
+                panic!("{ABORT_MSG}");
+            }
+            if inner.active == me && matches!(inner.threads[me].state, Run::Runnable) {
+                return;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Entry point for freshly spawned threads: parks until first granted.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let inner = lock(self);
+        self.wait_for_token(inner, me);
+    }
+
+    /// Model-level `join`: blocks until `target` finishes, then joins its
+    /// final clock (the join happens-before edge).
+    pub(crate) fn join_model(&self, me: usize, target: usize) {
+        // Teardown mode: skip the model-level join while unwinding — the
+        // real `std` join underneath still synchronizes the OS threads.
+        if std::thread::panicking() {
+            return;
+        }
+        loop {
+            let final_clock = {
+                let inner = lock(self);
+                if inner.abort {
+                    drop(inner);
+                    panic!("{ABORT_MSG}");
+                }
+                if matches!(inner.threads[target].state, Run::Finished) {
+                    inner.threads[target].final_clock.clone()
+                } else {
+                    None
+                }
+            };
+            if let Some(fc) = final_clock {
+                self.join_clock(me, &fc);
+                return;
+            }
+            self.block(me, BlockOn::Join(target));
+        }
+    }
+
+    /// An `n`-way value choice (load visibility, notify target).
+    pub(crate) fn choose_value(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        lock(self).choose(n as u32) as usize
+    }
+
+    /// Flips the tear-down flag from outside the normal scheduling paths
+    /// (the scope panic guard). The message is only a placeholder — the
+    /// root panic payload carries the real diagnostic — so it is marked
+    /// secondary, and pruned executions stay pruned.
+    pub(crate) fn abort_execution(&self, why: &str) {
+        let mut inner = lock(self);
+        if inner.failure.is_none() && !inner.pruned {
+            inner.failure = Some(format!("modelsim: {why}"));
+            inner.secondary_failure = true;
+        }
+        inner.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Post-execution summary for the driver: the recorded trace, the first
+    /// failure (if any, with its secondary flag), and whether the step cap
+    /// pruned the execution.
+    pub(crate) fn take_outcome(&self) -> (Vec<Choice>, Option<(String, bool)>, bool) {
+        let inner = lock(self);
+        (
+            inner.trace.clone(),
+            inner.failure.clone().map(|m| (m, inner.secondary_failure)),
+            inner.pruned,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory model: atomic locations
+// ---------------------------------------------------------------------------
+
+/// One store in a location's modification order.
+struct StoreRec {
+    val: u64,
+    /// Storer's full clock at the store — the happens-before footprint used
+    /// for coherence floors.
+    hb: VClock,
+    /// Release clock joined by acquire loads that read this store (`None`
+    /// for `Relaxed` stores outside any release sequence).
+    rel: Option<VClock>,
+}
+
+struct LocationState {
+    stores: Vec<StoreRec>,
+    /// Index of the newest `SeqCst` store (SC loads cannot read past it).
+    last_sc: usize,
+    /// Per-thread coherence floors: a thread never reads older than this.
+    floors: Vec<usize>,
+}
+
+/// An atomic location under the model: full store history plus per-thread
+/// visibility floors. Also usable *outside* a model run, where it degrades
+/// to a mutex-protected scalar (single-store history) so library unit tests
+/// still run when the model backend is compiled in.
+pub struct AtomicCell {
+    init: u64,
+    loc: std::sync::OnceLock<StdMutex<LocationState>>,
+    /// Fast-path flag: locations that have never been touched inside a
+    /// model execution skip clock bookkeeping entirely.
+    fallback_only: StdAtomicBool,
+}
+
+/// Global counter handing out ids to model mutexes and condvars.
+pub(crate) static NEXT_OBJ_ID: StdAtomicU64 = StdAtomicU64::new(1);
+
+impl AtomicCell {
+    /// Const-constructible so facade types can live in statics.
+    pub const fn new(init: u64) -> Self {
+        AtomicCell {
+            init,
+            loc: std::sync::OnceLock::new(),
+            fallback_only: StdAtomicBool::new(false),
+        }
+    }
+
+    fn state(&self) -> &StdMutex<LocationState> {
+        self.loc.get_or_init(|| {
+            StdMutex::new(LocationState {
+                stores: vec![StoreRec { val: self.init, hb: VClock::new(), rel: None }],
+                last_sc: 0,
+                floors: Vec::new(),
+            })
+        })
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut LocationState) -> R) -> R {
+        let mut guard = self.state().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Plain read of the newest value (fallback mode, `&mut` accessors and
+    /// post-join inspection).
+    pub fn load_latest(&self) -> u64 {
+        self.with_state(|loc| loc.stores.last().map(|s| s.val).unwrap_or(0))
+    }
+
+    /// Plain overwrite (fallback mode and `&mut` accessors). Keeps the
+    /// history at one entry so long non-model runs do not accumulate.
+    pub fn store_plain(&self, val: u64) {
+        self.fallback_only.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.with_state(|loc| {
+            loc.stores.clear();
+            loc.stores.push(StoreRec { val, hb: VClock::new(), rel: None });
+            loc.last_sc = 0;
+            loc.floors.clear();
+        });
+    }
+
+    /// Fallback-mode once-initialisation: runs `init` and flips the cell to
+    /// 1 atomically under the location lock iff the cell is still 0. Used
+    /// by the model `OnceLock` outside executions so real racing threads
+    /// cannot observe the flag without the `init` side effect.
+    pub(crate) fn once_try_init(&self, init: impl FnOnce()) -> bool {
+        self.fallback_only.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.with_state(|loc| {
+            let cur = loc.stores.last().map(|s| s.val).unwrap_or(0);
+            if cur != 0 {
+                return false;
+            }
+            init();
+            loc.stores.clear();
+            loc.stores.push(StoreRec { val: 1, hb: VClock::new(), rel: None });
+            loc.last_sc = 0;
+            loc.floors.clear();
+            true
+        })
+    }
+
+    /// Plain read-modify-write under the location lock (fallback mode).
+    fn rmw_plain(&self, f: impl FnOnce(u64) -> u64) -> u64 {
+        self.with_state(|loc| {
+            let old = loc.stores.last().map(|s| s.val).unwrap_or(0);
+            let new = f(old);
+            loc.stores.clear();
+            loc.stores.push(StoreRec { val: new, hb: VClock::new(), rel: None });
+            loc.last_sc = 0;
+            loc.floors.clear();
+            old
+        })
+    }
+
+    /// Model (or fallback) load.
+    pub fn load(&self, ord: Ordering) -> u64 {
+        let Some((exec, me)) = current() else {
+            return self.rmw_plain(|v| v); // fallback: read latest, atomically
+        };
+        exec.schedule(me, false);
+        let clock = exec.clock_of(me);
+        let (val, rel, idx) = self
+            .with_state(|loc| {
+                loc.ensure_floor(me);
+                // Coherence: the thread must read the newest store it is aware
+                // of (happens-before) or anything newer.
+                let mut floor = loc.floors[me];
+                for (i, s) in loc.stores.iter().enumerate().skip(floor).rev() {
+                    if s.hb.le(&clock) {
+                        floor = floor.max(i);
+                        break;
+                    }
+                }
+                // SC approximation: an SC load reads the newest SC store or any
+                // store ordered after it.
+                if ord == Ordering::SeqCst {
+                    floor = floor.max(loc.last_sc);
+                }
+                (floor, loc.stores.len())
+            })
+            .pipe(|(floor, len)| {
+                let n = len - floor;
+                let idx = floor + if n > 1 { exec.choose_value(n) } else { 0 };
+                self.with_state(|loc| {
+                    loc.floors[me] = loc.floors[me].max(idx);
+                    (loc.stores[idx].val, loc.stores[idx].rel.clone(), idx)
+                })
+            });
+        let _ = idx;
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            if let Some(rel) = rel {
+                exec.join_clock(me, &rel);
+            }
+        }
+        val
+    }
+
+    /// Model (or fallback) store.
+    pub fn store(&self, val: u64, ord: Ordering) {
+        let Some((exec, me)) = current() else {
+            self.store_plain(val);
+            return;
+        };
+        exec.schedule(me, false);
+        let clock = exec.tick_clock(me);
+        let releases = matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+        self.with_state(|loc| {
+            loc.ensure_floor(me);
+            let rel = releases.then(|| clock.clone());
+            let sc = ord == Ordering::SeqCst;
+            loc.stores.push(StoreRec { val, hb: clock.clone(), rel });
+            let idx = loc.stores.len() - 1;
+            if sc {
+                loc.last_sc = idx;
+            }
+            loc.floors[me] = idx;
+        });
+    }
+
+    /// Model (or fallback) read-modify-write: `f(old) -> Option<new>`
+    /// (`None` leaves the location unchanged — failed compare-exchange).
+    /// Returns the old value.
+    pub fn rmw(&self, ord: Ordering, fail: Ordering, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        let Some((exec, me)) = current() else {
+            let mut out = 0;
+            self.rmw_plain(|old| {
+                out = old;
+                f(old).unwrap_or(old)
+            });
+            return out;
+        };
+        exec.schedule(me, false);
+        // Atomicity: RMWs always act on the newest store.
+        let (old, old_rel) = self.with_state(|loc| {
+            let s = loc.stores.last().expect("location has an initial store");
+            (s.val, s.rel.clone())
+        });
+        let new = f(old);
+        let acquires = matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+        let succeeded = new.is_some();
+        let eff = if succeeded { ord } else { fail };
+        if matches!(eff, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+            || (succeeded && acquires)
+        {
+            if let Some(rel) = &old_rel {
+                exec.join_clock(me, rel);
+            }
+        }
+        match new {
+            None => {
+                // Failed CAS: a load of the newest value.
+                self.with_state(|loc| {
+                    loc.ensure_floor(me);
+                    let idx = loc.stores.len() - 1;
+                    loc.floors[me] = loc.floors[me].max(idx);
+                });
+            }
+            Some(new) => {
+                let clock = exec.tick_clock(me);
+                let releases =
+                    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+                self.with_state(|loc| {
+                    loc.ensure_floor(me);
+                    // Release-sequence continuation: an RMW store passes on
+                    // the release clock of the store it replaced.
+                    let mut rel = releases.then(|| clock.clone());
+                    if let Some(prev) = old_rel {
+                        match &mut rel {
+                            Some(r) => r.join(&prev),
+                            None => rel = Some(prev),
+                        }
+                    }
+                    let sc = ord == Ordering::SeqCst;
+                    loc.stores.push(StoreRec { val: new, hb: clock.clone(), rel });
+                    let idx = loc.stores.len() - 1;
+                    if sc {
+                        loc.last_sc = idx;
+                    }
+                    loc.floors[me] = idx;
+                });
+            }
+        }
+        old
+    }
+}
+
+impl LocationState {
+    fn ensure_floor(&mut self, tid: usize) {
+        if self.floors.len() <= tid {
+            self.floors.resize(tid + 1, 0);
+        }
+    }
+}
+
+/// Tiny pipe helper keeping the two-phase load readable without holding the
+/// location lock across the choice call.
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_cell_behaves_like_an_atomic() {
+        let c = AtomicCell::new(7);
+        assert_eq!(c.load(Ordering::SeqCst), 7);
+        c.store(9, Ordering::SeqCst);
+        assert_eq!(c.load(Ordering::Relaxed), 9);
+        let old = c.rmw(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v + 1));
+        assert_eq!(old, 9);
+        assert_eq!(c.load(Ordering::SeqCst), 10);
+        // Failed CAS leaves the value alone.
+        let old = c.rmw(Ordering::SeqCst, Ordering::SeqCst, |_| None);
+        assert_eq!(old, 10);
+        assert_eq!(c.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn fallback_is_shared_across_real_threads() {
+        let c = AtomicCell::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.rmw(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(Ordering::SeqCst), 4000);
+    }
+}

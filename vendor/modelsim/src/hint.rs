@@ -1,0 +1,10 @@
+//! Model replacement for `std::hint`.
+
+/// Spin-wait hint. Under the model a spin is a voluntary yield — the
+/// scheduler must let the spun-on thread run or the loop would never end.
+pub fn spin_loop() {
+    match crate::exec::current() {
+        Some((exec, me)) => exec.schedule(me, true),
+        None => std::hint::spin_loop(),
+    }
+}

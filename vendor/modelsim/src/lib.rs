@@ -1,0 +1,541 @@
+//! # modelsim — in-tree deterministic concurrency model checker
+//!
+//! A loom-style checker for the kbiplex lock-free core, vendored offline
+//! like the `rand`/`proptest`/`criterion` shims (no external deps, no
+//! unsafe code). Test closures run repeatedly under controlled schedules:
+//!
+//! * **Threads** are real OS threads serialised onto a single run token by
+//!   the `exec` scheduler; every model operation is a scheduling point.
+//! * **Exploration** is depth-first over the recorded choice tree with a
+//!   preemption bound (CHESS-style), followed by a randomized phase
+//!   (PCT-flavoured) that samples schedules beyond the bound.
+//! * **Memory** follows a C11-ish model: per-location modification orders,
+//!   vector-clock happens-before, acquire/release synchronisation and a
+//!   floor-based SeqCst approximation — `Relaxed` loads really can read
+//!   stale values, so ordering bugs (and deliberately seeded ordering
+//!   *mutants*) fail concretely instead of "happening to work".
+//! * **Failures** are panics in any model thread, deadlocks (which is how
+//!   lost wakeups surface), and replay divergence. Executions that exceed
+//!   the step cap are *pruned*, not failed.
+//!
+//! ```
+//! use modelsim::{check, Config};
+//! use modelsim::atomic::{AtomicUsize, Ordering};
+//!
+//! // Message passing: flag published with Release, read with Acquire.
+//! let report = check(&Config::default(), || {
+//!     let data = AtomicUsize::new(0);
+//!     let flag = AtomicUsize::new(0);
+//!     modelsim::thread::scope(|s| {
+//!         let h = s.spawn(|| {
+//!             data.store(42, Ordering::Relaxed);
+//!             flag.store(1, Ordering::Release);
+//!         });
+//!         if flag.load(Ordering::Acquire) == 1 {
+//!             assert_eq!(data.load(Ordering::Relaxed), 42);
+//!         }
+//!         h.join().unwrap();
+//!     });
+//! })
+//! .unwrap();
+//! assert!(report.dfs_complete);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod atomic;
+pub mod clock;
+mod exec;
+pub mod hint;
+mod mutex;
+mod once;
+pub mod thread;
+
+pub use atomic::Ordering;
+pub use exec::current_thread_index;
+pub use mutex::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+pub use once::OnceLock;
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool as StdAtomicBool;
+use std::sync::{Arc, Mutex as StdMutex, OnceLock as StdOnceLock, PoisonError};
+
+use exec::{Choice, ExecShared, Limits, Mode};
+
+// ---------------------------------------------------------------------------
+// Mutation registry
+// ---------------------------------------------------------------------------
+
+static MUTATIONS_ON: StdAtomicBool = StdAtomicBool::new(false);
+
+fn mutation_set() -> &'static StdMutex<HashSet<String>> {
+    static SET: StdOnceLock<StdMutex<HashSet<String>>> = StdOnceLock::new();
+    SET.get_or_init(|| StdMutex::new(HashSet::new()))
+}
+
+/// `true` when the named mutation site is active for the current model run.
+/// Production code consults this through an `order!`-style macro so that
+/// ordering downgrades can be injected at runtime, without recompiling a
+/// mutant binary per site. Always `false` outside [`check`].
+pub fn mutation_active(site: &str) -> bool {
+    if !MUTATIONS_ON.load(std::sync::atomic::Ordering::Relaxed) {
+        return false;
+    }
+    mutation_set().lock().unwrap_or_else(PoisonError::into_inner).contains(site)
+}
+
+fn set_mutations(sites: &[String]) {
+    let mut set = mutation_set().lock().unwrap_or_else(PoisonError::into_inner);
+    set.clear();
+    set.extend(sites.iter().cloned());
+    MUTATIONS_ON.store(!sites.is_empty(), std::sync::atomic::Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Public driver API
+// ---------------------------------------------------------------------------
+
+/// Exploration budget and knobs for one [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Total executions across the DFS and random phases.
+    pub max_executions: usize,
+    /// Executions budgeted to the DFS phase; the remainder of
+    /// `max_executions` goes to the randomized phase. Zero skips DFS
+    /// entirely — useful for mutation hunts, where the schedules that
+    /// refute a weakened protocol lie beyond the preemption bound.
+    pub dfs_executions: usize,
+    /// Preemption bound for the DFS phase (involuntary switches per
+    /// execution; voluntary yields are free).
+    pub dfs_preemptions: usize,
+    /// Scheduling/visibility decisions per execution before it is pruned.
+    pub max_steps: usize,
+    /// Seed for the randomized phase.
+    pub seed: u64,
+    /// Ordering-mutation sites to activate (see [`mutation_active`]).
+    pub mutations: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_executions: 12_000,
+            dfs_executions: 6_000,
+            dfs_preemptions: 2,
+            max_steps: 20_000,
+            seed: 0x6b62_6970_6c65_7801,
+            mutations: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// A smaller budget for quick in-crate sanity tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Config { max_executions: 1_500, dfs_executions: 750, ..Config::default() }
+    }
+
+    /// Activates one ordering-mutation site.
+    #[must_use]
+    pub fn with_mutation(mut self, site: &str) -> Self {
+        self.mutations.push(site.to_owned());
+        self
+    }
+}
+
+/// What a completed (failure-free) [`check`] run explored.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions run in total.
+    pub executions: usize,
+    /// Distinct schedules among them (by choice-sequence hash).
+    pub distinct: usize,
+    /// Executions cut off at the step cap.
+    pub pruned: usize,
+    /// The DFS phase exhausted the whole preemption-bounded tree.
+    pub dfs_complete: bool,
+}
+
+/// A failing execution: the first bug found ends the run.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description (panic message, deadlock state, …).
+    pub message: String,
+    /// Which execution failed (0-based).
+    pub execution: usize,
+    /// Length of the failing schedule's choice sequence.
+    pub trace_len: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failure at execution {} ({} choices): {}",
+            self.execution, self.trace_len, self.message
+        )
+    }
+}
+
+enum Outcome {
+    Passed,
+    Pruned,
+    Failed(String),
+}
+
+/// Serialises model runs process-wide: the mutation registry is global and
+/// `cargo test` runs tests on multiple threads.
+fn model_gate() -> &'static StdMutex<()> {
+    static GATE: StdOnceLock<StdMutex<()>> = StdOnceLock::new();
+    GATE.get_or_init(|| StdMutex::new(()))
+}
+
+/// Runs `f` under every explored schedule. Returns the exploration report,
+/// or the first failing execution.
+pub fn check<F>(config: &Config, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Sync,
+{
+    let _gate = model_gate().lock().unwrap_or_else(PoisonError::into_inner);
+    set_mutations(&config.mutations);
+    let result = explore(config, &f);
+    set_mutations(&[]);
+    result
+}
+
+/// [`check`] with the default config, panicking on failure — the
+/// loom-style entry point for straightforward protocol tests.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Sync,
+{
+    match check(&Config::default(), f) {
+        Ok(report) => report,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+fn explore<F: Fn() + Sync>(config: &Config, f: &F) -> Result<Report, Failure> {
+    let limits = Limits { max_steps: config.max_steps };
+    let mut distinct = HashSet::new();
+    let mut executions = 0usize;
+    let mut pruned = 0usize;
+    let mut dfs_complete = false;
+
+    // Phase 1: preemption-bounded DFS over the choice tree. Capped below
+    // the whole budget: on state spaces too large to exhaust, the random
+    // phase (which roams beyond the preemption bound and resamples value
+    // choices) must always get its share — it is the phase that finds bugs
+    // buried under schedules the bounded DFS cannot reach in budget.
+    let dfs_budget = config.dfs_executions.min(config.max_executions);
+    let mut prefix: Vec<Choice> = Vec::new();
+    while executions < dfs_budget {
+        let mode = Mode::Dfs { preemptions: config.dfs_preemptions, used: 0 };
+        let (trace, outcome) = run_one(f, prefix.clone(), mode, limits);
+        distinct.insert(trace_hash(&trace));
+        let exec_idx = executions;
+        executions += 1;
+        match outcome {
+            Outcome::Failed(message) => {
+                return Err(Failure { message, execution: exec_idx, trace_len: trace.len() })
+            }
+            Outcome::Pruned => pruned += 1,
+            Outcome::Passed => {}
+        }
+        match next_prefix(trace) {
+            Some(p) => prefix = p,
+            None => {
+                dfs_complete = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: randomized exploration beyond the preemption bound.
+    let mut seed = config.seed;
+    while executions < config.max_executions {
+        // Alternate between uniform per-step scheduling (broad trace
+        // diversity) and PCT-style priority scheduling (long uninterrupted
+        // runs with rare priority-change points), which together cover both
+        // fine-grained races and bugs that need one thread to run far ahead.
+        let prio = (executions % 2 == 1).then(Vec::new);
+        let (trace, outcome) = run_one(f, Vec::new(), Mode::Random { state: seed, prio }, limits);
+        seed = seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x1405_7b7e_f767_814f);
+        distinct.insert(trace_hash(&trace));
+        let exec_idx = executions;
+        executions += 1;
+        match outcome {
+            Outcome::Failed(message) => {
+                return Err(Failure { message, execution: exec_idx, trace_len: trace.len() })
+            }
+            Outcome::Pruned => pruned += 1,
+            Outcome::Passed => {}
+        }
+    }
+
+    Ok(Report { executions, distinct: distinct.len(), pruned, dfs_complete })
+}
+
+/// One execution of `f` under one schedule; returns the recorded trace.
+fn run_one<F: Fn() + Sync>(
+    f: &F,
+    prefix: Vec<Choice>,
+    mode: Mode,
+    limits: Limits,
+) -> (Vec<Choice>, Outcome) {
+    let shared = Arc::new(ExecShared::new(prefix, mode, limits));
+    let root = shared.register_thread(clock::VClock::new());
+    debug_assert_eq!(root, 0);
+    exec::set_current(Some((shared.clone(), 0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    exec::set_current(None);
+
+    let (trace, failure, was_pruned) = shared.take_outcome();
+    let outcome = match (failure, result) {
+        // A secondary failure is the scope guard's placeholder; the root
+        // panic payload is the real diagnostic when one exists.
+        (Some((_, true)), Err(payload)) => Outcome::Failed(panic_message(payload.as_ref())),
+        (Some((msg, _)), _) => Outcome::Failed(msg),
+        (None, _) if was_pruned => Outcome::Pruned,
+        (None, Err(payload)) => Outcome::Failed(panic_message(payload.as_ref())),
+        (None, Ok(())) => Outcome::Passed,
+    };
+    (trace, outcome)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("root thread panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("root thread panicked: {s}")
+    } else {
+        "root thread panicked".to_owned()
+    }
+}
+
+/// Standard DFS backtrack: bump the deepest choice that still has unvisited
+/// siblings, drop everything after it.
+fn next_prefix(mut trace: Vec<Choice>) -> Option<Vec<Choice>> {
+    loop {
+        let last = trace.last_mut()?;
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return Some(trace);
+        }
+        trace.pop();
+    }
+}
+
+/// FNV-1a over the choice sequence; identifies a schedule.
+fn trace_hash(trace: &[Choice]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in trace {
+        for v in [c.options, c.chosen] {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::*;
+
+    /// Message passing with Release/Acquire is correct: the checker must
+    /// not report false positives.
+    #[test]
+    fn message_passing_release_acquire_passes() {
+        let report = check(&Config::quick(), || {
+            let data = AtomicUsize::new(0);
+            let flag = AtomicBool::new(false);
+            thread::scope(|s| {
+                let h = s.spawn(|| {
+                    data.store(42, Ordering::Relaxed);
+                    flag.store(true, Ordering::Release);
+                });
+                if flag.load(Ordering::Acquire) {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "acquire read stale data");
+                }
+                h.join().expect("child");
+            });
+        })
+        .expect("release/acquire message passing must pass");
+        assert!(report.executions > 1);
+    }
+
+    /// The same protocol with a Relaxed publication is broken; the model's
+    /// weak memory must expose the stale read.
+    #[test]
+    fn message_passing_relaxed_fails() {
+        let err = check(&Config::quick(), || {
+            let data = AtomicUsize::new(0);
+            let flag = AtomicBool::new(false);
+            thread::scope(|s| {
+                let h = s.spawn(|| {
+                    data.store(42, Ordering::Relaxed);
+                    flag.store(true, Ordering::Relaxed);
+                });
+                if flag.load(Ordering::Relaxed) {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "stale read");
+                }
+                h.join().expect("child");
+            });
+        })
+        .expect_err("relaxed message passing must fail");
+        assert!(err.message.contains("stale read"), "unexpected failure: {err}");
+    }
+
+    /// Two threads CAS-claim the same slot: exactly one may win.
+    #[test]
+    fn one_winner_cas() {
+        let report = check(&Config::quick(), || {
+            let slot = AtomicUsize::new(0);
+            let wins = AtomicUsize::new(0);
+            thread::scope(|s| {
+                let (slot, wins) = (&slot, &wins);
+                let handles: Vec<_> = (1..=2)
+                    .map(|id| {
+                        s.spawn(move || {
+                            if slot
+                                .compare_exchange(0, id, Ordering::AcqRel, Ordering::Acquire)
+                                .is_ok()
+                            {
+                                wins.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("child");
+                }
+                assert_eq!(wins.load(Ordering::Acquire), 1, "exactly one CAS winner");
+                assert_ne!(slot.load(Ordering::Acquire), 0);
+            });
+        })
+        .expect("one-winner CAS must pass");
+        assert!(report.dfs_complete || report.distinct > 100);
+    }
+
+    /// A guaranteed lost wakeup (wait without rechecking under the lock)
+    /// must surface as a deadlock, not hang the test binary.
+    #[test]
+    fn lost_wakeup_detected_as_deadlock() {
+        let err = check(&Config::quick(), || {
+            let m = Mutex::new(false);
+            let cv = Condvar::new();
+            thread::scope(|s| {
+                let h = s.spawn(|| {
+                    // Broken waiter: no predicate at all; when the notify
+                    // fires before this wait starts, it is lost and the
+                    // wait never returns.
+                    let g = m.lock().expect("lock");
+                    let _g = cv.wait(g).expect("wait");
+                });
+                {
+                    let mut g = m.lock().expect("lock");
+                    *g = true;
+                }
+                cv.notify_one();
+                h.join().expect("child");
+            });
+        })
+        .expect_err("lost wakeup must be detected");
+        assert!(err.message.contains("deadlock"), "unexpected failure: {err}");
+    }
+
+    /// Condvar with a predicate loop and notify-under-lock is sound.
+    #[test]
+    fn condvar_predicate_loop_passes() {
+        check(&Config::quick(), || {
+            let m = Mutex::new(0usize);
+            let cv = Condvar::new();
+            thread::scope(|s| {
+                let h = s.spawn(|| {
+                    let mut g = m.lock().expect("lock");
+                    while *g == 0 {
+                        g = cv.wait(g).expect("wait");
+                    }
+                    assert_eq!(*g, 7);
+                });
+                {
+                    let mut g = m.lock().expect("lock");
+                    *g = 7;
+                    cv.notify_one();
+                }
+                h.join().expect("child");
+            });
+        })
+        .expect("predicate-loop condvar must pass");
+    }
+
+    /// OnceLock: concurrent setters — one winner, and any thread that
+    /// observes a loss can immediately read the winning value.
+    #[test]
+    fn once_lock_single_winner() {
+        check(&Config::quick(), || {
+            let cell: OnceLock<usize> = OnceLock::new();
+            let wins = AtomicUsize::new(0);
+            thread::scope(|s| {
+                let (cell, wins) = (&cell, &wins);
+                let handles: Vec<_> = (1..=2)
+                    .map(|id| {
+                        s.spawn(move || {
+                            if cell.set(id).is_ok() {
+                                wins.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                // Loser: the winner's value must be visible
+                                // (set's failure path has acquire order).
+                                let v = *cell.get().expect("value after lost set");
+                                assert!((1..=2).contains(&v));
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("child");
+                }
+                assert_eq!(wins.load(Ordering::Acquire), 1);
+            });
+        })
+        .expect("once-lock single winner must pass");
+    }
+
+    /// Mutation registry: a site is active only inside a configured run.
+    #[test]
+    fn mutation_registry_scoping() {
+        assert!(!mutation_active("demo-site"));
+        let observed = std::sync::Mutex::new(false);
+        check(&Config::quick().with_mutation("demo-site"), || {
+            if mutation_active("demo-site") {
+                *observed.lock().expect("poisoned") = true;
+            }
+        })
+        .expect("no failure");
+        assert!(*observed.lock().expect("poisoned"));
+        assert!(!mutation_active("demo-site"));
+    }
+
+    /// The DFS phase must fully exhaust small protocols.
+    #[test]
+    fn small_protocol_dfs_completes() {
+        let report = check(&Config::default(), || {
+            let a = AtomicUsize::new(0);
+            thread::scope(|s| {
+                let h = s.spawn(|| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                });
+                a.fetch_add(1, Ordering::SeqCst);
+                h.join().expect("child");
+                assert_eq!(a.load(Ordering::SeqCst), 2);
+            });
+        })
+        .expect("counter must pass");
+        assert!(report.dfs_complete, "tiny protocol should exhaust: {report:?}");
+    }
+}

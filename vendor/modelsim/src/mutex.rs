@@ -1,0 +1,306 @@
+//! Model `Mutex` and `Condvar`.
+//!
+//! Inside an execution, lock/unlock and wait/notify are scheduling points
+//! driven by the `exec` scheduler: blocking hands the token over, unlock wakes
+//! every waiter (they re-contend), `notify_one` picks its winner through a
+//! recorded model choice, and a `wait_timeout` sleeper can be woken by the
+//! scheduler at any point — the timeout firing is just another explored
+//! interleaving, which is how lost-wakeup bugs surface as deadlocks.
+//! Happens-before is carried by the mutex: unlock publishes the holder's
+//! clock and the next acquirer joins it.
+//!
+//! Outside an execution both types delegate to their `std` counterparts.
+
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+use std::time::Duration;
+
+use crate::clock::VClock;
+use crate::exec::{self, BlockOn, ExecHandle, NEXT_OBJ_ID};
+
+struct ModelState {
+    locked: bool,
+    /// Clock published by the last unlock; joined by the next acquirer.
+    rel: VClock,
+}
+
+/// Model mutex; API mirrors `std::sync::Mutex` (poisoning never occurs in
+/// the model — failed executions abort the whole run instead).
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    model: std::sync::Mutex<ModelState>,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new model mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: NEXT_OBJ_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            model: std::sync::Mutex::new(ModelState { locked: false, rel: VClock::new() }),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn state(&self) -> std::sync::MutexGuard<'_, ModelState> {
+        self.model.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the model-level lock, blocking (in model time) until free.
+    /// Must be called while holding the token; no initial schedule point.
+    fn acquire_model(&self, exec: &ExecHandle, me: usize) {
+        loop {
+            {
+                let mut st = self.state();
+                if !st.locked {
+                    st.locked = true;
+                    let rel = st.rel.clone();
+                    drop(st);
+                    exec.join_clock(me, &rel);
+                    return;
+                }
+            }
+            exec.block(me, BlockOn::Mutex(self.id));
+        }
+    }
+
+    /// Releases the model-level lock and wakes contenders. No schedule
+    /// point (safe to run from guard drops during unwinding); the next
+    /// operation of this thread is the switch opportunity.
+    fn release_model(&self, exec: &ExecHandle, me: usize) {
+        let clock = exec.tick_clock(me);
+        {
+            let mut st = self.state();
+            st.locked = false;
+            st.rel = clock;
+        }
+        let id = self.id;
+        exec.wake_where(|why| matches!(why, BlockOn::Mutex(i) if *i == id));
+    }
+
+    /// Locks the mutex. A scheduling point; blocks in model time while
+    /// another model thread holds it.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match exec::current() {
+            None => {
+                let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard { inner: Some(inner), lock: self, ctx: None })
+            }
+            Some((exec, me)) => {
+                exec.schedule(me, false);
+                self.acquire_model(&exec, me);
+                // Uncontended by construction: the model grants exclusivity
+                // before we touch the std mutex.
+                let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard { inner: Some(inner), lock: self, ctx: Some((exec, me)) })
+            }
+        }
+    }
+
+    /// Attempts the lock without blocking. Still a scheduling point.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match exec::current() {
+            None => match self.data.try_lock() {
+                Ok(inner) => Ok(MutexGuard { inner: Some(inner), lock: self, ctx: None }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(e)) => {
+                    Ok(MutexGuard { inner: Some(e.into_inner()), lock: self, ctx: None })
+                }
+            },
+            Some((exec, me)) => {
+                exec.schedule(me, false);
+                {
+                    let mut st = self.state();
+                    if st.locked {
+                        return Err(TryLockError::WouldBlock);
+                    }
+                    st.locked = true;
+                    let rel = st.rel.clone();
+                    drop(st);
+                    exec.join_clock(me, &rel);
+                }
+                let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard { inner: Some(inner), lock: self, ctx: Some((exec, me)) })
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard mirroring `std::sync::MutexGuard`. The std guard is held in an
+/// `Option` so drop order is explicit: data lock first, then model unlock.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    ctx: Option<(ExecHandle, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock before the model-level unlock makes other
+        // threads eligible to take it.
+        self.inner = None;
+        if let Some((exec, me)) = self.ctx.take() {
+            self.lock.release_model(&exec, me);
+        }
+    }
+}
+
+/// Result of a `wait_timeout`, constructible by both backends (unlike
+/// `std::sync::WaitTimeoutResult`).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model condition variable; API mirrors `std::sync::Condvar`.
+pub struct Condvar {
+    id: u64,
+    std: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new model condvar.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            id: NEXT_OBJ_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            std: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wait_model<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (exec, me) = guard.ctx.clone().expect("model wait on fallback guard");
+        let lock = guard.lock;
+        // Register the wait *before* releasing the mutex; the token is held
+        // throughout, so unlock-and-sleep is atomic w.r.t. notifiers.
+        let why =
+            if timeout { BlockOn::CondvarTimeout(self.id) } else { BlockOn::Condvar(self.id) };
+        exec.set_blocked(me, why);
+        guard.inner = None;
+        guard.ctx = None; // neutralise the guard's drop
+        lock.release_model(&exec, me);
+        drop(guard);
+        let timed_out = exec.yield_blocked(me);
+        // Re-acquire: we already hold the token, contend at model level.
+        lock.acquire_model(&exec, me);
+        let inner = lock.data.lock().unwrap_or_else(PoisonError::into_inner);
+        (MutexGuard { inner: Some(inner), lock, ctx: Some((exec, me)) }, timed_out)
+    }
+
+    /// Blocks until notified. A lost wakeup shows up as a model deadlock.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.ctx.is_some() {
+            let (guard, _) = self.wait_model(guard, false);
+            Ok(guard)
+        } else {
+            let mut guard = guard;
+            let inner = guard.inner.take().expect("guard accessed after release");
+            let lock = guard.lock;
+            guard.ctx = None;
+            drop(guard);
+            let inner = self.std.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            Ok(MutexGuard { inner: Some(inner), lock, ctx: None })
+        }
+    }
+
+    /// Blocks until notified or the (modeled) timeout fires; the scheduler
+    /// may deliver the timeout at any explored point.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.ctx.is_some() {
+            let (guard, timed_out) = self.wait_model(guard, true);
+            Ok((guard, WaitTimeoutResult(timed_out)))
+        } else {
+            let mut guard = guard;
+            let inner = guard.inner.take().expect("guard accessed after release");
+            let lock = guard.lock;
+            guard.ctx = None;
+            drop(guard);
+            let (inner, res) =
+                self.std.wait_timeout(inner, dur).unwrap_or_else(PoisonError::into_inner);
+            Ok((
+                MutexGuard { inner: Some(inner), lock, ctx: None },
+                WaitTimeoutResult(res.timed_out()),
+            ))
+        }
+    }
+
+    /// Wakes one waiter; which one is a recorded model choice.
+    pub fn notify_one(&self) {
+        if let Some((exec, me)) = exec::current() {
+            exec.schedule(me, false);
+            exec.wake_one_condvar(self.id);
+        } else {
+            self.std.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let Some((exec, me)) = exec::current() {
+            exec.schedule(me, false);
+            let id = self.id;
+            exec.wake_where(
+                |why| matches!(why, BlockOn::Condvar(i) | BlockOn::CondvarTimeout(i) if *i == id),
+            );
+        } else {
+            self.std.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,118 @@
+//! Model `OnceLock`: a publication flag run through the memory model plus a
+//! real `std::sync::OnceLock` holding the value.
+//!
+//! `set` wins by compare-exchange on the flag (`AcqRel`) and only the
+//! winner touches the cell — still inside the same token tenure, so no
+//! other model thread can observe the flag before the value is written.
+//! `get` is an `Acquire` load of the flag: under the model it may read a
+//! stale 0 and return `None` even though a racing `set` already happened,
+//! exactly like the real type; reading 1 joins the release clock, so the
+//! value behind it is visible.
+
+use crate::atomic::Ordering;
+use crate::exec::{self, AtomicCell};
+
+/// Model `OnceLock`; API subset used by the kbiplex lock-free core.
+pub struct OnceLock<T> {
+    /// 0 = empty, 1 = published. Runs through the vector-clock model.
+    flag: AtomicCell,
+    cell: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell (const, usable in statics).
+    #[must_use]
+    pub const fn new() -> Self {
+        OnceLock { flag: AtomicCell::new(0), cell: std::sync::OnceLock::new() }
+    }
+
+    /// Returns the value if this thread can see the publication. The flag
+    /// store happened strictly before any thread can read 1 (token tenure
+    /// in model mode, location lock in fallback), so a visible flag implies
+    /// a populated cell.
+    pub fn get(&self) -> Option<&T> {
+        if self.flag.load(Ordering::Acquire) != 0 {
+            self.cell.get()
+        } else {
+            None
+        }
+    }
+
+    /// Publishes `value` if the cell is empty; returns it back otherwise.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match exec::current() {
+            Some(_) => {
+                let old = self.flag.cas_once(Ordering::AcqRel, Ordering::Acquire);
+                if old == 0 {
+                    // Sole winner; no schedule point between the flag CAS
+                    // and this write, so publication is atomic in model
+                    // time.
+                    let _ = self.cell.set(value);
+                    Ok(())
+                } else {
+                    Err(value)
+                }
+            }
+            None => {
+                let mut slot = Some(value);
+                let won = self.flag.once_try_init(|| {
+                    if let Some(v) = slot.take() {
+                        let _ = self.cell.set(v);
+                    }
+                });
+                if won {
+                    Ok(())
+                } else {
+                    match slot.take() {
+                        Some(v) => Err(v),
+                        // `once_try_init` ran the closure but reported a
+                        // loss — cannot happen.
+                        None => self_consumed(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exclusive read; no synchronisation needed through `&mut`.
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        if self.flag.load_latest() != 0 {
+            self.cell.get_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Takes the value out, leaving the cell empty.
+    pub fn take(&mut self) -> Option<T> {
+        if self.flag.load_latest() != 0 {
+            self.flag.store_plain(0);
+            self.cell.take()
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnceLock").field("value", &self.get()).finish()
+    }
+}
+
+fn self_consumed() -> ! {
+    unreachable!("modelsim OnceLock::once_try_init consumed the value but lost the race")
+}
+
+impl AtomicCell {
+    /// 0→1 compare-exchange used by `OnceLock::set`; returns the old value.
+    fn cas_once(&self, success: Ordering, failure: Ordering) -> u64 {
+        self.rmw(success, failure, |old| (old == 0).then_some(1))
+    }
+}

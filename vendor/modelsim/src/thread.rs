@@ -1,0 +1,150 @@
+//! Model threads: a `std::thread::scope`-shaped API whose spawned threads
+//! register with the active execution and run under the token scheduler.
+//!
+//! Model threads are real OS threads (no unsafe, no fibers); determinism
+//! comes from the token in the `exec` scheduler, not from how the OS schedules
+//! them. Spawn and join carry the usual happens-before edges. Outside an
+//! execution everything delegates straight to `std`.
+//!
+//! One rule inherited from the token design: **join every handle before
+//! the scope closure returns**. The ported kbiplex engines do; a dropped
+//! handle would leave the implicit std-scope join invisible to the
+//! scheduler.
+
+use std::time::Duration;
+
+use crate::exec::{self, ExecHandle};
+
+pub use std::thread::available_parallelism;
+
+/// Model-thread id of the calling thread (0 for the root closure and for
+/// threads outside any execution). Stable within an execution — the model
+/// replacement for thread-identity-derived striping.
+#[must_use]
+pub fn current_index() -> usize {
+    exec::current_thread_index()
+}
+
+/// Voluntary descheduling point: in model mode another runnable thread (if
+/// any) is switched to, so spin loops always let the spun-on thread run.
+pub fn yield_now() {
+    match exec::current() {
+        Some((exec, me)) => exec.schedule(me, true),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Model time has no clock; sleeping is yielding.
+pub fn sleep(dur: Duration) {
+    match exec::current() {
+        Some((exec, me)) => exec.schedule(me, true),
+        None => std::thread::sleep(dur),
+    }
+}
+
+/// Scope wrapper. Unlike `std::thread::Scope`, the reference handed to the
+/// closure has its own (shorter) lifetime — required to wrap the invariant
+/// std scope — which is why the facade exposes this type rather than
+/// re-exporting std's in model mode.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<(ExecHandle, usize)>,
+}
+
+/// Handle to a model scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    tid: usize,
+    exec: Option<ExecHandle>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; under the model it registers with the
+    /// execution and parks until first granted the token.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctx {
+            None => ScopedJoinHandle { inner: self.std.spawn(f), tid: 0, exec: None },
+            Some((exec, parent)) => {
+                // Spawn edge: child starts from the parent's ticked clock.
+                let parent_clock = exec.tick_clock(*parent);
+                let tid = exec.register_thread(parent_clock);
+                let exec_child = exec.clone();
+                let inner = self.std.spawn(move || {
+                    exec::set_current(Some((exec_child.clone(), tid)));
+                    let guard = FinishGuard { exec: exec_child.clone(), tid, armed: true };
+                    exec_child.wait_first(tid);
+                    let out = f();
+                    let mut guard = guard;
+                    guard.armed = false;
+                    exec_child.finish_thread(tid, false);
+                    exec::set_current(None);
+                    out
+                });
+                ScopedJoinHandle { inner, tid, exec: Some(exec.clone()) }
+            }
+        }
+    }
+}
+
+/// Marks the thread finished even when `f` panics, so the execution
+/// records the failure and tears down instead of hanging.
+struct FinishGuard {
+    exec: ExecHandle,
+    tid: usize,
+    armed: bool,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.exec.finish_thread(self.tid, true);
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish; under the model this blocks in
+    /// model time and joins the target's final clock.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(exec) = &self.exec {
+            let me = exec::current_thread_index();
+            exec.schedule(me, false);
+            exec.join_model(me, self.tid);
+        }
+        self.inner.join()
+    }
+}
+
+/// Aborts the execution if the scope closure itself panics while children
+/// may still hold or await the token.
+struct ScopePanicGuard {
+    ctx: Option<(ExecHandle, usize)>,
+}
+
+impl Drop for ScopePanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some((exec, _)) = &self.ctx {
+                exec.abort_execution("scope closure panicked");
+            }
+        }
+    }
+}
+
+/// Model replacement for `std::thread::scope`.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = exec::current();
+    std::thread::scope(|s| {
+        let guard = ScopePanicGuard { ctx: ctx.clone() };
+        let out = f(&Scope { std: s, ctx });
+        drop(guard);
+        out
+    })
+}

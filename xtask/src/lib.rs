@@ -1,0 +1,401 @@
+//! Repo automation: the custom static lint pass behind `cargo xtask lint`.
+//!
+//! The pass enforces the concurrency-hygiene rules that `rustc` and clippy
+//! cannot express, all centred on the lock-free core:
+//!
+//! - **`ordering-comment`** — every atomic operation in library code under
+//!   `crates/*/src` carries an adjacent `// ordering:` comment justifying
+//!   its memory ordering (see DESIGN.md "Memory-ordering arguments").
+//! - **`relaxed-allowlist`** — `Relaxed` orderings may appear only in the
+//!   allowlisted files whose Relaxed sites have been argued through
+//!   (cancel flags, statistics counters, the `order!` macro itself).
+//! - **`forbid-unsafe`** — every crate root starts with
+//!   `#![forbid(unsafe_code)]`, as defence-in-depth on top of the
+//!   workspace-level `unsafe_code = "forbid"` lint.
+//! - **`no-unwrap`** — no `.unwrap()` / `.expect(` in non-test library
+//!   code of the `core` and `bigraph` crates (test modules are exempt).
+//! - **`atomic-facade`** — code under `crates/core/src/parallel/` must go
+//!   through `crate::sync::atomic`, never `std::sync::atomic` directly,
+//!   so the model checker sees every operation.
+//! - **`dead-code-allow`** — `allow(dead_code)` is banned workspace-wide;
+//!   dead code is deleted, not silenced.
+//!
+//! The scanner is deliberately textual (no syn/proc-macro dependencies —
+//! the container is offline): it strips line comments, block comments and
+//! string/char literals with a small state machine, tracks `#[cfg(test)]`
+//! module extents by brace depth, and applies the path-scoped rules above
+//! line by line. Fixture files under `xtask/tests/fixtures/` encode their
+//! virtual location in a `// lint-as:` header so the integration tests can
+//! drive each rule without polluting the real tree.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation, pointing at a workspace-relative path and line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Stable rule identifier, e.g. `no-unwrap`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Files allowed to mention `Relaxed` in code: each has per-site
+/// `// ordering:` arguments recorded in DESIGN.md.
+const RELAXED_ALLOWLIST: &[&str] = &[
+    "crates/core/src/sync.rs",          // the order! macro's mutation arm
+    "crates/core/src/parallel/mod.rs",  // cancel-flag polls
+    "crates/core/src/parallel/seen.rs", // stripe hint + len statistic
+    "crates/core/src/api.rs",           // cancel/undelivered advisory flags
+];
+
+/// Crates whose library code must be panic-free (`no-unwrap` rule).
+const NO_UNWRAP_SCOPES: &[&str] = &["crates/core/src/", "crates/bigraph/src/"];
+
+/// How many lines above an atomic operation the `// ordering:` comment may
+/// sit (multi-line justifications push the operation down).
+const ORDERING_COMMENT_WINDOW: usize = 10;
+
+/// Atomic operations are recognised as one of these method calls on a line
+/// that also names an ordering (every real call site passes one).
+const ATOMIC_METHODS: &[&str] =
+    &[".load(", ".store(", ".swap(", ".compare_exchange", ".compare_and_swap", ".fetch_"];
+
+/// Directories that own workspace members, plus the umbrella crate's own
+/// source/test/example trees at the workspace root.
+const MEMBER_ROOTS: &[&str] = &["crates", "vendor", "xtask", "src", "tests", "examples"];
+
+/// The banned suppression attribute, assembled at runtime so the linter's
+/// own source does not trip the workspace-wide scan.
+fn dead_code_needle() -> String {
+    ["allow(", "dead_code)"].concat()
+}
+
+/// Strips string literals, char literals and comments from one line,
+/// carrying block-comment state across lines. Returns the code portion;
+/// literals collapse to `""`/`' '` so tokens cannot hide inside them.
+fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push('"');
+            }
+            '\'' => {
+                // Distinguish a char literal from a lifetime: a lifetime is
+                // `'` + ident with no closing quote right after.
+                let is_lifetime = bytes.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_')
+                    && bytes.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push('\'');
+                    out.push(' ');
+                    out.push('\'');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lints one source file as if it lived at the workspace-relative `rel`
+/// path. Public so the fixture tests can lint snippets under virtual
+/// paths; [`lint_workspace`] uses it for every real file.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_crate_src = rel.starts_with("crates/") && rel.contains("/src/");
+    let in_parallel = rel.starts_with("crates/core/src/parallel/");
+    let unwrap_scope = NO_UNWRAP_SCOPES.iter().any(|s| rel.starts_with(s));
+    let relaxed_allowed = RELAXED_ALLOWLIST.contains(&rel);
+    let dead_needle = dead_code_needle();
+
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut in_block_comment = false;
+    // Brace depths at which `#[cfg(test)]` blocks opened; non-empty means
+    // the current line is inside test-only code.
+    let mut test_depths: Vec<i32> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending_cfg_test = false;
+
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = strip_line(raw, &mut in_block_comment);
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            pending_cfg_test = true;
+        }
+        let in_test_block = !test_depths.is_empty();
+
+        // Rule: dead-code-allow (workspace-wide, tests included).
+        if code.contains(&dead_needle) {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: lineno,
+                rule: "dead-code-allow",
+                message: format!("`{dead_needle}` is banned: delete dead code instead"),
+            });
+        }
+
+        // Rule: atomic-facade (parallel/ must use crate::sync::atomic).
+        if in_parallel && code.contains("std::sync::atomic") {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: lineno,
+                rule: "atomic-facade",
+                message: "use crate::sync::atomic so the model checker sees this operation"
+                    .to_string(),
+            });
+        }
+
+        if in_crate_src && !in_test_block {
+            // Rule: ordering-comment.
+            let is_atomic_op = (code.contains("Ordering::") || code.contains("order!("))
+                && ATOMIC_METHODS.iter().any(|m| code.contains(m));
+            if is_atomic_op {
+                let start = idx.saturating_sub(ORDERING_COMMENT_WINDOW);
+                let justified = raw_lines[start..=idx].iter().any(|l| l.contains("// ordering:"));
+                if !justified {
+                    findings.push(Finding {
+                        path: rel.to_string(),
+                        line: lineno,
+                        rule: "ordering-comment",
+                        message: "atomic operation without an adjacent `// ordering:` \
+                                  justification comment"
+                            .to_string(),
+                    });
+                }
+            }
+
+            // Rule: relaxed-allowlist.
+            if !relaxed_allowed && code.contains("Relaxed") {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: "relaxed-allowlist",
+                    message: format!(
+                        "`Relaxed` ordering outside the allowlist ({})",
+                        RELAXED_ALLOWLIST.join(", ")
+                    ),
+                });
+            }
+
+            // Rule: no-unwrap.
+            if unwrap_scope && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: "no-unwrap",
+                    message: "`.unwrap()`/`.expect()` in non-test library code: return an \
+                              error or restructure so the invariant is type-enforced"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Track brace depth and `#[cfg(test)]` block extents.
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+        if pending_cfg_test {
+            if opens > 0 {
+                test_depths.push(depth);
+                pending_cfg_test = false;
+            } else if code.contains(';') {
+                // `#[cfg(test)]` on a braceless item (use, extern crate).
+                pending_cfg_test = false;
+            }
+        }
+        depth += opens - closes;
+        while test_depths.last().is_some_and(|d| depth <= *d) {
+            test_depths.pop();
+        }
+    }
+    findings
+}
+
+/// Checks that a crate-root file opts into `#![forbid(unsafe_code)]`.
+fn lint_crate_root(rel: &str, source: &str) -> Option<Finding> {
+    if source.contains("#![forbid(unsafe_code)]") {
+        None
+    } else {
+        Some(Finding {
+            path: rel.to_string(),
+            line: 0,
+            rule: "forbid-unsafe",
+            message: "crate root must contain `#![forbid(unsafe_code)]`".to_string(),
+        })
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target` build
+/// output and the intentionally-violating `fixtures`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace root, resolved from the linter's own manifest directory.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().map(Path::to_path_buf).unwrap_or_default()
+}
+
+/// Runs the whole pass over the workspace rooted at `root`. Returns every
+/// finding plus the number of files scanned.
+pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
+    let mut files = Vec::new();
+    for member_root in MEMBER_ROOTS {
+        collect_rs(&root.join(member_root), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let Ok(source) = fs::read_to_string(path) else {
+            findings.push(Finding {
+                path: rel,
+                line: 0,
+                rule: "io",
+                message: "file exists but could not be read as UTF-8".to_string(),
+            });
+            continue;
+        };
+        let is_crate_root = rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs");
+        if is_crate_root {
+            findings.extend(lint_crate_root(&rel, &source));
+        }
+        findings.extend(lint_source(&rel, &source));
+    }
+    (findings, files.len())
+}
+
+/// Entry point for the `xtask` binary; returns the process exit code.
+///
+/// `cargo xtask lint [--report <path>]` — run the pass over the workspace;
+/// findings go to stderr (and to the report file, one per line, for the CI
+/// artifact). Exit code 0 = clean, 1 = findings, 2 = usage error.
+pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
+    match args.next().as_deref() {
+        Some("lint") => {
+            let mut report: Option<PathBuf> = None;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--report" => match args.next() {
+                        Some(p) => report = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("--report requires a path");
+                            return 2;
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        return 2;
+                    }
+                }
+            }
+            let root = workspace_root();
+            let (findings, scanned) = lint_workspace(&root);
+            if let Some(path) = report {
+                let mut body: String = findings.iter().map(|f| format!("{f}\n")).collect();
+                if body.is_empty() {
+                    body = format!("clean: no findings in {scanned} files\n");
+                }
+                if let Err(e) = fs::write(&path, body) {
+                    eprintln!("failed to write report {}: {e}", path.display());
+                    return 2;
+                }
+            }
+            for finding in &findings {
+                eprintln!("{finding}");
+            }
+            if findings.is_empty() {
+                eprintln!("lint: clean ({scanned} files)");
+                0
+            } else {
+                eprintln!("lint: {} finding(s) in {scanned} files", findings.len());
+                1
+            }
+        }
+        other => {
+            eprintln!("usage: cargo xtask lint [--report <path>]");
+            if let Some(other) = other {
+                eprintln!("unknown subcommand: {other}");
+            }
+            2
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! `cargo xtask` — repo automation entry point.
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    std::process::exit(xtask::run(std::env::args().skip(1)));
+}

@@ -1,0 +1,5 @@
+// lint-as: crates/core/src/parallel/fixture2.rs
+// expect-rule: atomic-facade
+use std::sync::atomic::AtomicBool;
+
+pub struct Flag(pub AtomicBool);

@@ -1,0 +1,5 @@
+// lint-as: crates/bench/src/fixture.rs
+// expect-rule: dead-code-allow
+
+#[allow(dead_code)]
+fn unused_helper() {}

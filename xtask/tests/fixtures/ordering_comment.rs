@@ -1,0 +1,7 @@
+// lint-as: crates/core/src/parallel/fixture.rs
+// expect-rule: ordering-comment
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

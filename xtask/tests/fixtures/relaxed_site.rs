@@ -1,0 +1,9 @@
+// lint-as: crates/core/src/parallel/work_steal.rs
+// expect-rule: relaxed-allowlist
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn peek(pending: &AtomicUsize) -> usize {
+    // ordering: Relaxed — (this justification does not make the site legal:
+    // work_steal.rs is not on the Relaxed allowlist)
+    pending.load(Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+// lint-as: crates/core/src/fixture.rs
+// expect-rule: no-unwrap
+
+pub fn head(items: &[u32]) -> u32 {
+    *items.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let items = vec![1u32];
+        assert_eq!(*items.first().unwrap(), 1);
+    }
+}
