@@ -13,9 +13,55 @@
 //! * as one of the *detectors* in the fraud-detection case study
 //!   (Section 6.3).
 
-use crate::bitset::BitSet;
+use std::collections::BTreeMap;
+
 use crate::graph::BipartiteGraph;
 use crate::subgraph::InducedSubgraph;
+
+/// Read-only bipartite adjacency, the interface the peeling (and its
+/// incremental variant) actually needs. Implemented by the immutable
+/// [`BipartiteGraph`] and by the mutable
+/// [`DynamicBipartiteGraph`](crate::dynamic::DynamicBipartiteGraph), so the
+/// same core-decomposition code serves both the static pipelines and the
+/// dynamic-maintenance layer.
+pub trait BipartiteAdjacency {
+    /// Number of left vertices `|L|`.
+    fn num_left(&self) -> u32;
+    /// Number of right vertices `|R|`.
+    fn num_right(&self) -> u32;
+    /// Sorted neighbours (right ids) of left vertex `v`.
+    fn left_neighbors(&self, v: u32) -> &[u32];
+    /// Sorted neighbours (left ids) of right vertex `u`.
+    fn right_neighbors(&self, u: u32) -> &[u32];
+
+    /// Degree of left vertex `v`.
+    fn left_degree(&self, v: u32) -> usize {
+        self.left_neighbors(v).len()
+    }
+
+    /// Degree of right vertex `u`.
+    fn right_degree(&self, u: u32) -> usize {
+        self.right_neighbors(u).len()
+    }
+}
+
+impl BipartiteAdjacency for BipartiteGraph {
+    fn num_left(&self) -> u32 {
+        BipartiteGraph::num_left(self)
+    }
+
+    fn num_right(&self) -> u32 {
+        BipartiteGraph::num_right(self)
+    }
+
+    fn left_neighbors(&self, v: u32) -> &[u32] {
+        BipartiteGraph::left_neighbors(self, v)
+    }
+
+    fn right_neighbors(&self, u: u32) -> &[u32] {
+        BipartiteGraph::right_neighbors(self, u)
+    }
+}
 
 /// Result of an (α,β)-core peeling: the surviving vertices of each side
 /// (original ids, sorted).
@@ -39,51 +85,54 @@ impl AlphaBetaCore {
     }
 }
 
-/// Computes the (α,β)-core of `g`: every left vertex keeps ≥ `alpha`
-/// neighbours and every right vertex keeps ≥ `beta` neighbours.
-///
-/// Runs in `O(|E| + |V|)` using a peeling queue.
-pub fn alpha_beta_core(g: &BipartiteGraph, alpha: usize, beta: usize) -> AlphaBetaCore {
+/// Full peeling worker shared by the one-shot [`alpha_beta_core`] and the
+/// seeding of [`IncrementalCore`]. Returns per-side membership flags plus
+/// the final degrees *within the core* (only meaningful for members).
+fn peel_core<G: BipartiteAdjacency>(
+    g: &G,
+    alpha: usize,
+    beta: usize,
+) -> (Vec<bool>, Vec<bool>, Vec<usize>, Vec<usize>) {
     let nl = g.num_left() as usize;
     let nr = g.num_right() as usize;
 
     let mut left_deg: Vec<usize> = (0..nl).map(|v| g.left_degree(v as u32)).collect();
     let mut right_deg: Vec<usize> = (0..nr).map(|u| g.right_degree(u as u32)).collect();
-    let mut left_removed = BitSet::new(nl);
-    let mut right_removed = BitSet::new(nr);
+    let mut left_in = vec![true; nl];
+    let mut right_in = vec![true; nr];
 
     // Work queue of vertices that currently violate their threshold.
     let mut queue: Vec<(bool, u32)> = Vec::new();
     for (v, &deg) in left_deg.iter().enumerate() {
         if deg < alpha {
             queue.push((true, v as u32));
-            left_removed.insert(v);
+            left_in[v] = false;
         }
     }
     for (u, &deg) in right_deg.iter().enumerate() {
         if deg < beta {
             queue.push((false, u as u32));
-            right_removed.insert(u);
+            right_in[u] = false;
         }
     }
 
     while let Some((is_left, id)) = queue.pop() {
         if is_left {
             for &u in g.left_neighbors(id) {
-                if !right_removed.contains(u as usize) {
+                if right_in[u as usize] {
                     right_deg[u as usize] -= 1;
                     if right_deg[u as usize] < beta {
-                        right_removed.insert(u as usize);
+                        right_in[u as usize] = false;
                         queue.push((false, u));
                     }
                 }
             }
         } else {
             for &v in g.right_neighbors(id) {
-                if !left_removed.contains(v as usize) {
+                if left_in[v as usize] {
                     left_deg[v as usize] -= 1;
                     if left_deg[v as usize] < alpha {
-                        left_removed.insert(v as usize);
+                        left_in[v as usize] = false;
                         queue.push((true, v));
                     }
                 }
@@ -91,9 +140,281 @@ pub fn alpha_beta_core(g: &BipartiteGraph, alpha: usize, beta: usize) -> AlphaBe
         }
     }
 
-    let left = (0..nl as u32).filter(|&v| !left_removed.contains(v as usize)).collect();
-    let right = (0..nr as u32).filter(|&u| !right_removed.contains(u as usize)).collect();
+    (left_in, right_in, left_deg, right_deg)
+}
+
+/// Computes the (α,β)-core of `g`: every left vertex keeps ≥ `alpha`
+/// neighbours and every right vertex keeps ≥ `beta` neighbours.
+///
+/// Runs in `O(|E| + |V|)` using a peeling queue. Generic over
+/// [`BipartiteAdjacency`] so it also works on
+/// [`DynamicBipartiteGraph`](crate::dynamic::DynamicBipartiteGraph).
+pub fn alpha_beta_core<G: BipartiteAdjacency>(g: &G, alpha: usize, beta: usize) -> AlphaBetaCore {
+    let (left_in, right_in, _, _) = peel_core(g, alpha, beta);
+    let left = (0..g.num_left()).filter(|&v| left_in[v as usize]).collect();
+    let right = (0..g.num_right()).filter(|&u| right_in[u as usize]).collect();
     AlphaBetaCore { left, right }
+}
+
+/// (α,β)-core membership maintained *incrementally* under edge updates.
+///
+/// A full peel runs once at construction; afterwards each
+/// [`on_insert`](IncrementalCore::on_insert) /
+/// [`on_delete`](IncrementalCore::on_delete) call repairs the membership by
+/// a cascade that is local to the touched endpoints, instead of re-peeling
+/// the whole graph:
+///
+/// * **Deletion** can only shrink the core, and the shrink cascade starts at
+///   the deleted edge's endpoints — exactly the standard peeling loop seeded
+///   there.
+/// * **Insertion** can only grow the core. Every newly-qualifying vertex is
+///   connected to a touched endpoint through other newly-qualifying vertices
+///   (otherwise the new vertices would already have satisfied the thresholds
+///   before the update, contradicting the maximality of the old core), so a
+///   bounded BFS from the endpoints over non-members collects a candidate
+///   superset, which a local peel then trims to the exact new members.
+///
+/// The struct stores membership flags and, for members, the degree counted
+/// within the core — the invariant every repair step preserves.
+#[derive(Clone, Debug)]
+pub struct IncrementalCore {
+    alpha: usize,
+    beta: usize,
+    left_in: Vec<bool>,
+    right_in: Vec<bool>,
+    left_deg: Vec<usize>,
+    right_deg: Vec<usize>,
+}
+
+impl IncrementalCore {
+    /// Seeds the structure with a full (α,β)-core peel of `g`.
+    pub fn new<G: BipartiteAdjacency>(g: &G, alpha: usize, beta: usize) -> Self {
+        let (left_in, right_in, left_deg, right_deg) = peel_core(g, alpha, beta);
+        IncrementalCore { alpha, beta, left_in, right_in, left_deg, right_deg }
+    }
+
+    /// The left-side degree threshold α.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The right-side degree threshold β.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// `true` iff left vertex `v` is in the core.
+    #[inline]
+    pub fn contains_left(&self, v: u32) -> bool {
+        self.left_in[v as usize]
+    }
+
+    /// `true` iff right vertex `u` is in the core.
+    #[inline]
+    pub fn contains_right(&self, u: u32) -> bool {
+        self.right_in[u as usize]
+    }
+
+    /// Materializes the current membership as an [`AlphaBetaCore`].
+    pub fn members(&self) -> AlphaBetaCore {
+        let left = (0..self.left_in.len() as u32).filter(|&v| self.left_in[v as usize]).collect();
+        let right =
+            (0..self.right_in.len() as u32).filter(|&u| self.right_in[u as usize]).collect();
+        AlphaBetaCore { left, right }
+    }
+
+    /// Repairs the membership after the edge `(v, u)` was inserted into `g`
+    /// (`g` must already contain the edge).
+    pub fn on_insert<G: BipartiteAdjacency>(&mut self, g: &G, v: u32, u: u32) {
+        if self.left_in[v as usize] && self.right_in[u as usize] {
+            // An edge between two members raises their in-core degrees and
+            // cannot change anyone's membership: any would-be joiner would
+            // have qualified before the update as well (its own edges are
+            // untouched), contradicting the old core's maximality.
+            self.left_deg[v as usize] += 1;
+            self.right_deg[u as usize] += 1;
+            return;
+        }
+
+        // Candidate collection: every vertex that joins the core is reachable
+        // from a non-member endpoint through other joining vertices, and a
+        // joiner's full degree is a cheap upper bound for its in-core degree,
+        // so BFS over degree-qualified non-members collects a superset.
+        let mut cand_left: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut cand_right: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut stack: Vec<(bool, u32)> = Vec::new();
+        if !self.left_in[v as usize] && g.left_degree(v) >= self.alpha {
+            cand_left.insert(v, 0);
+            stack.push((true, v));
+        }
+        if !self.right_in[u as usize] && g.right_degree(u) >= self.beta {
+            cand_right.insert(u, 0);
+            stack.push((false, u));
+        }
+        while let Some((is_left, id)) = stack.pop() {
+            if is_left {
+                for &n in g.left_neighbors(id) {
+                    if !self.right_in[n as usize]
+                        && !cand_right.contains_key(&n)
+                        && g.right_degree(n) >= self.beta
+                    {
+                        cand_right.insert(n, 0);
+                        stack.push((false, n));
+                    }
+                }
+            } else {
+                for &n in g.right_neighbors(id) {
+                    if !self.left_in[n as usize]
+                        && !cand_left.contains_key(&n)
+                        && g.left_degree(n) >= self.alpha
+                    {
+                        cand_left.insert(n, 0);
+                        stack.push((true, n));
+                    }
+                }
+            }
+        }
+        if cand_left.is_empty() && cand_right.is_empty() {
+            return;
+        }
+
+        // Degrees within core ∪ candidates, then a local peel of the
+        // candidates only (members cannot violate: their within-core degree
+        // alone already meets the threshold).
+        let ids_left: Vec<u32> = cand_left.keys().copied().collect();
+        for &w in &ids_left {
+            let deg = g
+                .left_neighbors(w)
+                .iter()
+                .filter(|&&n| self.right_in[n as usize] || cand_right.contains_key(&n))
+                .count();
+            if let Some(slot) = cand_left.get_mut(&w) {
+                *slot = deg;
+            }
+        }
+        let ids_right: Vec<u32> = cand_right.keys().copied().collect();
+        for &w in &ids_right {
+            let deg = g
+                .right_neighbors(w)
+                .iter()
+                .filter(|&&n| self.left_in[n as usize] || cand_left.contains_key(&n))
+                .count();
+            if let Some(slot) = cand_right.get_mut(&w) {
+                *slot = deg;
+            }
+        }
+
+        let mut queue: Vec<(bool, u32)> = Vec::new();
+        for (&w, &deg) in &cand_left {
+            if deg < self.alpha {
+                queue.push((true, w));
+            }
+        }
+        for (&w, &deg) in &cand_right {
+            if deg < self.beta {
+                queue.push((false, w));
+            }
+        }
+        while let Some((is_left, id)) = queue.pop() {
+            if is_left {
+                if cand_left.remove(&id).is_none() {
+                    continue;
+                }
+                for &n in g.left_neighbors(id) {
+                    if let Some(deg) = cand_right.get_mut(&n) {
+                        *deg -= 1;
+                        if *deg < self.beta {
+                            queue.push((false, n));
+                        }
+                    }
+                }
+            } else {
+                if cand_right.remove(&id).is_none() {
+                    continue;
+                }
+                for &n in g.right_neighbors(id) {
+                    if let Some(deg) = cand_left.get_mut(&n) {
+                        *deg -= 1;
+                        if *deg < self.alpha {
+                            queue.push((true, n));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Promote the survivors: bump old members' degrees first (while the
+        // flags still distinguish them), then flip the flags and install the
+        // survivors' own counts.
+        for &w in cand_left.keys() {
+            for &n in g.left_neighbors(w) {
+                if self.right_in[n as usize] {
+                    self.right_deg[n as usize] += 1;
+                }
+            }
+        }
+        for &w in cand_right.keys() {
+            for &n in g.right_neighbors(w) {
+                if self.left_in[n as usize] {
+                    self.left_deg[n as usize] += 1;
+                }
+            }
+        }
+        for (&w, &deg) in &cand_left {
+            self.left_in[w as usize] = true;
+            self.left_deg[w as usize] = deg;
+        }
+        for (&w, &deg) in &cand_right {
+            self.right_in[w as usize] = true;
+            self.right_deg[w as usize] = deg;
+        }
+    }
+
+    /// Repairs the membership after the edge `(v, u)` was deleted from `g`
+    /// (`g` must no longer contain the edge).
+    pub fn on_delete<G: BipartiteAdjacency>(&mut self, g: &G, v: u32, u: u32) {
+        if !self.left_in[v as usize] || !self.right_in[u as usize] {
+            // The edge crossed the core boundary, so it was not counted in
+            // any in-core degree — membership is unchanged.
+            return;
+        }
+        self.left_deg[v as usize] -= 1;
+        self.right_deg[u as usize] -= 1;
+
+        // Standard peeling cascade, seeded at the endpoints.
+        let mut queue: Vec<(bool, u32)> = Vec::new();
+        if self.left_deg[v as usize] < self.alpha {
+            self.left_in[v as usize] = false;
+            queue.push((true, v));
+        }
+        if self.right_deg[u as usize] < self.beta {
+            self.right_in[u as usize] = false;
+            queue.push((false, u));
+        }
+        while let Some((is_left, id)) = queue.pop() {
+            if is_left {
+                for &n in g.left_neighbors(id) {
+                    if self.right_in[n as usize] {
+                        self.right_deg[n as usize] -= 1;
+                        if self.right_deg[n as usize] < self.beta {
+                            self.right_in[n as usize] = false;
+                            queue.push((false, n));
+                        }
+                    }
+                }
+            } else {
+                for &n in g.right_neighbors(id) {
+                    if self.left_in[n as usize] {
+                        self.left_deg[n as usize] -= 1;
+                        if self.left_deg[n as usize] < self.alpha {
+                            self.left_in[n as usize] = false;
+                            queue.push((true, n));
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Computes the (α,β)-core and materializes it as an induced subgraph with

@@ -15,6 +15,7 @@
 //! by the `kplex` enumeration crate.
 
 use crate::graph::BipartiteGraph;
+use crate::{Error, Result};
 
 /// Minimal adjacency interface over a general (unipartite) graph, used by
 /// the maximal k-plex enumerator.
@@ -37,30 +38,16 @@ pub struct GeneralGraph {
 }
 
 impl GeneralGraph {
-    /// Builds a general graph from an undirected edge list (self-loops and
-    /// duplicates are removed).
-    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
-        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+    /// Builds a general graph from an undirected edge list through the
+    /// checked [`GeneralBuilder`] contract: out-of-range endpoints and
+    /// self-loops are reported as errors instead of being asserted on or
+    /// silently dropped. Duplicate edges are merged.
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Result<Self> {
+        let mut builder = GeneralBuilder::new(num_vertices);
         for &(a, b) in edges {
-            if a == b {
-                continue;
-            }
-            assert!((a as usize) < num_vertices && (b as usize) < num_vertices);
-            pairs.push((a, b));
-            pairs.push((b, a));
+            builder.add_edge(a, b)?;
         }
-        pairs.sort_unstable();
-        pairs.dedup();
-
-        let mut offsets = vec![0usize; num_vertices + 1];
-        for &(a, _) in &pairs {
-            offsets[a as usize + 1] += 1;
-        }
-        for i in 0..num_vertices {
-            offsets[i + 1] += offsets[i];
-        }
-        let neighbors = pairs.into_iter().map(|(_, b)| b).collect();
-        GeneralGraph { offsets, neighbors }
+        Ok(builder.build())
     }
 
     /// Sorted neighbours of `a`.
@@ -73,6 +60,73 @@ impl GeneralGraph {
     /// Number of undirected edges.
     pub fn num_edges(&self) -> u64 {
         self.neighbors.len() as u64 / 2
+    }
+}
+
+/// Incremental builder for [`GeneralGraph`], mirroring the checked-`Result`
+/// contract of [`BipartiteBuilder`](crate::graph::BipartiteBuilder):
+/// [`add_edge`](GeneralBuilder::add_edge) validates both endpoints and
+/// rejects self-loops, while [`add_edge_unchecked`](GeneralBuilder::add_edge_unchecked)
+/// is the escape hatch for callers (generators, the inflation) that
+/// construct ids themselves and only want a debug assertion.
+#[derive(Clone, Debug)]
+pub struct GeneralBuilder {
+    num_vertices: usize,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl GeneralBuilder {
+    /// New builder for a graph with vertex ids `0..num_vertices`.
+    pub fn new(num_vertices: usize) -> Self {
+        GeneralBuilder { num_vertices, pairs: Vec::new() }
+    }
+
+    /// Pre-allocates space for `n` more edges.
+    pub fn reserve(&mut self, n: usize) {
+        self.pairs.reserve(n * 2);
+    }
+
+    /// Adds the undirected edge `{a, b}`. Out-of-range endpoints and
+    /// self-loops are errors; duplicates are merged at
+    /// [`build`](Self::build) time.
+    pub fn add_edge(&mut self, a: u32, b: u32) -> Result<()> {
+        if a as usize >= self.num_vertices {
+            return Err(Error::NodeOutOfRange { id: a, len: self.num_vertices });
+        }
+        if b as usize >= self.num_vertices {
+            return Err(Error::NodeOutOfRange { id: b, len: self.num_vertices });
+        }
+        if a == b {
+            return Err(Error::SelfLoop { id: a });
+        }
+        self.pairs.push((a, b));
+        self.pairs.push((b, a));
+        Ok(())
+    }
+
+    /// Adds an undirected edge without range checks beyond a debug
+    /// assertion. Intended for callers that construct ids themselves.
+    pub fn add_edge_unchecked(&mut self, a: u32, b: u32) {
+        debug_assert!(
+            (a as usize) < self.num_vertices && (b as usize) < self.num_vertices && a != b
+        );
+        self.pairs.push((a, b));
+        self.pairs.push((b, a));
+    }
+
+    /// Finalizes the CSR representation (sorts and deduplicates).
+    pub fn build(mut self) -> GeneralGraph {
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        let mut offsets = vec![0usize; self.num_vertices + 1];
+        for &(a, _) in &self.pairs {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..self.num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = self.pairs.into_iter().map(|(_, b)| b).collect();
+        GeneralGraph { offsets, neighbors }
     }
 }
 
@@ -164,21 +218,22 @@ impl<'a> InflatedView<'a> {
         let nl = self.graph.num_left();
         let nr = self.graph.num_right();
         let n = (nl + nr) as usize;
-        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Ids are constructed right here, so the unchecked path applies.
+        let mut builder = GeneralBuilder::new(n);
         for a in 0..nl {
             for b in (a + 1)..nl {
-                edges.push((a, b));
+                builder.add_edge_unchecked(a, b);
             }
         }
         for a in 0..nr {
             for b in (a + 1)..nr {
-                edges.push((nl + a, nl + b));
+                builder.add_edge_unchecked(nl + a, nl + b);
             }
         }
         for (v, u) in self.graph.edges() {
-            edges.push((v, nl + u));
+            builder.add_edge_unchecked(v, nl + u);
         }
-        Some(GeneralGraph::from_edges(n, &edges))
+        Some(builder.build())
     }
 }
 
@@ -299,7 +354,7 @@ mod tests {
 
     #[test]
     fn general_graph_basics() {
-        let g = GeneralGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 3), (0, 1)]);
+        let g = GeneralGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 1)]).unwrap();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 3);
         assert!(g.adjacent(0, 1));
@@ -310,6 +365,29 @@ mod tests {
         let mut out = Vec::new();
         g.neighbors_into(0, &mut out);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn checked_builder_rejects_bad_edges() {
+        // Out-of-range endpoints and self-loops used to be an assert /
+        // silent skip; the unified contract reports them as errors.
+        assert!(matches!(
+            GeneralGraph::from_edges(4, &[(0, 4)]),
+            Err(Error::NodeOutOfRange { id: 4, len: 4 })
+        ));
+        assert!(matches!(
+            GeneralGraph::from_edges(4, &[(7, 0)]),
+            Err(Error::NodeOutOfRange { id: 7, len: 4 })
+        ));
+        assert!(matches!(GeneralGraph::from_edges(4, &[(3, 3)]), Err(Error::SelfLoop { id: 3 })));
+        let mut b = GeneralBuilder::new(3);
+        assert!(b.add_edge(0, 1).is_ok());
+        assert!(b.add_edge(1, 3).is_err());
+        b.reserve(4);
+        b.add_edge_unchecked(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.adjacent(1, 2) && g.adjacent(0, 1));
     }
 
     #[test]

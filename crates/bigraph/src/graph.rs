@@ -62,6 +62,15 @@ pub struct BipartiteGraph {
 }
 
 impl BipartiteGraph {
+    /// Assembles a graph from two pre-built CSR halves (left→right and
+    /// right→left). The halves must describe the same edge set; this is the
+    /// fast path used by [`crate::dynamic::DynamicBipartiteGraph::snapshot`],
+    /// whose adjacency lists are already sorted and deduplicated.
+    pub(crate) fn from_halves(left: Csr, right: Csr) -> Self {
+        debug_assert_eq!(left.num_targets(), right.num_targets());
+        BipartiteGraph { left, right }
+    }
+
     /// Builds a graph from an edge list; `(v, u)` means left vertex `v` is
     /// adjacent to right vertex `u`. Duplicate edges are removed.
     pub fn from_edges(num_left: u32, num_right: u32, edges: &[(u32, u32)]) -> Result<Self> {

@@ -17,7 +17,12 @@
 //!   power-law, planted quasi-biclique blocks) and the dataset registry that
 //!   stands in for the paper's KONECT datasets (Table 1).
 //! * [`core_decomp`] — (α,β)-core peeling used both as a preprocessing step
-//!   for large-MBP enumeration and as a detector in the fraud case study.
+//!   for large-MBP enumeration and as a detector in the fraud case study,
+//!   plus [`IncrementalCore`], the same membership maintained under edge
+//!   updates by local cascades instead of full re-peels.
+//! * [`dynamic`] — [`DynamicBipartiteGraph`], a mutable adjacency with
+//!   checked `insert_edge`/`delete_edge` and cheap CSR re-materialization,
+//!   the substrate for incremental maximal-k-biplex maintenance.
 //! * [`subgraph`] — induced-subgraph extraction with id remapping.
 //! * [`general`] — general (unipartite) graphs and the *inflation* of a
 //!   bipartite graph used by the FaPlexen-style baseline.
@@ -53,6 +58,7 @@
 pub mod bitset;
 pub mod core_decomp;
 pub mod csr;
+pub mod dynamic;
 pub mod formats;
 pub mod gen;
 pub mod general;
@@ -63,7 +69,9 @@ pub mod stats;
 pub mod subgraph;
 
 pub use bitset::BitSet;
+pub use core_decomp::{BipartiteAdjacency, IncrementalCore};
 pub use csr::Csr;
+pub use dynamic::DynamicBipartiteGraph;
 pub use graph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
 pub use order::{bipartite_degeneracy, Relabeling, VertexOrder};
 pub use subgraph::InducedSubgraph;
@@ -83,6 +91,20 @@ pub enum Error {
         /// The number of vertices declared on that side.
         len: u32,
     },
+    /// An edge of a general (unipartite) graph referenced a vertex id that
+    /// is out of the declared range.
+    NodeOutOfRange {
+        /// The offending vertex id.
+        id: u32,
+        /// The number of vertices declared.
+        len: usize,
+    },
+    /// A general-graph edge connected a vertex to itself; the substrate only
+    /// models simple graphs.
+    SelfLoop {
+        /// The vertex with the rejected loop.
+        id: u32,
+    },
     /// Wrapper around I/O errors from [`std::io`].
     Io(std::io::Error),
     /// A text line could not be parsed as an edge.
@@ -100,6 +122,10 @@ impl std::fmt::Display for Error {
             Error::VertexOutOfRange { side, id, len } => {
                 write!(f, "vertex {id} on side {side:?} out of range (|side| = {len})")
             }
+            Error::NodeOutOfRange { id, len } => {
+                write!(f, "vertex {id} out of range (|V| = {len})")
+            }
+            Error::SelfLoop { id } => write!(f, "self-loop at vertex {id} rejected"),
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
         }

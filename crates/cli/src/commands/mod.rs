@@ -8,6 +8,7 @@ pub mod enumerate;
 pub mod fraud;
 pub mod generate;
 pub mod stats;
+pub mod update;
 
 use bigraph::gen::datasets::DatasetSpec;
 use bigraph::BipartiteGraph;

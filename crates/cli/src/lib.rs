@@ -66,6 +66,7 @@ COMMANDS:
     generate    Generate a synthetic bipartite graph and write it to a file
     stats       Print summary statistics of a graph
     enumerate   Enumerate maximal k-biplexes of a graph
+    update      Maintain maximal k-biplexes under an edge-update script
     fraud       Run the camouflage-attack fraud-detection case study
     help        Show this message
 
@@ -83,12 +84,14 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "generate" => commands::generate::run(rest, out),
         "stats" => commands::stats::run(rest, out),
         "enumerate" => commands::enumerate::run(rest, out),
+        "update" => commands::update::run(rest, out),
         "fraud" => commands::fraud::run(rest, out),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("generate") => writeln!(out, "{}", commands::generate::HELP)?,
                 Some("stats") => writeln!(out, "{}", commands::stats::HELP)?,
                 Some("enumerate") => writeln!(out, "{}", commands::enumerate::HELP)?,
+                Some("update") => writeln!(out, "{}", commands::update::HELP)?,
                 Some("fraud") => writeln!(out, "{}", commands::fraud::HELP)?,
                 _ => writeln!(out, "{USAGE}")?,
             }
@@ -117,7 +120,7 @@ mod tests {
 
     #[test]
     fn help_subcommands() {
-        for cmd in ["generate", "stats", "enumerate", "fraud"] {
+        for cmd in ["generate", "stats", "enumerate", "update", "fraud"] {
             let text = run_capture(&["help", cmd]).unwrap();
             assert!(text.contains(cmd), "help for {cmd} mentions it");
         }

@@ -44,6 +44,9 @@
 //!   paper mentions after Definition 2.1).
 //! * [`parallel`] — a thread-parallel enumeration of the full MBP set (the
 //!   paper's stated future work).
+//! * [`dynamic`] — incremental maintenance of the maximal-k-biplex set
+//!   under edge insertions/deletions, with per-update added/removed diffs
+//!   and a core-bounded localized re-enumeration path.
 //! * [`biplex`], [`extend`], [`initial`], [`store`], [`sink`], [`stats`] —
 //!   the supporting data structures.
 //! * [`bruteforce`] — an exponential oracle used for cross-validation.
@@ -58,6 +61,7 @@ pub mod api;
 pub mod asym;
 pub mod biplex;
 pub mod bruteforce;
+pub mod dynamic;
 pub mod enum_almost_sat;
 pub mod extend;
 pub mod initial;
@@ -76,6 +80,7 @@ pub use api::{
 pub use asym::{is_asym_biplex, KPair};
 pub use bigraph::order::VertexOrder;
 pub use biplex::{is_k_biplex, is_maximal_k_biplex, Biplex, PartialBiplex};
+pub use dynamic::{DynamicConfig, DynamicEnumerator, DynamicError, MaintainStats, UpdateDiff};
 pub use enum_almost_sat::{enum_almost_sat, AlmostSatStats, EnumKind};
 pub use large::{LargeMbpParams, LargeMbpReport, ParLargeMbpReport};
 pub use parallel::seen::ConcurrentSeenSet;

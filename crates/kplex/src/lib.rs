@@ -286,7 +286,7 @@ mod tests {
 
     fn triangle_plus_pendant() -> GeneralGraph {
         // 0-1-2 triangle, 3 attached to 2.
-        GeneralGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+        GeneralGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
     }
 
     #[test]
@@ -334,7 +334,8 @@ mod tests {
         let g = GeneralGraph::from_edges(
             7,
             &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 4), (2, 5)],
-        );
+        )
+        .unwrap();
         for k in 1..=2 {
             for plex in collect_maximal_plexes(&g, &PlexConfig::new(k)) {
                 assert!(is_maximal_k_plex(&g, &plex, k), "k {k} plex {plex:?}");
@@ -377,7 +378,7 @@ mod tests {
 
     #[test]
     fn node_budget_truncates() {
-        let g = GeneralGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let g = GeneralGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         let stats = enumerate_maximal_plexes(&g, &PlexConfig::new(2).with_max_nodes(3), |_| true);
         assert!(stats.budget_exhausted);
         assert!(stats.nodes <= 4);
@@ -385,7 +386,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = GeneralGraph::from_edges(0, &[]);
+        let g = GeneralGraph::from_edges(0, &[]).unwrap();
         let got = collect_maximal_plexes(&g, &PlexConfig::new(1));
         assert!(got.is_empty());
     }
@@ -394,7 +395,7 @@ mod tests {
     fn graph_with_no_edges() {
         // With no edges, a k-plex can hold at most k vertices (each vertex
         // misses all others plus itself).
-        let g = GeneralGraph::from_edges(4, &[]);
+        let g = GeneralGraph::from_edges(4, &[]).unwrap();
         let got = collect_maximal_plexes(&g, &PlexConfig::new(2));
         // Maximal 2-plexes are all pairs.
         assert_eq!(got.len(), 6);

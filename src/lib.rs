@@ -29,12 +29,15 @@ pub use kplex;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use bigraph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
+    pub use bigraph::{
+        BipartiteBuilder, BipartiteGraph, DynamicBipartiteGraph, IncrementalCore, Side, VertexRef,
+    };
     pub use kbiplex::{
         is_asym_biplex, is_k_biplex, is_maximal_k_biplex, Algorithm, Anchor, ApiError, Biplex,
-        CollectSink, ConcurrentSeenSet, Control, CountingSink, DelayRecorder, Engine, EngineStats,
-        EnumKind, Enumerator, FirstN, KPair, LargeMbpParams, ParallelConfig, ParallelEngine,
-        RunReport, SolutionSink, SolutionStream, StopReason, TraversalConfig, VertexOrder,
+        CollectSink, ConcurrentSeenSet, Control, CountingSink, DelayRecorder, DynamicConfig,
+        DynamicEnumerator, DynamicError, Engine, EngineStats, EnumKind, Enumerator, FirstN, KPair,
+        LargeMbpParams, MaintainStats, ParallelConfig, ParallelEngine, RunReport, SolutionSink,
+        SolutionStream, StopReason, TraversalConfig, UpdateDiff, VertexOrder,
     };
     // Deprecated free-function entry points, kept for transition; prefer
     // the `Enumerator` facade.
