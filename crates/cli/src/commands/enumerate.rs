@@ -1,18 +1,18 @@
 //! `mbpe enumerate` — enumerate maximal k-biplexes with a selectable
-//! algorithm, size thresholds, first-N limits and time budgets, driven
-//! through the [`kbiplex::Enumerator`] facade.
+//! algorithm, size thresholds, first-N limits and time budgets. The
+//! command builds a serializable [`kbiplex::QuerySpec`] (shared with
+//! `mbpe query`) and runs it through the [`kbiplex::Enumerator`] facade;
+//! only the `imb`/`inflation` baselines bypass the spec, having no facade
+//! path.
 
 use std::io::Write;
-use std::time::Duration;
 
 use baselines::{collect_imb, collect_inflation, ImbConfig, InflationConfig};
-use kbiplex::{
-    Algorithm, Biplex, CollectSink, Engine, EngineStats, Enumerator, ParallelEngine, RunReport,
-    VertexOrder,
-};
+use bigraph::BipartiteGraph;
+use kbiplex::{Biplex, CollectSink, Engine, EngineStats, Enumerator};
 
 use crate::args::Args;
-use crate::commands::load_graph;
+use crate::commands::{load_graph, spec};
 use crate::CliError;
 
 /// Help text for `mbpe help enumerate`.
@@ -24,6 +24,11 @@ USAGE:
     mbpe enumerate --dataset <NAME> [OPTIONS]
 
 OPTIONS:
+    --spec <JSON>       The full query as a QuerySpec JSON document
+                        (@path reads it from a file); replaces every other
+                        query option and runs through the same facade
+    --show-spec         Echo the query as its canonical JSON document
+                        (feed it back via --spec, or to `mbpe query`)
     --k <K>             Miss budget k (default 1)
     --algo <A>          itraversal (default) | btraversal | large | imb |
                         inflation | parallel
@@ -50,6 +55,8 @@ OPTIONS:
     --dataset/--scale/--full   Input selection, as for `mbpe stats`";
 
 const OPTIONS: &[&str] = &[
+    "spec",
+    "show-spec",
     "k",
     "algo",
     "limit",
@@ -68,7 +75,7 @@ const OPTIONS: &[&str] = &[
     "scale",
     "full",
 ];
-const FLAGS: &[&str] = &["count-only", "print", "full"];
+const FLAGS: &[&str] = &["show-spec", "count-only", "print", "full"];
 
 /// Runs the command.
 pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -76,191 +83,112 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     args.reject_unknown(OPTIONS)?;
     let (graph, label) = load_graph(&args)?;
 
-    let k: usize = args.parse_or("k", 1)?;
-    let theta_left: usize = args.parse_or("theta-left", 0)?;
-    let theta_right: usize = args.parse_or("theta-right", 0)?;
-    if args.value("limit").is_some() && args.value("first").is_some() {
-        return Err(CliError::Usage(
-            "--first is the deprecated alias of --limit; give only one of them".to_string(),
-        ));
+    let algo = spec::algo_name(&args).to_string();
+    // The baselines have no facade path, hence no spec: dispatch first.
+    if args.value("spec").is_none() && matches!(algo.as_str(), "imb" | "inflation") {
+        return run_baseline(&args, &graph, &label, &algo, out);
     }
-    let limit: Option<u64> = match args.value("limit").or_else(|| args.value("first")) {
-        None => None,
-        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(format!("bad --limit {v:?}")))?),
-    };
-    let time_budget: Option<Duration> = match args.value("time-budget") {
-        None => None,
-        Some(v) => {
-            let secs: f64 = v
-                .parse()
-                .map_err(|_| CliError::Usage(format!("bad --time-budget {v:?} (seconds)")))?;
-            // try_from_secs_f64 rejects NaN, negatives and values too large
-            // for a Duration, which from_secs_f64 would panic on.
-            let budget = Duration::try_from_secs_f64(secs).map_err(|_| {
-                CliError::Usage(format!(
-                    "--time-budget expects a representable non-negative number of seconds, got {v:?}"
-                ))
-            })?;
-            Some(budget)
+
+    let query = spec::spec_from_args(&args)?;
+    if args.flag("show-spec") {
+        writeln!(out, "spec: {}", query.to_json_string())?;
+    }
+    let mut sink = CollectSink::new();
+    let report = Enumerator::from_spec(&graph, &query)
+        .run(&mut sink)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let solutions = sink.into_sorted();
+
+    let algo_label = if args.value("spec").is_some() {
+        // A spec document names the algorithm itself; echo its code.
+        match query.engine {
+            Engine::Sequential => query.algorithm.to_string(),
+            _ => "parallel".to_string(),
         }
+    } else {
+        algo
     };
-    let algo = args.value("algo").unwrap_or("itraversal");
-    let threads: usize = args.parse_or("threads", 0)?;
-    let order: VertexOrder = match args.value("order") {
-        None => VertexOrder::Input,
-        Some(raw) => raw.parse().map_err(CliError::Usage)?,
-    };
-    let engine: ParallelEngine = match args.value("engine") {
-        None => ParallelEngine::WorkSteal,
-        Some(raw) => raw.parse().map_err(CliError::Usage)?,
-    };
-    let seen_segments: usize = args.parse_or("seen-segments", 0)?;
-    let steal_adaptive: bool = match args.value("steal-adaptive") {
-        None => true,
-        Some("on" | "true" | "1") => true,
-        Some("off" | "false" | "0") => false,
-        Some(raw) => {
-            return Err(CliError::Usage(format!("--steal-adaptive expects on or off, got {raw:?}")))
+    writeln!(out, "graph: {label}  k = {}  algorithm = {algo_label}", query.k)?;
+    if let EngineStats::Parallel(stats) = &report.stats {
+        let engine_name = match query.engine {
+            Engine::GlobalQueue => "GlobalQueue",
+            _ => "WorkSteal",
+        };
+        let mut info = format!(
+            "parallel: threads = {}  engine = {}  order = {}  steals = {}",
+            stats.threads, engine_name, query.order, stats.steals
+        );
+        if query.engine == Engine::WorkSteal {
+            let adaptive = if query.steal_adaptive { "on" } else { "off" };
+            info.push_str(&format!(
+                "  seen-segments = {}  steal-adaptive = {adaptive}",
+                query.seen_segments
+            ));
         }
-    };
-    if order != VertexOrder::Input && matches!(algo, "imb" | "inflation") {
+        writeln!(out, "{info}")?;
+    }
+    print_summary(&args, out, solutions.len(), &report.stop.to_string(), report.elapsed, &solutions)
+}
+
+/// The `imb`/`inflation` baselines: collect, post-filter, post-truncate.
+fn run_baseline(
+    args: &Args,
+    graph: &BipartiteGraph,
+    label: &str,
+    algo: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    spec::reject_misplaced_engine_knobs(args, algo)?;
+    if args.value("order").is_some() {
         return Err(CliError::Usage(format!(
             "--order is not supported by --algo {algo} (use itraversal, btraversal, large or parallel)"
         )));
     }
-    if time_budget.is_some() && matches!(algo, "imb" | "inflation") {
+    if args.value("time-budget").is_some() {
         return Err(CliError::Usage(format!(
             "--time-budget is not supported by --algo {algo} (baselines have no cancellation hook)"
         )));
     }
-    for opt in ["engine", "seen-segments", "steal-adaptive"] {
-        if args.value(opt).is_some() && algo != "parallel" {
-            return Err(CliError::Usage(format!(
-                "--{opt} only applies to --algo parallel (got --algo {algo})"
-            )));
+    let k: usize = args.parse_or("k", 1)?;
+    let theta_left: usize = args.parse_or("theta-left", 0)?;
+    let theta_right: usize = args.parse_or("theta-right", 0)?;
+    let limit = spec::parse_limit(args)?;
+
+    let start = std::time::Instant::now();
+    let mut solutions: Vec<Biplex> = if algo == "imb" {
+        let config = ImbConfig::new(k).with_thresholds(theta_left, theta_right);
+        collect_imb(graph, &config)
+    } else {
+        collect_inflation(graph, &InflationConfig::new(k))
+            .into_iter()
+            .filter(|b| b.left.len() >= theta_left && b.right.len() >= theta_right)
+            .collect()
+    };
+    let mut stop_label = "exhausted";
+    if let Some(n) = limit {
+        if (solutions.len() as u64) > n {
+            solutions.truncate(n as usize);
+            stop_label = "limit-reached";
         }
     }
-    // The global-queue engine has its own mutex-sharded seen-set and no
-    // steal path; silently accepting (and echoing) the knobs would present
-    // a no-op as applied.
-    if engine == ParallelEngine::GlobalQueue {
-        for opt in ["seen-segments", "steal-adaptive"] {
-            if args.value(opt).is_some() {
-                return Err(CliError::Usage(format!(
-                    "--{opt} only applies to --engine steal (got --engine global)"
-                )));
-            }
-        }
-    }
-
-    // Every facade-driven path shares this configured builder.
-    let build = |algorithm: Algorithm, facade_engine: Engine| {
-        let mut e = Enumerator::new(&graph)
-            .k(k)
-            .algorithm(algorithm)
-            .engine(facade_engine)
-            .order(order)
-            .thresholds(theta_left, theta_right);
-        if facade_engine != Engine::Sequential {
-            e = e.threads(threads);
-            if facade_engine == Engine::WorkSteal {
-                e = e.seen_segments(seen_segments).steal_adaptive(steal_adaptive);
-            }
-        }
-        if let Some(n) = limit {
-            e = e.limit(n);
-        }
-        if let Some(budget) = time_budget {
-            e = e.time_budget(budget);
-        }
-        e
-    };
-    let facade = |algorithm: Algorithm,
-                  facade_engine: Engine|
-     -> Result<(Vec<Biplex>, RunReport), CliError> {
-        let mut sink = CollectSink::new();
-        let report = build(algorithm, facade_engine)
-            .run(&mut sink)
-            .map_err(|e| CliError::Usage(e.to_string()))?;
-        Ok((sink.into_sorted(), report))
-    };
-
-    let mut parallel_info: Option<String> = None;
-    let mut stop_label = "exhausted".to_string();
-    let elapsed: Duration;
-    let solutions: Vec<Biplex> = match algo {
-        "itraversal" | "btraversal" | "large" => {
-            let algorithm = match algo {
-                "itraversal" => Algorithm::ITraversal,
-                "btraversal" => Algorithm::BTraversal,
-                _ => Algorithm::Large,
-            };
-            let (solutions, report) = facade(algorithm, Engine::Sequential)?;
-            stop_label = report.stop.to_string();
-            elapsed = report.elapsed;
-            solutions
-        }
-        "parallel" => {
-            let facade_engine = match engine {
-                ParallelEngine::WorkSteal => Engine::WorkSteal,
-                ParallelEngine::GlobalQueue => Engine::GlobalQueue,
-            };
-            let (solutions, report) = facade(Algorithm::ITraversal, facade_engine)?;
-            stop_label = report.stop.to_string();
-            elapsed = report.elapsed;
-            if let EngineStats::Parallel(stats) = &report.stats {
-                let mut info = format!(
-                    "parallel: threads = {}  engine = {:?}  order = {}  steals = {}",
-                    stats.threads, engine, order, stats.steals
-                );
-                if engine == ParallelEngine::WorkSteal {
-                    let adaptive = if steal_adaptive { "on" } else { "off" };
-                    let knobs =
-                        format!("  seen-segments = {seen_segments}  steal-adaptive = {adaptive}");
-                    info.push_str(&knobs);
-                }
-                parallel_info = Some(info);
-            }
-            solutions
-        }
-        "imb" | "inflation" => {
-            // The baselines have no facade path: collect, then apply the
-            // limit as a post-truncation.
-            let start = std::time::Instant::now();
-            let mut solutions: Vec<Biplex> = if algo == "imb" {
-                let config = ImbConfig::new(k).with_thresholds(theta_left, theta_right);
-                collect_imb(&graph, &config)
-            } else {
-                collect_inflation(&graph, &InflationConfig::new(k))
-                    .into_iter()
-                    .filter(|b| b.left.len() >= theta_left && b.right.len() >= theta_right)
-                    .collect()
-            };
-            if let Some(n) = limit {
-                if (solutions.len() as u64) > n {
-                    solutions.truncate(n as usize);
-                    stop_label = "limit-reached".to_string();
-                }
-            }
-            elapsed = start.elapsed();
-            solutions
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown --algo {other:?} (expected itraversal, btraversal, large, imb, inflation or parallel)"
-            )))
-        }
-    };
-
+    let elapsed = start.elapsed();
     writeln!(out, "graph: {label}  k = {k}  algorithm = {algo}")?;
-    if let Some(info) = parallel_info {
-        writeln!(out, "{info}")?;
-    }
-    writeln!(out, "solutions: {}", solutions.len())?;
-    writeln!(out, "stop: {stop_label}")?;
+    print_summary(args, out, solutions.len(), stop_label, elapsed, &solutions)
+}
+
+fn print_summary(
+    args: &Args,
+    out: &mut dyn Write,
+    count: usize,
+    stop: &str,
+    elapsed: std::time::Duration,
+    solutions: &[Biplex],
+) -> Result<(), CliError> {
+    writeln!(out, "solutions: {count}")?;
+    writeln!(out, "stop: {stop}")?;
     writeln!(out, "elapsed: {:.3} s", elapsed.as_secs_f64())?;
     if args.flag("print") && !args.flag("count-only") {
-        for b in &solutions {
+        for b in solutions {
             writeln!(out, "L={:?} R={:?}", b.left, b.right)?;
         }
     }
@@ -379,6 +307,47 @@ mod tests {
     #[test]
     fn bad_algorithm_is_rejected() {
         assert!(capture(&["--dataset", "Divorce", "--algo", "quantum"]).is_err());
+    }
+
+    #[test]
+    fn spec_document_is_a_full_query_surface() {
+        // --show-spec echoes the canonical document; replaying it through
+        // --spec reproduces the run exactly.
+        let text =
+            capture(&["--dataset", "Divorce", "--k", "1", "--theta-left", "2", "--show-spec"])
+                .unwrap();
+        let doc =
+            text.lines().find_map(|l| l.strip_prefix("spec: ")).expect("spec echoed").to_string();
+        assert!(doc.contains("\"theta_left\":2"), "{doc}");
+        let replay = capture(&["--dataset", "Divorce", "--spec", &doc]).unwrap();
+        assert_eq!(parse(&replay), parse(&text));
+        assert!(replay.contains("algorithm = itraversal"), "{replay}");
+
+        // The default query is the empty document.
+        let text = capture(&["--dataset", "Divorce", "--show-spec", "--count-only"]).unwrap();
+        assert!(text.contains("spec: {}"), "{text}");
+
+        // A spec document and individual options are mutually exclusive;
+        // malformed or unknown-key documents are usage errors.
+        assert!(capture(&["--dataset", "Divorce", "--spec", "{}", "--k", "2"]).is_err());
+        assert!(capture(&["--dataset", "Divorce", "--spec", "{"]).is_err());
+        assert!(capture(&["--dataset", "Divorce", "--spec", r#"{"warp":9}"#]).is_err());
+        // Specs that parse but fail facade validation surface its message.
+        let err = capture(&["--dataset", "Divorce", "--spec", r#"{"threads":4}"#]).unwrap_err();
+        assert!(err.to_string().contains("invalid configuration"), "{err}");
+    }
+
+    #[test]
+    fn spec_file_is_read_through_the_at_prefix() {
+        let dir = std::env::temp_dir().join("mbpe_cli_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("query.json");
+        std::fs::write(&path, "{\"limit\": 1}\n").unwrap();
+        let arg = format!("@{}", path.display());
+        let text = capture(&["--dataset", "Divorce", "--spec", &arg]).unwrap();
+        assert_eq!(parse(&text), 1);
+        assert!(text.contains("stop: limit-reached"), "{text}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

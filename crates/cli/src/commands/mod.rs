@@ -7,6 +7,9 @@
 pub mod enumerate;
 pub mod fraud;
 pub mod generate;
+pub mod query;
+pub mod serve;
+pub mod spec;
 pub mod stats;
 pub mod update;
 

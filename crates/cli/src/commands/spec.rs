@@ -1,0 +1,220 @@
+//! Shared translation from command-line flags to a [`QuerySpec`] — the
+//! serializable query surface the CLI, the service client and the
+//! in-process facade all speak. `mbpe enumerate` and `mbpe query` parse
+//! the same options through [`spec_from_args`], so a query tuned locally
+//! can be replayed against a daemon (or vice versa) unchanged, and
+//! `--spec` accepts the JSON document directly.
+
+use std::time::Duration;
+
+use kbiplex::{Algorithm, Engine, QuerySpec, VertexOrder};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Query-shaping options understood by [`spec_from_args`] (shared between
+/// `enumerate` and `query`).
+pub const SPEC_OPTIONS: &[&str] = &[
+    "spec",
+    "k",
+    "algo",
+    "limit",
+    "first",
+    "time-budget",
+    "theta-left",
+    "theta-right",
+    "threads",
+    "order",
+    "engine",
+    "seen-segments",
+    "steal-adaptive",
+];
+
+/// The `--algo` value with the historical default.
+pub fn algo_name(args: &Args) -> &str {
+    args.value("algo").unwrap_or("itraversal")
+}
+
+/// Parses an option holding a number of seconds (fractions allowed) into a
+/// [`Duration`].
+pub fn parse_seconds(args: &Args, name: &str) -> Result<Option<Duration>, CliError> {
+    match args.value(name) {
+        None => Ok(None),
+        Some(v) => {
+            let secs: f64 =
+                v.parse().map_err(|_| CliError::Usage(format!("bad --{name} {v:?} (seconds)")))?;
+            // try_from_secs_f64 rejects NaN, negatives and values too large
+            // for a Duration, which from_secs_f64 would panic on.
+            let budget = Duration::try_from_secs_f64(secs).map_err(|_| {
+                CliError::Usage(format!(
+                    "--{name} expects a representable non-negative number of seconds, got {v:?}"
+                ))
+            })?;
+            Ok(Some(budget))
+        }
+    }
+}
+
+/// Parses `--limit` (or its deprecated alias `--first`).
+pub fn parse_limit(args: &Args) -> Result<Option<u64>, CliError> {
+    if args.value("limit").is_some() && args.value("first").is_some() {
+        return Err(CliError::Usage(
+            "--first is the deprecated alias of --limit; give only one of them".to_string(),
+        ));
+    }
+    match args.value("limit").or_else(|| args.value("first")) {
+        None => Ok(None),
+        Some(v) => Ok(Some(v.parse().map_err(|_| CliError::Usage(format!("bad --limit {v:?}")))?)),
+    }
+}
+
+fn parse_steal_adaptive(args: &Args) -> Result<bool, CliError> {
+    match args.value("steal-adaptive") {
+        None | Some("on" | "true" | "1") => Ok(true),
+        Some("off" | "false" | "0") => Ok(false),
+        Some(raw) => {
+            Err(CliError::Usage(format!("--steal-adaptive expects on or off, got {raw:?}")))
+        }
+    }
+}
+
+/// Rejects the parallel-only knobs when `algo` is not `parallel`, and the
+/// steal-only knobs on the global-queue engine. Shared with the baseline
+/// paths of `enumerate`, which never build a spec.
+pub fn reject_misplaced_engine_knobs(args: &Args, algo: &str) -> Result<(), CliError> {
+    for opt in ["engine", "seen-segments", "steal-adaptive"] {
+        if args.value(opt).is_some() && algo != "parallel" {
+            return Err(CliError::Usage(format!(
+                "--{opt} only applies to --algo parallel (got --algo {algo})"
+            )));
+        }
+    }
+    // The global-queue engine has its own mutex-sharded seen-set and no
+    // steal path; silently accepting (and echoing) the knobs would present
+    // a no-op as applied.
+    if algo == "parallel" && args.value("engine") == Some("global") {
+        for opt in ["seen-segments", "steal-adaptive"] {
+            if args.value(opt).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{opt} only applies to --engine steal (got --engine global)"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the query from the command line: either the `--spec` JSON
+/// document verbatim, or the individual flags.
+pub fn spec_from_args(args: &Args) -> Result<QuerySpec, CliError> {
+    if let Some(raw) = args.value("spec") {
+        for opt in SPEC_OPTIONS.iter().filter(|o| **o != "spec") {
+            if args.value(opt).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--spec is the whole query; drop --{opt} or fold it into the document"
+                )));
+            }
+        }
+        let text = match raw.strip_prefix('@') {
+            Some(path) => std::fs::read_to_string(path)?,
+            None => raw.to_string(),
+        };
+        return QuerySpec::from_json_str(text.trim())
+            .map_err(|e| CliError::Usage(format!("bad --spec document: {}", e.0)));
+    }
+
+    let algo = algo_name(args);
+    reject_misplaced_engine_knobs(args, algo)?;
+    let mut spec = QuerySpec {
+        k: args.parse_or("k", 1)?,
+        theta_left: args.parse_or("theta-left", 0)?,
+        theta_right: args.parse_or("theta-right", 0)?,
+        limit: parse_limit(args)?,
+        time_budget: parse_seconds(args, "time-budget")?,
+        ..QuerySpec::default()
+    };
+    if let Some(raw) = args.value("order") {
+        spec.order = raw.parse::<VertexOrder>().map_err(CliError::Usage)?;
+    }
+    match algo {
+        "itraversal" => spec.algorithm = Algorithm::ITraversal,
+        "btraversal" => spec.algorithm = Algorithm::BTraversal,
+        "large" => spec.algorithm = Algorithm::Large,
+        "parallel" => {
+            spec.algorithm = Algorithm::ITraversal;
+            spec.engine = match args.value("engine") {
+                None | Some("steal") => Engine::WorkSteal,
+                Some("global") => Engine::GlobalQueue,
+                Some(raw) => {
+                    return Err(CliError::Usage(format!(
+                        "--engine expects steal or global, got {raw:?}"
+                    )))
+                }
+            };
+            spec.threads = args.parse_or("threads", 0)?;
+            if spec.engine == Engine::WorkSteal {
+                spec.seen_segments = args.parse_or("seen-segments", 0)?;
+                spec.steal_adaptive = parse_steal_adaptive(args)?;
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --algo {other:?} (expected itraversal, btraversal, large or parallel; \
+                 imb and inflation are local-only baselines of `mbpe enumerate`)"
+            )))
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str], flags: &[&str]) -> Args {
+        let raw: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw, flags).unwrap()
+    }
+
+    #[test]
+    fn flags_build_the_same_spec_as_the_json_document() {
+        let from_flags = spec_from_args(&args(
+            &["--k", "2", "--theta-left", "3", "--limit", "10", "--order", "degree"],
+            &[],
+        ))
+        .unwrap();
+        let json = from_flags.to_json_string();
+        let from_doc = spec_from_args(&args(&["--spec", &json], &[])).unwrap();
+        assert_eq!(from_flags, from_doc);
+    }
+
+    #[test]
+    fn spec_excludes_individual_options() {
+        let e = spec_from_args(&args(&["--spec", "{}", "--k", "2"], &[]));
+        assert!(matches!(e, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parallel_algo_maps_to_the_engines() {
+        let spec = spec_from_args(&args(&["--algo", "parallel", "--threads", "2"], &[])).unwrap();
+        assert_eq!(spec.engine, Engine::WorkSteal);
+        assert_eq!(spec.threads, 2);
+        let spec =
+            spec_from_args(&args(&["--algo", "parallel", "--engine", "global"], &[])).unwrap();
+        assert_eq!(spec.engine, Engine::GlobalQueue);
+    }
+
+    #[test]
+    fn misplaced_knobs_are_usage_errors() {
+        assert!(spec_from_args(&args(&["--engine", "steal"], &[])).is_err());
+        assert!(spec_from_args(&args(&["--seen-segments", "2"], &[])).is_err());
+        let global = &["--algo", "parallel", "--engine", "global", "--steal-adaptive", "off"];
+        assert!(spec_from_args(&args(global, &[])).is_err());
+    }
+
+    #[test]
+    fn bad_spec_document_is_a_usage_error() {
+        assert!(spec_from_args(&args(&["--spec", "{"], &[])).is_err());
+        assert!(spec_from_args(&args(&["--spec", r#"{"warp":9}"#], &[])).is_err());
+    }
+}

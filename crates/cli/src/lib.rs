@@ -29,6 +29,8 @@ pub enum CliError {
     Graph(bigraph::Error),
     /// Plain I/O failure while writing output.
     Io(std::io::Error),
+    /// A round-trip to an `mbpe serve` daemon failed (`mbpe query`).
+    Service(mbpe_serve::ClientError),
 }
 
 impl std::fmt::Display for CliError {
@@ -37,6 +39,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Graph(e) => write!(f, "graph error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Service(e) => write!(f, "{e}"),
         }
     }
 }
@@ -55,6 +58,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<mbpe_serve::ClientError> for CliError {
+    fn from(e: mbpe_serve::ClientError) -> Self {
+        CliError::Service(e)
+    }
+}
+
 /// Top-level usage text (printed by `mbpe help` and on usage errors).
 pub const USAGE: &str = "\
 mbpe — maximal k-biplex enumeration (SIGMOD 2022 reproduction)
@@ -67,6 +76,8 @@ COMMANDS:
     stats       Print summary statistics of a graph
     enumerate   Enumerate maximal k-biplexes of a graph
     update      Maintain maximal k-biplexes under an edge-update script
+    serve       Run the always-on enumeration daemon over a graph
+    query       Query a running daemon (same options as enumerate)
     fraud       Run the camouflage-attack fraud-detection case study
     help        Show this message
 
@@ -85,6 +96,8 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => commands::stats::run(rest, out),
         "enumerate" => commands::enumerate::run(rest, out),
         "update" => commands::update::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
+        "query" => commands::query::run(rest, out),
         "fraud" => commands::fraud::run(rest, out),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
@@ -92,6 +105,8 @@ pub fn run(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("stats") => writeln!(out, "{}", commands::stats::HELP)?,
                 Some("enumerate") => writeln!(out, "{}", commands::enumerate::HELP)?,
                 Some("update") => writeln!(out, "{}", commands::update::HELP)?,
+                Some("serve") => writeln!(out, "{}", commands::serve::HELP)?,
+                Some("query") => writeln!(out, "{}", commands::query::HELP)?,
                 Some("fraud") => writeln!(out, "{}", commands::fraud::HELP)?,
                 _ => writeln!(out, "{USAGE}")?,
             }
@@ -120,7 +135,7 @@ mod tests {
 
     #[test]
     fn help_subcommands() {
-        for cmd in ["generate", "stats", "enumerate", "update", "fraud"] {
+        for cmd in ["generate", "stats", "enumerate", "update", "serve", "query", "fraud"] {
             let text = run_capture(&["help", cmd]).unwrap();
             assert!(text.contains(cmd), "help for {cmd} mentions it");
         }

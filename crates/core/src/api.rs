@@ -1,9 +1,10 @@
 //! The unified enumeration facade: one builder-style entry point for every
 //! algorithm variant and every execution engine.
 //!
-//! The crate grew one free function per algorithm × output combination
-//! (`enumerate_mbps`, `enumerate_large_mbps`, `par_collect_large_mbps`, …),
-//! each with its own config plumbing. [`Enumerator`] replaces them with a
+//! The crate once grew one free function per algorithm × output
+//! combination (`enumerate_mbps`, `enumerate_large_mbps`,
+//! `par_collect_large_mbps`, …), each with its own config plumbing.
+//! [`Enumerator`] replaced them all (the legacy wrappers are gone) with a
 //! single customisable surface:
 //!
 //! ```
@@ -214,8 +215,26 @@ impl fmt::Display for StopReason {
     }
 }
 
+impl std::str::FromStr for StopReason {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhausted" => Ok(StopReason::Exhausted),
+            "limit-reached" => Ok(StopReason::LimitReached),
+            "time-budget" => Ok(StopReason::TimeBudget),
+            "sink-stopped" => Ok(StopReason::SinkStopped),
+            "cancelled" => Ok(StopReason::Cancelled),
+            other => Err(format!(
+                "unknown stop reason {other:?} (expected exhausted, limit-reached, \
+                 time-budget, sink-stopped or cancelled)"
+            )),
+        }
+    }
+}
+
 /// Engine-specific counters of one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineStats {
     /// A sequential traversal run (also used by [`Algorithm::Large`]).
     Sequential(TraversalStats),
@@ -229,7 +248,7 @@ pub enum EngineStats {
 
 /// Size of the (θ−k)-core-reduced graph an [`Algorithm::Large`] run actually
 /// enumerated.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReducedGraph {
     /// Left vertices surviving the reduction.
     pub left: u32,
@@ -240,7 +259,7 @@ pub struct ReducedGraph {
 }
 
 /// Outcome of one [`Enumerator::run`] (or a finished [`SolutionStream`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Solutions delivered to the sink (after thresholds and limit).
     pub solutions: u64,
@@ -267,6 +286,40 @@ pub enum ApiError {
     Resource(String),
 }
 
+impl ApiError {
+    /// Stable machine-readable code of the variant — what remote clients
+    /// match on instead of parsing the human-readable message. Pinned by
+    /// `tests/api_surface.rs`; never renamed, only extended.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::Unsupported(_) => "unsupported",
+            ApiError::InvalidConfig(_) => "invalid-config",
+            ApiError::Resource(_) => "resource",
+        }
+    }
+
+    /// The human-readable detail message of any variant.
+    pub fn message(&self) -> &str {
+        match self {
+            ApiError::Unsupported(msg) | ApiError::InvalidConfig(msg) | ApiError::Resource(msg) => {
+                msg
+            }
+        }
+    }
+
+    /// Rebuilds an `ApiError` from a stable [`ApiError::code`] and message —
+    /// the decode half used by wire clients. Unknown codes are rejected so a
+    /// newer server's variants never masquerade as an old one.
+    pub fn from_code(code: &str, message: &str) -> Option<ApiError> {
+        match code {
+            "unsupported" => Some(ApiError::Unsupported(message.to_string())),
+            "invalid-config" => Some(ApiError::InvalidConfig(message.to_string())),
+            "resource" => Some(ApiError::Resource(message.to_string())),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for ApiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -279,32 +332,61 @@ impl fmt::Display for ApiError {
 
 impl std::error::Error for ApiError {}
 
-/// The full configuration of one run; owned so it can move onto the
-/// streaming thread.
-#[derive(Clone, Debug)]
-struct Spec {
-    k: usize,
-    k_pair: Option<KPair>,
-    algorithm: Algorithm,
-    engine: Engine,
-    order: VertexOrder,
-    enum_kind: EnumKind,
-    emit_mode: EmitMode,
-    anchor: Option<Anchor>,
-    theta_left: usize,
-    theta_right: usize,
-    core_reduction: Option<bool>,
-    threads: usize,
-    seen_segments: usize,
-    steal_adaptive: bool,
-    limit: Option<u64>,
-    time_budget: Option<Duration>,
-    stream_buffer: usize,
+/// The full, serializable configuration of one enumeration run — the single
+/// query surface shared by the [`Enumerator`] builder, the CLI, the wire
+/// protocol of the `mbpe-serve` daemon and the benches.
+///
+/// A `QuerySpec` is plain data: every knob of the builder is a public
+/// field, [`Default`] gives the builder's defaults, and
+/// [`QuerySpec::to_json`] / [`QuerySpec::from_json`] round-trip the value
+/// losslessly (pinned by the `query_spec` property tests). Validation stays
+/// where it always was — [`Enumerator::validate`] — so a deserialized spec
+/// goes through exactly the same checks as a locally built one.
+///
+/// Owned (no graph reference) so it can move onto streaming threads and
+/// across the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Miss budget `k` of the k-biplex definition (default 1).
+    pub k: usize,
+    /// Asymmetric per-side budgets ([`Algorithm::Asym`] only).
+    pub k_pair: Option<KPair>,
+    /// Algorithm variant (default [`Algorithm::ITraversal`]).
+    pub algorithm: Algorithm,
+    /// Execution engine (default [`Engine::Sequential`]).
+    pub engine: Engine,
+    /// Vertex relabeling pass (default [`VertexOrder::Input`]).
+    pub order: VertexOrder,
+    /// `EnumAlmostSat` implementation (default [`EnumKind::L2R2`]).
+    pub enum_kind: EnumKind,
+    /// Emission mode of the sequential engine (default
+    /// [`EmitMode::Immediate`]).
+    pub emit_mode: EmitMode,
+    /// Initial-solution override of the sequential engine.
+    pub anchor: Option<Anchor>,
+    /// Only report MBPs with `|L| ≥ theta_left` (0 disables).
+    pub theta_left: usize,
+    /// Only report MBPs with `|R| ≥ theta_right` (0 disables).
+    pub theta_right: usize,
+    /// (θ−k)-core reduction toggle of [`Algorithm::Large`].
+    pub core_reduction: Option<bool>,
+    /// Worker threads of the parallel engines (0 = auto).
+    pub threads: usize,
+    /// Initial seen-set segments of [`Engine::WorkSteal`] (0 = auto).
+    pub seen_segments: usize,
+    /// Adaptive steal granularity of [`Engine::WorkSteal`] (default on).
+    pub steal_adaptive: bool,
+    /// Stop after delivering exactly this many solutions.
+    pub limit: Option<u64>,
+    /// Stop once this much wall-clock time has elapsed.
+    pub time_budget: Option<Duration>,
+    /// Channel capacity behind [`Enumerator::stream`] (default 256).
+    pub stream_buffer: usize,
 }
 
-impl Default for Spec {
+impl Default for QuerySpec {
     fn default() -> Self {
-        Spec {
+        QuerySpec {
             k: 1,
             k_pair: None,
             algorithm: Algorithm::ITraversal,
@@ -332,7 +414,7 @@ impl Default for Spec {
 #[derive(Clone, Debug)]
 pub struct Enumerator<'g> {
     graph: &'g BipartiteGraph,
-    spec: Spec,
+    spec: QuerySpec,
 }
 
 impl<'g> Enumerator<'g> {
@@ -340,7 +422,22 @@ impl<'g> Enumerator<'g> {
     /// `iTraversal`, the sequential engine, input vertex order, no
     /// thresholds, no limit, no time budget.
     pub fn new(graph: &'g BipartiteGraph) -> Self {
-        Enumerator { graph, spec: Spec::default() }
+        Enumerator { graph, spec: QuerySpec::default() }
+    }
+
+    /// Builds an enumerator over `graph` from an explicit [`QuerySpec`] —
+    /// the entry point of deserialized queries (wire protocol, saved specs).
+    /// The spec is *not* validated here; [`Enumerator::run`],
+    /// [`Enumerator::stream`] and [`Enumerator::validate`] apply exactly the
+    /// same checks as for a locally built configuration.
+    pub fn from_spec(graph: &'g BipartiteGraph, spec: &QuerySpec) -> Self {
+        Enumerator { graph, spec: spec.clone() }
+    }
+
+    /// The current configuration as a plain, serializable [`QuerySpec`] —
+    /// the inverse of [`Enumerator::from_spec`].
+    pub fn to_spec(&self) -> QuerySpec {
+        self.spec.clone()
     }
 
     /// Sets the miss budget `k` of the k-biplex definition (default 1).
@@ -801,7 +898,7 @@ impl<'a> Gate<'a> {
 }
 
 /// Builds the sequential traversal configuration of a spec.
-fn traversal_config(spec: &Spec, deadline: Option<Instant>) -> TraversalConfig {
+fn traversal_config(spec: &QuerySpec, deadline: Option<Instant>) -> TraversalConfig {
     let base = match spec.algorithm {
         Algorithm::ITraversal | Algorithm::Large => TraversalConfig::itraversal(spec.k),
         Algorithm::ITraversalNoExclusion => TraversalConfig::itraversal_no_exclusion(spec.k),
@@ -821,7 +918,7 @@ fn traversal_config(spec: &Spec, deadline: Option<Instant>) -> TraversalConfig {
 }
 
 /// Builds the parallel configuration of a spec.
-fn parallel_config(spec: &Spec) -> ParallelConfig {
+fn parallel_config(spec: &QuerySpec) -> ParallelConfig {
     let engine = match spec.engine {
         Engine::WorkSteal => ParallelEngine::WorkSteal,
         Engine::GlobalQueue => ParallelEngine::GlobalQueue,
@@ -849,7 +946,7 @@ fn parallel_config(spec: &Spec) -> ParallelConfig {
 /// gate afterwards — the fast path for full enumerations.
 fn execute(
     g: &BipartiteGraph,
-    spec: &Spec,
+    spec: &QuerySpec,
     sink: &mut (dyn SolutionSink + Send),
     cancel: &AtomicBool,
     undelivered: Option<&AtomicBool>,
@@ -946,7 +1043,7 @@ fn execute(
     RunReport { solutions: delivered, stop, elapsed, stats, reduced }
 }
 
-fn large_params(spec: &Spec) -> LargeMbpParams {
+fn large_params(spec: &QuerySpec) -> LargeMbpParams {
     LargeMbpParams {
         k: spec.k,
         theta_left: spec.theta_left,

@@ -176,10 +176,11 @@ pub struct AsymStats {
     pub stopped_early: bool,
 }
 
-/// The asymmetric enumeration engine, shared by the deprecated
-/// [`enumerate_asym_mbps`] wrapper and the [`crate::api::Enumerator`]
-/// facade. Enumerates all maximal (k_L, k_R)-biplexes of `g`, delivering
-/// each exactly once to `sink`.
+/// The asymmetric enumeration engine behind the
+/// [`crate::api::Enumerator`] facade. Enumerates all maximal
+/// (k_L, k_R)-biplexes of `g` with the `bTraversal` reverse-search
+/// framework (Algorithm 1) generalised to two budgets, delivering each
+/// exactly once to `sink`.
 pub(crate) fn run_asym<S: SolutionSink + ?Sized>(
     g: &BipartiteGraph,
     kp: KPair,
@@ -257,34 +258,6 @@ pub(crate) fn run_asym<S: SolutionSink + ?Sized>(
         }
     }
     stats
-}
-
-/// Enumerates all maximal (k_L, k_R)-biplexes of `g`, delivering each
-/// exactly once to `sink`. Follows the `bTraversal` reverse-search framework
-/// (Algorithm 1) generalised to two budgets; the DFS over the implicit
-/// solution graph uses an explicit stack.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(kp)`)"
-)]
-pub fn enumerate_asym_mbps<S: SolutionSink + ?Sized>(
-    g: &BipartiteGraph,
-    kp: KPair,
-    sink: &mut S,
-) -> AsymStats {
-    run_asym(g, kp, sink)
-}
-
-/// Convenience wrapper: collects all maximal (k_L, k_R)-biplexes, sorted
-/// canonically.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(kp)`)"
-)]
-pub fn collect_asym_mbps(g: &BipartiteGraph, kp: KPair) -> Vec<Biplex> {
-    let mut sink = crate::sink::CollectSink::new();
-    run_asym(g, kp, &mut sink);
-    sink.into_sorted()
 }
 
 /// Enumerates the local solutions of the almost-satisfying graph

@@ -59,6 +59,37 @@ impl EnumKind {
     }
 }
 
+impl std::fmt::Display for EnumKind {
+    /// Stable lowercase wire code (the figure-style [`EnumKind::label`] is
+    /// kept for display in benches and plots).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EnumKind::L1R1 => "l1r1",
+            EnumKind::L1R2 => "l1r2",
+            EnumKind::L2R1 => "l2r1",
+            EnumKind::L2R2 => "l2r2",
+            EnumKind::Inflation => "inflation",
+        })
+    }
+}
+
+impl std::str::FromStr for EnumKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "l1r1" => Ok(EnumKind::L1R1),
+            "l1r2" => Ok(EnumKind::L1R2),
+            "l2r1" => Ok(EnumKind::L2R1),
+            "l2r2" => Ok(EnumKind::L2R2),
+            "inflation" => Ok(EnumKind::Inflation),
+            other => Err(format!(
+                "unknown enum-almost-sat kind {other:?} (expected l1r1, l1r2, l2r1, l2r2 or inflation)"
+            )),
+        }
+    }
+}
+
 /// Work counters for one `EnumAlmostSat` invocation (accumulated across a
 /// traversal by [`crate::stats::TraversalStats`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

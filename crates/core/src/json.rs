@@ -1,0 +1,540 @@
+//! A minimal, dependency-free JSON value with an exact-integer number type.
+//!
+//! The workspace builds offline (no `serde`), but the service layer needs a
+//! self-describing wire format for [`crate::api::QuerySpec`] and
+//! [`crate::api::RunReport`]. This module is the shared encoder/decoder:
+//! a [`Json`] tree, a recursive-descent parser and a compact writer.
+//!
+//! Design points that matter for the wire format:
+//!
+//! * **Integers stay exact.** JSON numbers without a fraction or exponent
+//!   parse into [`Json::Int`] (an `i128`), so every `u64` counter in a
+//!   [`crate::api::RunReport`] round-trips bit-for-bit — no `f64` rounding
+//!   at 2^53.
+//! * **Objects preserve insertion order** (a `Vec` of pairs); duplicate
+//!   keys resolve to the *last* occurrence on lookup, matching common JSON
+//!   implementations.
+//! * **Depth-limited parsing.** The parser rejects nesting deeper than
+//!   [`MAX_DEPTH`] so a hostile payload cannot overflow the stack — this
+//!   module sits directly behind a network socket.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts (arrays + objects combined).
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without fraction or exponent; exact up to `i128`.
+    Int(i128),
+    /// Any other number (fraction or exponent present).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A malformed JSON document or a value of the wrong shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Looks up a key in an object (last occurrence wins). `None` for
+    /// missing keys and for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, or a shape error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("{what}: expected a string, got {other:?}")),
+        }
+    }
+
+    /// The value as a `u64`, or a shape error naming `what`.
+    pub fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+        match self {
+            Json::Int(i) => {
+                u64::try_from(*i).map_err(|_| JsonError(format!("{what}: {i} out of u64 range")))
+            }
+            other => err(format!("{what}: expected an integer, got {other:?}")),
+        }
+    }
+
+    /// The value as a `usize`, or a shape error naming `what`.
+    pub fn as_usize(&self, what: &str) -> Result<usize, JsonError> {
+        let v = self.as_u64(what)?;
+        usize::try_from(v).map_err(|_| JsonError(format!("{what}: {v} out of usize range")))
+    }
+
+    /// The value as an `f64` (accepts both number forms), or a shape error.
+    pub fn as_f64(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(f) => Ok(*f),
+            other => err(format!("{what}: expected a number, got {other:?}")),
+        }
+    }
+
+    /// The value as a bool, or a shape error naming `what`.
+    pub fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("{what}: expected a boolean, got {other:?}")),
+        }
+    }
+
+    /// The value as an array slice, or a shape error naming `what`.
+    pub fn as_arr(&self, what: &str) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => err(format!("{what}: expected an array, got {other:?}")),
+        }
+    }
+
+    /// The value as object pairs, or a shape error naming `what`.
+    pub fn as_obj(&self, what: &str) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs),
+            other => err(format!("{what}: expected an object, got {other:?}")),
+        }
+    }
+
+    /// Parses a JSON document (rejecting trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Serializes the value compactly (no whitespace).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let text = format!("{f}");
+                    out.push_str(&text);
+                    // `{}` prints integral floats without a dot; keep the
+                    // float/int distinction on the wire.
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; encode as null like serde_json.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            None => err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => err(format!("unexpected byte {:?} at {}", other as char, self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.consume(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uDCxx`.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return err("invalid \\u escape"),
+                            }
+                        }
+                        other => return err(format!("invalid escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Copy the whole span up to the next quote or escape in
+                    // one go. The parser's input is a `&str`, and `"` / `\`
+                    // are ASCII, so the span boundaries never split a
+                    // multi-byte character.
+                    let start = self.pos - 1;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(span) => out.push_str(span),
+                        Err(_) => return err("invalid utf-8 in string"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return err("truncated \\u escape");
+        }
+        let Ok(hex) = std::str::from_utf8(&self.bytes[self.pos..end]) else {
+            return err("invalid \\u escape");
+        };
+        let cp =
+            u32::from_str_radix(hex, 16).map_err(|_| JsonError("invalid \\u escape".into()))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return err("invalid number");
+        };
+        if text.is_empty() || text == "-" {
+            return err(format!("invalid number at byte {start}"));
+        }
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+                _ => err(format!("invalid number {text:?}")),
+            }
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| JsonError(format!("integer {text:?} out of range")))
+        }
+    }
+}
+
+/// Convenience: builds a [`Json::Obj`] from `(key, value)` pairs.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Convenience: a [`Json::Str`] from anything stringy.
+pub fn s(text: impl Into<String>) -> Json {
+    Json::Str(text.into())
+}
+
+/// Convenience: a [`Json::Int`] from an unsigned counter.
+pub fn u(v: u64) -> Json {
+    Json::Int(v as i128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let doc = obj(vec![
+            ("a", Json::Null),
+            ("b", Json::Bool(true)),
+            ("c", Json::Int(-42)),
+            ("d", Json::Float(1.5)),
+            ("e", s("hi \"there\"\n")),
+            ("f", Json::Arr(vec![u(1), u(2), u(3)])),
+            ("g", obj(vec![("nested", u(u64::MAX))])),
+        ]);
+        let text = doc.encode();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // u64::MAX survives exactly (would not through an f64).
+        assert_eq!(back.get("g").unwrap().get("nested").unwrap().as_u64("n").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn integers_and_floats_stay_distinct() {
+        assert_eq!(Json::parse("7").unwrap(), Json::Int(7));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::Float(7.0));
+        assert_eq!(Json::parse("7e0").unwrap(), Json::Float(7.0));
+        assert_eq!(Json::Float(7.0).encode(), "7.0");
+        assert_eq!(Json::parse(&Json::Float(7.0).encode()).unwrap(), Json::Float(7.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "-",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1] trailing",
+            "nullx",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_last() {
+        let doc = Json::parse("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(doc.get("a").unwrap(), &Json::Int(2));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let doc = Json::parse("\"\\u00e9\\u20ac ok\"").unwrap();
+        assert_eq!(doc, Json::Str("é€ ok".to_string()));
+        let doc = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(doc, Json::Str("😀".to_string()));
+        let s = Json::Str("tab\there".to_string());
+        assert_eq!(Json::parse(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn shape_accessors_report_errors() {
+        let doc = Json::parse("{\"n\":3,\"s\":\"x\",\"b\":false,\"a\":[]}").unwrap();
+        assert_eq!(doc.get("n").unwrap().as_u64("n").unwrap(), 3);
+        assert!(doc.get("n").unwrap().as_str("n").is_err());
+        assert!(doc.get("s").unwrap().as_u64("s").is_err());
+        assert!(!doc.get("b").unwrap().as_bool("b").unwrap());
+        assert_eq!(doc.get("a").unwrap().as_arr("a").unwrap().len(), 0);
+        assert!(doc.get("missing").is_none());
+        assert!(Json::parse("-1").unwrap().as_u64("v").is_err());
+    }
+}

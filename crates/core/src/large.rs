@@ -19,7 +19,7 @@ use bigraph::BipartiteGraph;
 
 use crate::biplex::Biplex;
 use crate::parallel::{par_run, ParRuntime};
-use crate::sink::{Control, SolutionSink};
+use crate::sink::SolutionSink;
 use crate::stats::TraversalStats;
 use crate::traversal::{traverse, TraversalConfig};
 
@@ -56,9 +56,9 @@ pub struct LargeMbpReport {
     pub reduced_edges: u64,
 }
 
-/// The large-MBP pipeline, shared by the deprecated [`enumerate_large_mbps`]
-/// wrapper and the [`crate::api::Enumerator`] facade: (θ−k)-core reduction,
-/// size-pruned traversal, translation back to original ids.
+/// The large-MBP pipeline behind the [`crate::api::Enumerator`] facade:
+/// (θ−k)-core reduction, size-pruned traversal, translation back to
+/// original ids.
 pub(crate) fn run_large<S: SolutionSink + ?Sized>(
     g: &BipartiteGraph,
     params: &LargeMbpParams,
@@ -98,22 +98,7 @@ pub(crate) fn run_large<S: SolutionSink + ?Sized>(
     }
 }
 
-/// Enumerates every maximal k-biplex of `g` with `|L| ≥ θ_L` and
-/// `|R| ≥ θ_R`, delivering them (in original vertex ids) to `sink`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Large)`)"
-)]
-pub fn enumerate_large_mbps<S: SolutionSink + ?Sized>(
-    g: &BipartiteGraph,
-    params: &LargeMbpParams,
-    base_config: &TraversalConfig,
-    sink: &mut S,
-) -> LargeMbpReport {
-    run_large(g, params, base_config, sink)
-}
-
-/// Report of a parallel large-MBP run (see [`par_collect_large_mbps`]).
+/// Report of a parallel large-MBP run.
 #[derive(Debug)]
 pub struct ParLargeMbpReport {
     /// Parallel run statistics (on the reduced graph).
@@ -124,8 +109,7 @@ pub struct ParLargeMbpReport {
     pub reduced_edges: u64,
 }
 
-/// The parallel large-MBP pipeline, shared by the deprecated
-/// [`par_collect_large_mbps`] wrapper and the facade: the same (θ−k)-core
+/// The parallel large-MBP pipeline behind the facade: the same (θ−k)-core
 /// reduction, then the parallel engines with the size thresholds pushed into
 /// the search. In collect mode (no emit hook on `rt`) the large MBPs come
 /// back in original ids, sorted canonically; in streaming mode they go
@@ -183,42 +167,6 @@ pub(crate) fn par_run_large(
         reduced_edges: reduced.graph.num_edges(),
     };
     (mapped, report)
-}
-
-/// Parallel variant of [`enumerate_large_mbps`]: the same (θ−k)-core
-/// reduction, then the parallel engine with the size thresholds pushed into
-/// the search. Returns the large MBPs in original ids (sorted canonically)
-/// together with the run report.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Large).engine(...)`)"
-)]
-pub fn par_collect_large_mbps(
-    g: &BipartiteGraph,
-    params: &LargeMbpParams,
-    base_config: &crate::parallel::ParallelConfig,
-) -> (Vec<Biplex>, ParLargeMbpReport) {
-    par_run_large(g, params, base_config, &ParRuntime::default())
-}
-
-/// Convenience wrapper returning the large MBPs sorted canonically.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).algorithm(Algorithm::Large)`)"
-)]
-pub fn collect_large_mbps(
-    g: &BipartiteGraph,
-    params: &LargeMbpParams,
-    base_config: &TraversalConfig,
-) -> Vec<Biplex> {
-    let mut out: Vec<Biplex> = Vec::new();
-    let mut sink = |b: &Biplex| {
-        out.push(b.clone());
-        Control::Continue
-    };
-    run_large(g, params, base_config, &mut sink);
-    out.sort();
-    out
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub mod dynamic;
 pub mod enum_almost_sat;
 pub mod extend;
 pub mod initial;
+pub mod json;
 pub mod large;
 pub mod parallel;
 pub mod sink;
@@ -72,16 +73,18 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 pub mod traversal;
+pub mod wire;
 
 pub use api::{
-    Algorithm, ApiError, Engine, EngineStats, Enumerator, ReducedGraph, RunReport, SolutionStream,
-    StopReason,
+    Algorithm, ApiError, Engine, EngineStats, Enumerator, QuerySpec, ReducedGraph, RunReport,
+    SolutionStream, StopReason,
 };
 pub use asym::{is_asym_biplex, KPair};
 pub use bigraph::order::VertexOrder;
 pub use biplex::{is_k_biplex, is_maximal_k_biplex, Biplex, PartialBiplex};
 pub use dynamic::{DynamicConfig, DynamicEnumerator, DynamicError, MaintainStats, UpdateDiff};
 pub use enum_almost_sat::{enum_almost_sat, AlmostSatStats, EnumKind};
+pub use json::{Json, JsonError};
 pub use large::{LargeMbpParams, LargeMbpReport, ParLargeMbpReport};
 pub use parallel::seen::ConcurrentSeenSet;
 pub use parallel::{ParallelConfig, ParallelEngine, ParallelStats};
@@ -92,15 +95,3 @@ pub use sink::{
 pub use stats::TraversalStats;
 pub use store::{BTreeStore, HashStore, SolutionStore};
 pub use traversal::{Anchor, EmitMode, TraversalConfig};
-
-// The deprecated free-function entry points stay re-exported at the crate
-// root so downstream code keeps compiling (with a deprecation warning at
-// *its* use sites, not here).
-#[allow(deprecated)]
-pub use asym::{collect_asym_mbps, enumerate_asym_mbps};
-#[allow(deprecated)]
-pub use large::{collect_large_mbps, enumerate_large_mbps, par_collect_large_mbps};
-#[allow(deprecated)]
-pub use parallel::{par_collect_mbps, par_count_mbps, par_enumerate_mbps};
-#[allow(deprecated)]
-pub use traversal::{enumerate_all, enumerate_mbps};

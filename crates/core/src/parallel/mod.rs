@@ -32,8 +32,9 @@
 //! *exclusion strategy* is inherently order-dependent (the set ℰ(H) grows
 //! as sibling branches complete) and is therefore disabled. The *set* of
 //! solutions returned is deterministic and identical to the sequential
-//! enumeration; the discovery order is not. [`par_collect_mbps`] returns
-//! the canonically sorted set.
+//! enumeration; the discovery order is not. The
+//! [`crate::api::Enumerator::collect`] terminal returns the canonically
+//! sorted set.
 //!
 //! A [`VertexOrder`] relabeling pass can be applied up front (see
 //! [`bigraph::order`]): the engines then run on the relabeled graph and the
@@ -257,7 +258,7 @@ impl ParallelConfig {
 }
 
 /// Aggregate statistics of a parallel run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParallelStats {
     /// Distinct maximal k-biplexes discovered.
     pub solutions: u64,
@@ -402,8 +403,8 @@ fn exists_addable_right(g: &BipartiteGraph, partial: &PartialBiplex, k: usize) -
     false
 }
 
-/// Engine dispatch plus the relabeling pass, shared by the deprecated free
-/// functions and the [`crate::api::Enumerator`] facade. A relabeling pass
+/// Engine dispatch plus the relabeling pass behind the
+/// [`crate::api::Enumerator`] facade. A relabeling pass
 /// runs the engines on the permuted graph and maps the solutions back (in
 /// collect mode through the output vector, in streaming mode by wrapping the
 /// emit callback); the canonical solution set is unchanged.
@@ -429,44 +430,6 @@ pub(crate) fn par_run(
         ParallelEngine::WorkSteal => work_steal::run(g, config, rt),
         ParallelEngine::GlobalQueue => global_queue::run(g, config, rt),
     }
-}
-
-/// Enumerates all maximal k-biplexes of `g` in parallel and returns the
-/// solutions passing the size thresholds together with the run statistics.
-/// The returned vector is in nondeterministic (discovery) order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).engine(...)`)"
-)]
-pub fn par_enumerate_mbps(
-    g: &BipartiteGraph,
-    config: &ParallelConfig,
-) -> (Vec<Biplex>, ParallelStats) {
-    par_run(g, config, &ParRuntime::default())
-}
-
-/// Convenience wrapper: parallel enumeration returning the canonically
-/// sorted solution set.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).engine(...)`)"
-)]
-pub fn par_collect_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> Vec<Biplex> {
-    let cfg = ParallelConfig::new(k).with_threads(threads);
-    let (mut out, _) = par_run(g, &cfg, &ParRuntime::default());
-    out.sort();
-    out
-}
-
-/// Convenience wrapper: parallel count of all maximal k-biplexes.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).engine(...)`)"
-)]
-pub fn par_count_mbps(g: &BipartiteGraph, k: usize, threads: usize) -> u64 {
-    let cfg = ParallelConfig::new(k).with_threads(threads);
-    let (_, stats) = par_run(g, &cfg, &ParRuntime::default());
-    stats.solutions
 }
 
 #[cfg(test)]

@@ -43,6 +43,29 @@ pub enum Anchor {
     Arbitrary,
 }
 
+impl std::fmt::Display for Anchor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Anchor::Left => "left",
+            Anchor::Right => "right",
+            Anchor::Arbitrary => "arbitrary",
+        })
+    }
+}
+
+impl std::str::FromStr for Anchor {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "left" => Ok(Anchor::Left),
+            "right" => Ok(Anchor::Right),
+            "arbitrary" => Ok(Anchor::Arbitrary),
+            other => Err(format!("unknown anchor {other:?} (expected left, right or arbitrary)")),
+        }
+    }
+}
+
 /// When solutions are handed to the sink.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EmitMode {
@@ -54,6 +77,29 @@ pub enum EmitMode {
     /// is *pushed* on even depths and when it is *popped* on odd depths,
     /// which guarantees at least one output every two recursive calls.
     Alternating,
+}
+
+impl std::fmt::Display for EmitMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EmitMode::Immediate => "immediate",
+            EmitMode::Alternating => "alternating",
+        })
+    }
+}
+
+impl std::str::FromStr for EmitMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "immediate" => Ok(EmitMode::Immediate),
+            "alternating" => Ok(EmitMode::Alternating),
+            other => {
+                Err(format!("unknown emit mode {other:?} (expected immediate or alternating)"))
+            }
+        }
+    }
 }
 
 /// Full configuration of a traversal run.
@@ -172,10 +218,10 @@ impl TraversalConfig {
     }
 }
 
-/// The sequential reverse-search engine, shared by the deprecated
-/// [`enumerate_mbps`] wrapper and the [`crate::api::Enumerator`] facade.
-/// Enumerates maximal k-biplexes of `g` under `config`, delivering them to
-/// `sink`, and returns the run statistics.
+/// The sequential reverse-search engine behind the
+/// [`crate::api::Enumerator`] facade. Enumerates maximal k-biplexes of `g`
+/// under `config`, delivering them to `sink`, and returns the run
+/// statistics.
 pub(crate) fn traverse<S: SolutionSink + ?Sized>(
     g: &BipartiteGraph,
     config: &TraversalConfig,
@@ -223,35 +269,8 @@ pub(crate) fn traverse<S: SolutionSink + ?Sized>(
     engine.stats
 }
 
-/// Enumerates maximal k-biplexes of `g` under `config`, delivering them to
-/// `sink`. Returns the run statistics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).k(k).run(&mut sink)`)"
-)]
-pub fn enumerate_mbps<S: SolutionSink + ?Sized>(
-    g: &BipartiteGraph,
-    config: &TraversalConfig,
-    sink: &mut S,
-) -> TraversalStats {
-    traverse(g, config, sink)
-}
-
-/// Convenience wrapper: enumerates *all* MBPs with the default `iTraversal`
-/// configuration and returns them sorted canonically.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kbiplex::api::Enumerator builder (`Enumerator::new(&g).k(k).run(&mut sink)`)"
-)]
-pub fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
-    let mut sink = crate::sink::CollectSink::new();
-    traverse(g, &TraversalConfig::itraversal(k), &mut sink);
-    sink.into_sorted()
-}
-
 /// Crate-internal test helpers shared by the unit-test modules of other
-/// files (which cannot call the deprecated public wrappers without tripping
-/// `-D warnings`).
+/// files.
 #[cfg(test)]
 pub(crate) mod tests_support {
     use super::*;

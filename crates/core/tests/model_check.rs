@@ -22,8 +22,7 @@
 use bigraph::BipartiteGraph;
 use kbiplex::sync::thread;
 use kbiplex::{
-    Biplex, CollectSink, ConcurrentSeenSet, Engine, Enumerator, ParallelConfig, ParallelEngine,
-    StopReason,
+    Biplex, CollectSink, ConcurrentSeenSet, Engine, EngineStats, Enumerator, StopReason,
 };
 use modelsim::{check, Config, Report};
 
@@ -150,12 +149,18 @@ fn tiny_graph() -> BipartiteGraph {
 fn work_steal_engine_terminates_exactly() {
     let g = tiny_graph();
     let expected = expected_solutions(&g);
-    let config = ParallelConfig::new(1).with_threads(2);
     let report = check(&Config::default(), || {
-        #[allow(deprecated)]
-        let (mut got, stats) = kbiplex::par_enumerate_mbps(&g, &config);
-        got.sort();
-        assert_eq!(got, expected, "work-steal run must be exact on every schedule");
+        let mut sink = CollectSink::new();
+        let run = Enumerator::new(&g)
+            .k(1)
+            .engine(Engine::WorkSteal)
+            .threads(2)
+            .run(&mut sink)
+            .expect("valid facade configuration");
+        let EngineStats::Parallel(stats) = run.stats else {
+            panic!("work-steal runs report parallel stats");
+        };
+        assert_eq!(sink.into_sorted(), expected, "work-steal run must be exact on every schedule");
         assert_eq!(stats.solutions, expected.len() as u64);
         assert!(!stats.stopped_early);
     })
@@ -170,12 +175,22 @@ fn work_steal_engine_terminates_exactly() {
 fn global_queue_engine_terminates_exactly() {
     let g = tiny_graph();
     let expected = expected_solutions(&g);
-    let config = ParallelConfig::new(1).with_threads(2).with_engine(ParallelEngine::GlobalQueue);
     let report = check(&Config::default(), || {
-        #[allow(deprecated)]
-        let (mut got, stats) = kbiplex::par_enumerate_mbps(&g, &config);
-        got.sort();
-        assert_eq!(got, expected, "global-queue run must be exact on every schedule");
+        let mut sink = CollectSink::new();
+        let run = Enumerator::new(&g)
+            .k(1)
+            .engine(Engine::GlobalQueue)
+            .threads(2)
+            .run(&mut sink)
+            .expect("valid facade configuration");
+        let EngineStats::Parallel(stats) = run.stats else {
+            panic!("global-queue runs report parallel stats");
+        };
+        assert_eq!(
+            sink.into_sorted(),
+            expected,
+            "global-queue run must be exact on every schedule"
+        );
         assert_eq!(stats.solutions, expected.len() as u64);
     })
     .unwrap_or_else(|failure| panic!("global-queue termination refuted: {failure}"));

@@ -35,15 +35,10 @@ pub mod prelude {
     pub use kbiplex::{
         is_asym_biplex, is_k_biplex, is_maximal_k_biplex, Algorithm, Anchor, ApiError, Biplex,
         CollectSink, ConcurrentSeenSet, Control, CountingSink, DelayRecorder, DynamicConfig,
-        DynamicEnumerator, DynamicError, Engine, EngineStats, EnumKind, Enumerator, FirstN, KPair,
-        LargeMbpParams, MaintainStats, ParallelConfig, ParallelEngine, RunReport, SolutionSink,
-        SolutionStream, StopReason, TraversalConfig, UpdateDiff, VertexOrder,
-    };
-    // Deprecated free-function entry points, kept for transition; prefer
-    // the `Enumerator` facade.
-    #[allow(deprecated)]
-    pub use kbiplex::{
-        collect_asym_mbps, enumerate_all, enumerate_mbps, par_collect_mbps, par_enumerate_mbps,
+        DynamicEnumerator, DynamicError, EmitMode, Engine, EngineStats, EnumKind, Enumerator,
+        FirstN, Json, JsonError, KPair, LargeMbpParams, MaintainStats, ParallelConfig,
+        ParallelEngine, QuerySpec, RunReport, SolutionSink, SolutionStream, StopReason,
+        TraversalConfig, UpdateDiff, VertexOrder,
     };
 }
 

@@ -1,29 +1,18 @@
 //! Equivalence matrix for the `Enumerator` facade: across algorithm ×
-//! engine × vertex order, the facade must report the *exact* canonical
-//! solution set of the legacy free-function entry points it replaced, and
-//! its stopping rules (limit, cancellation) must be deterministic and
-//! sound.
-
-// The legacy side of every comparison goes through the deprecated wrappers
-// on purpose — that is the contract under test.
-#![allow(deprecated)]
+//! engine × vertex order, every configuration must report the *exact*
+//! canonical solution set of the brute-force oracle, and the stopping
+//! rules (limit, cancellation) must be deterministic and sound.
 
 use std::time::Duration;
 
 use mbpe::bigraph::gen::chung_lu::chung_lu_bipartite;
-use mbpe::kbiplex::{bruteforce::brute_force_mbps, LargeMbpReport, TraversalConfig};
+use mbpe::kbiplex::asym::brute_force_asym_mbps;
+use mbpe::kbiplex::bruteforce::brute_force_mbps;
 use mbpe::prelude::*;
 
 /// Canonically sorted facade output (the `collect` terminal).
 fn facade(e: &Enumerator<'_>) -> Vec<Biplex> {
     e.collect().expect("valid facade configuration")
-}
-
-/// Canonically sorted legacy traversal output.
-fn legacy(g: &BipartiteGraph, cfg: &TraversalConfig) -> Vec<Biplex> {
-    let mut sink = CollectSink::new();
-    enumerate_mbps(g, cfg, &mut sink);
-    sink.into_sorted()
 }
 
 fn chung_lu(seed: u64) -> BipartiteGraph {
@@ -36,26 +25,24 @@ fn chung_lu(seed: u64) -> BipartiteGraph {
 const ORDERS: [VertexOrder; 3] = [VertexOrder::Input, VertexOrder::Degree, VertexOrder::Degeneracy];
 
 #[test]
-fn sequential_algorithms_match_their_legacy_configs() {
+fn sequential_algorithms_match_the_oracle_across_orders() {
     for seed in 0..4u64 {
         let g = chung_lu(seed);
         for k in 1..=2usize {
-            let pairs: [(Algorithm, TraversalConfig); 4] = [
-                (Algorithm::ITraversal, TraversalConfig::itraversal(k)),
-                (Algorithm::ITraversalNoExclusion, TraversalConfig::itraversal_no_exclusion(k)),
-                (Algorithm::LeftAnchoredOnly, TraversalConfig::itraversal_left_anchored_only(k)),
-                (Algorithm::BTraversal, TraversalConfig::btraversal(k)),
-            ];
-            for (algorithm, cfg) in pairs {
+            let expected = brute_force_mbps(&g, k);
+            for algorithm in [
+                Algorithm::ITraversal,
+                Algorithm::ITraversalNoExclusion,
+                Algorithm::LeftAnchoredOnly,
+                Algorithm::BTraversal,
+            ] {
                 for order in ORDERS {
-                    let expected = legacy(&g, &cfg.clone().with_order(order));
                     let got = facade(&Enumerator::new(&g).k(k).algorithm(algorithm).order(order));
                     assert_eq!(got, expected, "seed {seed} k {k} {algorithm:?} {order}");
                 }
             }
             // The right-anchored variant (Section 6.2) through the anchor
             // override.
-            let expected = legacy(&g, &TraversalConfig::itraversal(k).with_anchor(Anchor::Right));
             let got = facade(&Enumerator::new(&g).k(k).anchor(Anchor::Right));
             assert_eq!(got, expected, "seed {seed} k {k} right-anchored");
         }
@@ -63,23 +50,13 @@ fn sequential_algorithms_match_their_legacy_configs() {
 }
 
 #[test]
-fn parallel_engines_match_the_legacy_parallel_entry_point() {
+fn parallel_engines_match_the_sequential_path() {
     for seed in 0..3u64 {
         let g = chung_lu(seed);
         for k in 1..=2usize {
+            let expected = facade(&Enumerator::new(&g).k(k));
             for engine in [Engine::WorkSteal, Engine::GlobalQueue] {
-                let legacy_engine = match engine {
-                    Engine::WorkSteal => ParallelEngine::WorkSteal,
-                    Engine::GlobalQueue => ParallelEngine::GlobalQueue,
-                    Engine::Sequential => unreachable!(),
-                };
                 for order in ORDERS {
-                    let cfg = ParallelConfig::new(k)
-                        .with_threads(3)
-                        .with_engine(legacy_engine)
-                        .with_order(order);
-                    let (mut expected, _) = par_enumerate_mbps(&g, &cfg);
-                    expected.sort();
                     let got =
                         facade(&Enumerator::new(&g).k(k).engine(engine).threads(3).order(order));
                     assert_eq!(got, expected, "seed {seed} k {k} {engine:?} {order}");
@@ -90,20 +67,16 @@ fn parallel_engines_match_the_legacy_parallel_entry_point() {
 }
 
 #[test]
-fn large_pipeline_matches_the_legacy_collectors_on_both_engines() {
+fn large_pipeline_matches_the_filtered_full_enumeration_on_both_engines() {
     for seed in 0..3u64 {
         let g = chung_lu(seed + 10);
         let k = 1;
         for (tl, tr) in [(2, 2), (3, 2)] {
+            let expected: Vec<Biplex> = facade(&Enumerator::new(&g).k(k))
+                .into_iter()
+                .filter(|b| b.left.len() >= tl && b.right.len() >= tr)
+                .collect();
             for core in [true, false] {
-                let params = mbpe::kbiplex::LargeMbpParams {
-                    k,
-                    theta_left: tl,
-                    theta_right: tr,
-                    core_reduction: core,
-                };
-                let expected =
-                    mbpe::kbiplex::collect_large_mbps(&g, &params, &TraversalConfig::itraversal(k));
                 let sequential = facade(
                     &Enumerator::new(&g)
                         .k(k)
@@ -113,12 +86,6 @@ fn large_pipeline_matches_the_legacy_collectors_on_both_engines() {
                 );
                 assert_eq!(sequential, expected, "seed {seed} θ=({tl},{tr}) core {core}");
 
-                let (par_expected, _) = mbpe::kbiplex::par_collect_large_mbps(
-                    &g,
-                    &params,
-                    &ParallelConfig::new(k).with_threads(3),
-                );
-                assert_eq!(par_expected, expected, "legacy parallel agrees");
                 let parallel = facade(
                     &Enumerator::new(&g)
                         .k(k)
@@ -135,12 +102,12 @@ fn large_pipeline_matches_the_legacy_collectors_on_both_engines() {
 }
 
 #[test]
-fn asym_and_brute_force_match_their_legacy_oracles() {
+fn asym_and_brute_force_match_their_oracles() {
     for seed in 0..3u64 {
         let g = chung_lu(seed + 20);
         for (kl, kr) in [(1, 1), (1, 2), (2, 1)] {
             let kp = KPair::new(kl, kr);
-            let expected = collect_asym_mbps(&g, kp);
+            let expected = brute_force_asym_mbps(&g, kp);
             let got = facade(&Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(kp));
             assert_eq!(got, expected, "seed {seed} k=({kl},{kr})");
         }
@@ -216,11 +183,11 @@ fn work_steal_cancellation_marks_the_run_stopped_early() {
 }
 
 #[test]
-fn stream_collection_agrees_with_legacy_collect_byte_for_byte() {
+fn stream_collection_agrees_with_collect_byte_for_byte() {
     for seed in 0..3u64 {
         let g = chung_lu(seed + 40);
         let k = 1;
-        let expected = enumerate_all(&g, k);
+        let expected = facade(&Enumerator::new(&g).k(k));
         for engine in [Engine::Sequential, Engine::WorkSteal, Engine::GlobalQueue] {
             let mut e = Enumerator::new(&g).k(k);
             if engine != Engine::Sequential {
@@ -231,7 +198,7 @@ fn stream_collection_agrees_with_legacy_collect_byte_for_byte() {
                 sink.on_solution(&b);
             }
             // `into_sorted` dedups defensively, so stream collection and the
-            // legacy collect agree byte-for-byte.
+            // direct collect agree byte-for-byte.
             assert_eq!(sink.into_sorted(), expected, "seed {seed} {engine:?}");
         }
     }
@@ -260,22 +227,21 @@ fn time_budget_stops_within_the_run() {
 }
 
 #[test]
-fn deprecated_wrappers_still_agree_with_the_facade() {
-    // The thin wrappers must stay exact aliases of the facade paths.
+fn spec_round_trip_reproduces_the_run() {
+    // An enumerator rebuilt from its own spec (directly or through the JSON
+    // wire shape) is the same query.
     let g = chung_lu(60);
-    let k = 1;
-    let via_facade = facade(&Enumerator::new(&g).k(k));
-    assert_eq!(enumerate_all(&g, k), via_facade);
-    assert_eq!(par_collect_mbps(&g, k, 3), via_facade);
-
-    let report: LargeMbpReport = {
-        let mut sink = CollectSink::new();
-        mbpe::kbiplex::enumerate_large_mbps(
-            &g,
-            &mbpe::kbiplex::LargeMbpParams::symmetric(k, 2),
-            &TraversalConfig::itraversal(k),
-            &mut sink,
-        )
-    };
-    assert!(report.reduced_size.0 <= g.num_left());
+    for e in [
+        Enumerator::new(&g).k(1),
+        Enumerator::new(&g).k(2).engine(Engine::WorkSteal).threads(3).limit(7),
+        Enumerator::new(&g).algorithm(Algorithm::Asym).k_pair(KPair::new(1, 2)),
+        Enumerator::new(&g).k(1).algorithm(Algorithm::Large).thresholds(2, 2),
+    ] {
+        let spec = e.to_spec();
+        let direct = facade(&e);
+        assert_eq!(facade(&Enumerator::from_spec(&g, &spec)), direct);
+        let wire = QuerySpec::from_json_str(&spec.to_json_string()).expect("wire round-trip");
+        assert_eq!(wire, spec);
+        assert_eq!(facade(&Enumerator::from_spec(&g, &wire)), direct);
+    }
 }

@@ -11,10 +11,10 @@
 use std::time::Duration;
 
 use kbiplex::api::{
-    Algorithm, ApiError, Engine, EngineStats, Enumerator, ReducedGraph, RunReport, SolutionStream,
-    StopReason,
+    Algorithm, ApiError, Engine, EngineStats, Enumerator, QuerySpec, ReducedGraph, RunReport,
+    SolutionStream, StopReason,
 };
-use kbiplex::CollectSink;
+use kbiplex::{CollectSink, Json, JsonError};
 
 /// The facade types are also re-exported at the crate root; keep both paths
 /// alive.
@@ -30,6 +30,9 @@ use kbiplex::{
 /// its address so the compiler keeps (and checks) it.
 fn signature_pins<'g>(_g: &'g bigraph::BipartiteGraph) {
     let _new: fn(&'g bigraph::BipartiteGraph) -> Enumerator<'g> = Enumerator::new;
+    let _from_spec: fn(&'g bigraph::BipartiteGraph, &QuerySpec) -> Enumerator<'g> =
+        Enumerator::from_spec;
+    let _to_spec: fn(&Enumerator<'g>) -> QuerySpec = Enumerator::to_spec;
     let _k: fn(Enumerator<'g>, usize) -> Enumerator<'g> = Enumerator::k;
     let _k_pair: fn(Enumerator<'g>, kbiplex::KPair) -> Enumerator<'g> = Enumerator::k_pair;
     let _algorithm: fn(Enumerator<'g>, Algorithm) -> Enumerator<'g> = Enumerator::algorithm;
@@ -54,6 +57,24 @@ fn signature_pins<'g>(_g: &'g bigraph::BipartiteGraph) {
     let _stream: fn(&Enumerator<'g>) -> Result<SolutionStream, ApiError> = Enumerator::stream;
     let _finish: fn(SolutionStream) -> RunReport = SolutionStream::finish;
     let _cancel: fn(&SolutionStream) = SolutionStream::cancel;
+
+    // The wire codec (the serialization half of the query surface).
+    let _spec_enc: fn(&QuerySpec) -> Json = QuerySpec::to_json;
+    let _spec_dec: fn(&Json) -> Result<QuerySpec, JsonError> = QuerySpec::from_json;
+    let _spec_enc_str: fn(&QuerySpec) -> String = QuerySpec::to_json_string;
+    let _spec_dec_str: fn(&str) -> Result<QuerySpec, JsonError> = QuerySpec::from_json_str;
+    let _biplex_enc: fn(&kbiplex::Biplex) -> Json = kbiplex::Biplex::to_json;
+    let _biplex_dec: fn(&Json) -> Result<kbiplex::Biplex, JsonError> = kbiplex::Biplex::from_json;
+    let _report_enc: fn(&RunReport) -> Json = RunReport::to_json;
+    let _report_dec: fn(&Json) -> Result<RunReport, JsonError> = RunReport::from_json;
+    let _stats_kind: fn(&EngineStats) -> &'static str = EngineStats::kind;
+    let _stats_enc: fn(&EngineStats) -> Json = EngineStats::to_json;
+    let _stats_dec: fn(&Json) -> Result<EngineStats, JsonError> = EngineStats::from_json;
+    let _err_code: fn(&ApiError) -> &'static str = ApiError::code;
+    let _err_message: fn(&ApiError) -> &str = ApiError::message;
+    let _err_from_code: fn(&str, &str) -> Option<ApiError> = ApiError::from_code;
+    let _err_enc: fn(&ApiError) -> Json = ApiError::to_json;
+    let _err_dec: fn(&Json) -> Result<ApiError, JsonError> = ApiError::from_json;
 }
 
 #[test]
@@ -116,7 +137,93 @@ fn enums_are_exactly_the_snapshot() {
             StopReason::Cancelled => "cancelled",
         };
         assert_eq!(s.to_string(), name);
+        assert_eq!(name.parse::<StopReason>().unwrap(), s);
     }
+    assert!("paused".parse::<StopReason>().is_err());
+}
+
+/// The three [`ApiError`] variants carry stable codes that survive a
+/// code+message round-trip; unknown codes are rejected.
+#[test]
+fn api_error_codes_are_the_snapshot() {
+    let errors = [
+        ApiError::Unsupported("a".to_string()),
+        ApiError::InvalidConfig("b".to_string()),
+        ApiError::Resource("c".to_string()),
+    ];
+    for err in errors {
+        let code = match err {
+            ApiError::Unsupported(_) => "unsupported",
+            ApiError::InvalidConfig(_) => "invalid-config",
+            ApiError::Resource(_) => "resource",
+        };
+        assert_eq!(err.code(), code);
+        let back = ApiError::from_code(err.code(), err.message()).unwrap();
+        assert_eq!(back, err);
+        assert!(err.to_string().contains(err.message()));
+    }
+    assert!(ApiError::from_code("not-a-code", "x").is_none());
+}
+
+/// [`EngineStats::kind`] codes, pinned alongside a wildcard-free match.
+#[test]
+fn engine_stats_kinds_are_the_snapshot() {
+    let stats = [
+        EngineStats::Sequential(kbiplex::TraversalStats::default()),
+        EngineStats::Parallel(kbiplex::ParallelStats::default()),
+        EngineStats::Asym(kbiplex::asym::AsymStats::default()),
+        EngineStats::Oracle,
+    ];
+    for s in stats {
+        let kind = match s {
+            EngineStats::Sequential(_) => "sequential",
+            EngineStats::Parallel(_) => "parallel",
+            EngineStats::Asym(_) => "asym",
+            EngineStats::Oracle => "oracle",
+        };
+        assert_eq!(s.kind(), kind);
+        assert_eq!(EngineStats::from_json(&s.to_json()).unwrap(), s);
+    }
+}
+
+/// Full-field pin of [`QuerySpec`]: adding, removing or retyping a field
+/// breaks this destructuring, which is the reminder to rev the wire format
+/// (and its tests) deliberately.
+#[test]
+fn query_spec_fields_are_the_snapshot() {
+    let QuerySpec {
+        k,
+        k_pair,
+        algorithm,
+        engine,
+        order,
+        enum_kind,
+        emit_mode,
+        anchor,
+        theta_left,
+        theta_right,
+        core_reduction,
+        threads,
+        seen_segments,
+        steal_adaptive,
+        limit,
+        time_budget,
+        stream_buffer,
+    } = QuerySpec::default();
+    let _: usize = k;
+    let _: Option<kbiplex::KPair> = k_pair;
+    let _: Algorithm = algorithm;
+    let _: Engine = engine;
+    let _: kbiplex::VertexOrder = order;
+    let _: kbiplex::EnumKind = enum_kind;
+    let _: kbiplex::EmitMode = emit_mode;
+    let _: Option<kbiplex::Anchor> = anchor;
+    let _: (usize, usize) = (theta_left, theta_right);
+    let _: Option<bool> = core_reduction;
+    let _: (usize, usize, bool) = (threads, seen_segments, steal_adaptive);
+    let _: Option<u64> = limit;
+    let _: Option<Duration> = time_budget;
+    let _: usize = stream_buffer;
 }
 
 /// Field pins for the report structs (removing or retyping a field breaks

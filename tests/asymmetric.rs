@@ -1,15 +1,18 @@
 //! Cross-crate integration tests for the asymmetric (k_L, k_R) extension.
 
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the regression net that keeps the thin wrappers
-// equivalent to the engines behind them. The `Enumerator` facade gets the
-// same coverage in `tests/api_facade.rs`.
-#![allow(deprecated)]
-
 use mbpe::bigraph::gen::er::er_bipartite;
 use mbpe::cohesive::{collect_maximal_bicliques, BicliqueConfig};
 use mbpe::kbiplex::asym::{brute_force_asym_mbps, is_maximal_asym_biplex};
 use mbpe::prelude::*;
+
+/// Canonically sorted asymmetric enumeration through the facade.
+fn collect_asym_mbps(g: &BipartiteGraph, kp: KPair) -> Vec<Biplex> {
+    Enumerator::new(g)
+        .algorithm(Algorithm::Asym)
+        .k_pair(kp)
+        .collect()
+        .expect("valid facade configuration")
+}
 
 #[test]
 fn asymmetric_enumeration_matches_brute_force_on_random_graphs() {
@@ -31,7 +34,7 @@ fn symmetric_budgets_reduce_to_the_paper_algorithm() {
         for k in 0..=2usize {
             assert_eq!(
                 collect_asym_mbps(&g, KPair::symmetric(k)),
-                enumerate_all(&g, k),
+                Enumerator::new(&g).k(k).collect().expect("valid facade configuration"),
                 "seed {seed} k {k}"
             );
         }

@@ -2,12 +2,6 @@
 //! agree on the set of maximal k-biplexes, and that set must match the
 //! brute-force oracle.
 
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the regression net that keeps the thin wrappers
-// equivalent to the engines behind them. The `Enumerator` facade gets the
-// same coverage in `tests/api_facade.rs`.
-#![allow(deprecated)]
-
 use mbpe::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,10 +19,17 @@ fn random_graph(nl: u32, nr: u32, p: f64, seed: u64) -> BipartiteGraph {
     BipartiteGraph::from_edges(nl, nr, &edges).unwrap()
 }
 
-fn run_config(g: &BipartiteGraph, cfg: &TraversalConfig) -> Vec<Biplex> {
-    let mut sink = CollectSink::new();
-    enumerate_mbps(g, cfg, &mut sink);
-    sink.into_sorted()
+fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
+    Enumerator::new(g).k(k).collect().expect("valid facade configuration")
+}
+
+fn collect_large(g: &BipartiteGraph, k: usize, theta: usize) -> Vec<Biplex> {
+    Enumerator::new(g)
+        .k(k)
+        .algorithm(Algorithm::Large)
+        .thresholds(theta, theta)
+        .collect()
+        .expect("valid facade configuration")
 }
 
 #[test]
@@ -38,13 +39,20 @@ fn all_five_algorithms_agree_with_the_oracle() {
         for k in 1..=2usize {
             let oracle = mbpe::kbiplex::bruteforce::brute_force_mbps(&g, k);
 
-            let itraversal = run_config(&g, &TraversalConfig::itraversal(k));
-            let btraversal = run_config(&g, &TraversalConfig::btraversal(k));
+            let itraversal = enumerate_all(&g, k);
+            let btraversal = Enumerator::new(&g)
+                .k(k)
+                .algorithm(Algorithm::BTraversal)
+                .collect()
+                .expect("valid facade configuration");
             let imb = mbpe::baselines::collect_imb(&g, &mbpe::baselines::ImbConfig::new(k));
             let faplexen =
                 mbpe::baselines::collect_inflation(&g, &mbpe::baselines::InflationConfig::new(k));
-            let right_anchored =
-                run_config(&g, &TraversalConfig::itraversal(k).with_anchor(Anchor::Right));
+            let right_anchored = Enumerator::new(&g)
+                .k(k)
+                .anchor(Anchor::Right)
+                .collect()
+                .expect("valid facade configuration");
 
             assert_eq!(itraversal, oracle, "iTraversal seed {seed} k {k}");
             assert_eq!(btraversal, oracle, "bTraversal seed {seed} k {k}");
@@ -100,11 +108,7 @@ fn large_mbp_pipeline_agrees_with_post_filtering() {
             .filter(|b| b.left.len() >= theta && b.right.len() >= theta)
             .cloned()
             .collect();
-        let got = mbpe::kbiplex::collect_large_mbps(
-            &g,
-            &LargeMbpParams::symmetric(k, theta),
-            &TraversalConfig::itraversal(k),
-        );
+        let got = collect_large(&g, k, theta);
         assert_eq!(got, expected, "theta {theta}");
     }
 }
@@ -118,11 +122,7 @@ fn imb_with_thresholds_agrees_with_itraversal_large() {
         &g,
         &mbpe::baselines::ImbConfig::new(k).with_thresholds(theta, theta),
     );
-    let itr = mbpe::kbiplex::collect_large_mbps(
-        &g,
-        &LargeMbpParams::symmetric(k, theta),
-        &TraversalConfig::itraversal(k),
-    );
+    let itr = collect_large(&g, k, theta);
     assert_eq!(imb, itr);
 }
 

@@ -1,12 +1,6 @@
 //! Property-based tests (proptest) over the extension modules: asymmetric
 //! budgets, the parallel engine and the extra on-disk formats.
 
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the regression net that keeps the thin wrappers
-// equivalent to the engines behind them. The `Enumerator` facade gets the
-// same coverage in `tests/api_facade.rs`.
-#![allow(deprecated)]
-
 use mbpe::bigraph::formats::{
     read_adjacency, read_konect, sniff_format, write_adjacency, write_konect, Format,
 };
@@ -14,6 +8,20 @@ use mbpe::bigraph::io::{read_edge_list, write_edge_list};
 use mbpe::kbiplex::asym::is_maximal_asym_biplex;
 use mbpe::prelude::*;
 use proptest::prelude::*;
+
+/// Canonically sorted sequential enumeration through the facade.
+fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
+    Enumerator::new(g).k(k).collect().expect("valid facade configuration")
+}
+
+/// Canonically sorted asymmetric enumeration through the facade.
+fn collect_asym_mbps(g: &BipartiteGraph, kp: KPair) -> Vec<Biplex> {
+    Enumerator::new(g)
+        .algorithm(Algorithm::Asym)
+        .k_pair(kp)
+        .collect()
+        .expect("valid facade configuration")
+}
 
 /// Strategy: a small random bipartite graph given as (nl, nr, edge bitmap).
 fn graph_strategy() -> impl Strategy<Value = BipartiteGraph> {
@@ -43,7 +51,12 @@ proptest! {
     #[test]
     fn parallel_set_equals_sequential(g in graph_strategy(), k in 0usize..3, threads in 1usize..5) {
         let sequential = enumerate_all(&g, k);
-        let parallel = par_collect_mbps(&g, k, threads);
+        let parallel = Enumerator::new(&g)
+            .k(k)
+            .engine(Engine::WorkSteal)
+            .threads(threads)
+            .collect()
+            .expect("valid facade configuration");
         prop_assert_eq!(parallel, sequential);
     }
 
@@ -118,9 +131,13 @@ proptest! {
             .filter(|b| b.left.len() >= tl && b.right.len() >= tr)
             .collect();
         expected.sort();
-        let cfg = ParallelConfig::new(k).with_threads(2).with_thresholds(tl, tr);
-        let (mut got, _) = par_enumerate_mbps(&g, &cfg);
-        got.sort();
+        let got = Enumerator::new(&g)
+            .k(k)
+            .engine(Engine::WorkSteal)
+            .threads(2)
+            .thresholds(tl, tr)
+            .collect()
+            .expect("valid facade configuration");
         prop_assert_eq!(got, expected);
     }
 }

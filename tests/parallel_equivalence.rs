@@ -2,19 +2,29 @@
 //! the sequential frameworks and the baselines on every input we can afford
 //! to cross-check exhaustively.
 
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the regression net that keeps the thin wrappers
-// equivalent to the engines behind them. The `Enumerator` facade gets the
-// same coverage in `tests/api_facade.rs`.
-#![allow(deprecated)]
-
 use mbpe::baselines::{collect_imb, ImbConfig};
 use mbpe::bigraph::gen::chung_lu::chung_lu_bipartite;
 use mbpe::bigraph::gen::er::er_bipartite;
 use mbpe::bigraph::gen::planted::planted_biplexes;
 use mbpe::bigraph::order::VertexOrder;
-use mbpe::kbiplex::ParallelEngine;
+use mbpe::kbiplex::ParallelStats;
 use mbpe::prelude::*;
+
+/// Canonically sorted sequential baseline.
+fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
+    Enumerator::new(g).k(k).collect().expect("valid facade configuration")
+}
+
+/// Runs a parallel facade configuration, returning the canonically sorted
+/// solutions and the engine statistics.
+fn par_run(e: &Enumerator<'_>) -> (Vec<Biplex>, ParallelStats) {
+    let mut sink = CollectSink::new();
+    let report = e.run(&mut sink).expect("valid facade configuration");
+    let EngineStats::Parallel(stats) = report.stats else {
+        panic!("parallel engines report parallel stats");
+    };
+    (sink.into_sorted(), stats)
+}
 
 /// Property: for every random Chung–Lu graph, every miss budget, every
 /// thread count, both scheduler engines, every relabeling pass and every
@@ -35,10 +45,9 @@ fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
         for k in 1..=2usize {
             let sequential = enumerate_all(&g, k);
             for threads in [1usize, 2, 4, 8] {
-                for engine in [ParallelEngine::WorkSteal, ParallelEngine::GlobalQueue] {
-                    let cfg = ParallelConfig::new(k).with_threads(threads).with_engine(engine);
-                    let (mut got, stats) = par_enumerate_mbps(&g, &cfg);
-                    got.sort();
+                for engine in [Engine::WorkSteal, Engine::GlobalQueue] {
+                    let (got, stats) =
+                        par_run(&Enumerator::new(&g).k(k).engine(engine).threads(threads));
                     assert_eq!(
                         got, sequential,
                         "seed {seed} k {k} threads {threads} engine {engine:?}"
@@ -48,9 +57,9 @@ fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
             }
             // The relabeling passes compose with the default engine.
             for order in [VertexOrder::Degree, VertexOrder::Degeneracy] {
-                let cfg = ParallelConfig::new(k).with_threads(4).with_order(order);
-                let (mut got, _) = par_enumerate_mbps(&g, &cfg);
-                got.sort();
+                let (got, _) = par_run(
+                    &Enumerator::new(&g).k(k).engine(Engine::WorkSteal).threads(4).order(order),
+                );
                 assert_eq!(got, sequential, "seed {seed} k {k} order {order}");
             }
             // The seen-set directory geometry and the steal-granularity
@@ -58,12 +67,14 @@ fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
             // the solution set untouched.
             for seen_segments in [0usize, 1, 2, 8] {
                 for steal_adaptive in [false, true] {
-                    let cfg = ParallelConfig::new(k)
-                        .with_threads(4)
-                        .with_seen_segments(seen_segments)
-                        .with_steal_adaptive(steal_adaptive);
-                    let (mut got, _) = par_enumerate_mbps(&g, &cfg);
-                    got.sort();
+                    let (got, _) = par_run(
+                        &Enumerator::new(&g)
+                            .k(k)
+                            .engine(Engine::WorkSteal)
+                            .threads(4)
+                            .seen_segments(seen_segments)
+                            .steal_adaptive(steal_adaptive),
+                    );
                     assert_eq!(
                         got, sequential,
                         "seed {seed} k {k} seen-segments {seen_segments} \
@@ -75,34 +86,38 @@ fn work_stealing_engine_matches_sequential_on_chung_lu_graphs() {
     }
 }
 
-/// Full cross of the new knobs with engines, orders and thread counts on
-/// one dedup-heavy graph: the growable seen-set (starting from one segment
-/// so it grows mid-run) and adaptive stealing compose with every scheduler
-/// configuration.
+/// Full cross of the new knobs with orders and thread counts on one
+/// dedup-heavy graph: the growable seen-set (starting from one segment so
+/// it grows mid-run) and adaptive stealing compose with every
+/// work-stealing configuration, and the global-queue engine agrees across
+/// the same orders.
 #[test]
 fn seen_and_steal_knobs_compose_with_engines_and_orders() {
     let g = chung_lu_bipartite(11, 10, 33, 2.2, 42);
     let k = 1;
     let sequential = enumerate_all(&g, k);
-    for engine in [ParallelEngine::WorkSteal, ParallelEngine::GlobalQueue] {
-        for order in [VertexOrder::Input, VertexOrder::Degree, VertexOrder::Degeneracy] {
-            for threads in [2usize, 4] {
-                for (seen_segments, steal_adaptive) in [(1, true), (1, false), (0, true)] {
-                    let cfg = ParallelConfig::new(k)
-                        .with_threads(threads)
-                        .with_engine(engine)
-                        .with_order(order)
-                        .with_seen_segments(seen_segments)
-                        .with_steal_adaptive(steal_adaptive);
-                    let (mut got, _) = par_enumerate_mbps(&g, &cfg);
-                    got.sort();
-                    assert_eq!(
-                        got, sequential,
-                        "{engine:?} {order} threads {threads} seen-segments {seen_segments} \
-                         steal-adaptive {steal_adaptive}"
-                    );
-                }
+    for order in [VertexOrder::Input, VertexOrder::Degree, VertexOrder::Degeneracy] {
+        for threads in [2usize, 4] {
+            for (seen_segments, steal_adaptive) in [(1, true), (1, false), (0, true)] {
+                let (got, _) = par_run(
+                    &Enumerator::new(&g)
+                        .k(k)
+                        .engine(Engine::WorkSteal)
+                        .threads(threads)
+                        .order(order)
+                        .seen_segments(seen_segments)
+                        .steal_adaptive(steal_adaptive),
+                );
+                assert_eq!(
+                    got, sequential,
+                    "steal {order} threads {threads} seen-segments {seen_segments} \
+                     steal-adaptive {steal_adaptive}"
+                );
             }
+            let (got, _) = par_run(
+                &Enumerator::new(&g).k(k).engine(Engine::GlobalQueue).threads(threads).order(order),
+            );
+            assert_eq!(got, sequential, "global {order} threads {threads}");
         }
     }
 }
@@ -113,7 +128,8 @@ fn parallel_matches_sequential_and_imb_on_er_graphs() {
         let g = er_bipartite(10, 9, 32 + seed * 3, seed);
         for k in 1..=2usize {
             let sequential = enumerate_all(&g, k);
-            let parallel = par_collect_mbps(&g, k, 4);
+            let (parallel, _) =
+                par_run(&Enumerator::new(&g).k(k).engine(Engine::WorkSteal).threads(4));
             assert_eq!(parallel, sequential, "seed {seed} k {k} (parallel vs sequential)");
 
             // iMB has exponential delay; keep its cross-check to k = 1.
@@ -134,7 +150,8 @@ fn parallel_matches_sequential_on_planted_dense_blocks() {
     let k = 1;
     let sequential = enumerate_all(&g, k);
     for threads in [1, 3, 8] {
-        let parallel = par_collect_mbps(&g, k, threads);
+        let (parallel, _) =
+            par_run(&Enumerator::new(&g).k(k).engine(Engine::WorkSteal).threads(threads));
         assert_eq!(parallel, sequential, "threads {threads}");
     }
 }
@@ -151,9 +168,9 @@ fn parallel_thresholds_agree_with_sequential_large_mbp_enumeration() {
         .collect();
     expected.sort();
 
-    let cfg = ParallelConfig::new(k).with_threads(4).with_thresholds(theta_l, theta_r);
-    let (mut got, stats) = par_enumerate_mbps(&g, &cfg);
-    got.sort();
+    let (got, stats) = par_run(
+        &Enumerator::new(&g).k(k).engine(Engine::WorkSteal).threads(4).thresholds(theta_l, theta_r),
+    );
     assert_eq!(got, expected);
     assert_eq!(stats.reported as usize, expected.len());
 }
@@ -162,7 +179,8 @@ fn parallel_thresholds_agree_with_sequential_large_mbp_enumeration() {
 fn parallel_solutions_are_maximal_and_distinct() {
     let g = er_bipartite(25, 25, 140, 3);
     let k = 1;
-    let (solutions, stats) = par_enumerate_mbps(&g, &ParallelConfig::new(k).with_threads(0));
+    // `threads` left at 0: the engine sizes the pool from the machine.
+    let (solutions, stats) = par_run(&Enumerator::new(&g).k(k).engine(Engine::WorkSteal));
     assert_eq!(stats.solutions as usize, solutions.len());
     let mut sorted = solutions.clone();
     sorted.sort();

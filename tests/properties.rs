@@ -1,14 +1,13 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! enumeration invariants.
 
-// These tests exercise the deprecated free-function entry points on
-// purpose: they are the regression net that keeps the thin wrappers
-// equivalent to the engines behind them. The `Enumerator` facade gets the
-// same coverage in `tests/api_facade.rs`.
-#![allow(deprecated)]
-
 use mbpe::prelude::*;
 use proptest::prelude::*;
+
+/// Canonically sorted sequential enumeration through the facade.
+fn enumerate_all(g: &BipartiteGraph, k: usize) -> Vec<Biplex> {
+    Enumerator::new(g).k(k).collect().expect("valid facade configuration")
+}
 
 /// Strategy: a small random bipartite graph given as (nl, nr, edge bitmap).
 fn graph_strategy() -> impl Strategy<Value = BipartiteGraph> {
@@ -37,14 +36,16 @@ proptest! {
     /// set matches bTraversal.
     #[test]
     fn itraversal_output_is_sound_and_matches_btraversal(g in graph_strategy(), k in 0usize..3) {
-        let mut a = CollectSink::new();
-        enumerate_mbps(&g, &TraversalConfig::itraversal(k), &mut a);
-        for b in &a.solutions {
+        let a = enumerate_all(&g, k);
+        for b in &a {
             prop_assert!(is_maximal_k_biplex(&g, &b.left, &b.right, k));
         }
-        let mut bsink = CollectSink::new();
-        enumerate_mbps(&g, &TraversalConfig::btraversal(k), &mut bsink);
-        prop_assert_eq!(a.into_sorted(), bsink.into_sorted());
+        let b = Enumerator::new(&g)
+            .k(k)
+            .algorithm(Algorithm::BTraversal)
+            .collect()
+            .expect("valid facade configuration");
+        prop_assert_eq!(a, b);
     }
 
     /// The hereditary property (Lemma 2.2): any sub-pair of a k-biplex is a
@@ -93,9 +94,12 @@ proptest! {
         let expected: Vec<Biplex> = all.into_iter()
             .filter(|b| b.left.len() >= theta && b.right.len() >= theta)
             .collect();
-        let mut sink = CollectSink::new();
-        enumerate_mbps(&g, &TraversalConfig::itraversal(k).with_thresholds(theta, theta), &mut sink);
-        prop_assert_eq!(sink.into_sorted(), expected);
+        let got = Enumerator::new(&g)
+            .k(k)
+            .thresholds(theta, theta)
+            .collect()
+            .expect("valid facade configuration");
+        prop_assert_eq!(got, expected);
     }
 
     /// The bitset behaves like a reference set implementation.

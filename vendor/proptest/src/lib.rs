@@ -192,6 +192,34 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    /// Strategy built by [`prop_oneof!`](crate::prop_oneof): draws
+    /// uniformly among its arms.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Wraps the given arms; panics if there are none.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.arms.len() as u64) as usize;
+            self.arms[pick].generate(rng)
+        }
+    }
 
     /// Types with a canonical "generate anything" strategy ([`any`]).
     pub trait Arbitrary: Sized {
@@ -284,12 +312,81 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! Strategies for `Option`, mirroring `proptest::option`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Same default as real proptest: Some with probability 1/2.
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// A strategy generating `None` or `Some` of the inner strategy's value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies, mirroring `proptest::sample`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// A strategy drawing uniformly from a non-empty list of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+}
+
 pub mod prelude {
     //! Single-import convenience module, mirroring `proptest::prelude`.
     pub use crate::collection;
     pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+/// Unlike real proptest there are no weighted arms — every arm is equally
+/// likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
     };
 }
 
@@ -403,6 +500,15 @@ mod tests {
         #[test]
         fn map_and_flat_map(x in (1u32..5).prop_flat_map(|n| (Just(n), 0u32..n)).prop_map(|(n, m)| (n, m))) {
             prop_assert!(x.1 < x.0);
+        }
+
+        #[test]
+        fn oneof_and_select(a in prop_oneof![Just(1u32), Just(5u32), 10u32..20],
+                            b in crate::sample::select(vec!["x", "y"]),
+                            c in crate::option::of(0u32..3)) {
+            prop_assert!(a == 1 || a == 5 || (10u32..20).contains(&a));
+            prop_assert!(b == "x" || b == "y");
+            prop_assert!(c.is_none() || c.unwrap() < 3);
         }
     }
 }
