@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bigraph::gen::chung_lu::chung_lu_bipartite;
+use bigraph::intersect::{dispatch_with, Kernel};
 use bigraph::order::VertexOrder;
 use bigraph::BipartiteGraph;
 use kbiplex::{CountingSink, Engine, EngineStats, Enumerator};
@@ -33,6 +34,15 @@ struct Row {
     secs: f64,
     solutions: u64,
     steals: u64,
+}
+
+/// One kernel measurement on one input size-class.
+struct KernelRow {
+    class: &'static str,
+    kernel: Kernel,
+    len_a: usize,
+    len_b: usize,
+    elems_per_sec: f64,
 }
 
 fn main() {
@@ -104,9 +114,84 @@ fn main() {
         }
     }
 
-    let json = render_json(&g, k, iters, seen_segments, steal_adaptive, &rows);
+    let kernel_rows = kernel_microbench(iters, seed);
+
+    let json = render_json(&g, k, iters, seen_segments, steal_adaptive, &rows, &kernel_rows);
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");
+}
+
+/// xorshift64* step (the same deterministic generator the engines use for
+/// victim selection — no external RNG dependency).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Strictly ascending list of `len` ids whose consecutive gaps are drawn
+/// uniformly from `1..=max_gap` — `max_gap` is the density dial (1 packs
+/// the ids contiguously, large values spread them out).
+fn sorted_ids(len: usize, max_gap: u32, rng: &mut u64) -> Vec<u32> {
+    let mut v = Vec::with_capacity(len);
+    let mut next = xorshift(rng) as u32 % 64;
+    for _ in 0..len {
+        v.push(next);
+        next += 1 + (xorshift(rng) as u32) % max_gap;
+    }
+    v
+}
+
+/// Per-kernel intersection throughput by input size-class, the measured
+/// basis of the `intersect::dispatch` crossover constants. Every kernel
+/// runs on identical inputs; results are cross-checked against the scalar
+/// merge so a wrong kernel can never post a fast number.
+fn kernel_microbench(iters: u32, seed: u64) -> Vec<KernelRow> {
+    // (class, |a|, gap_a, |b|, gap_b): the regimes the dispatcher's
+    // heuristic distinguishes. "dense" keeps both sides near-contiguous
+    // (bitset territory), "skewed" has a 512x length ratio (galloping
+    // territory), "tiny" sits below the SMALL_LEN cut-off, and
+    // "balanced-sparse" is the branchless chunked kernel's home turf.
+    const CLASSES: [(&str, usize, u32, usize, u32); 4] = [
+        ("tiny", 12, 8, 12, 8),
+        ("balanced-sparse", 4096, 16, 4096, 16),
+        ("skewed", 128, 512, 65536, 16),
+        ("dense", 4096, 3, 4096, 3),
+    ];
+    let mut rows = Vec::new();
+    for (class, len_a, gap_a, len_b, gap_b) in CLASSES {
+        let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let a = sorted_ids(len_a, gap_a, &mut rng);
+        let b = sorted_ids(len_b, gap_b, &mut rng);
+        let expected = dispatch_with(Kernel::Merge, &a, &b);
+        let elems = (len_a + len_b) as u64;
+        // Aim for ~20M touched elements per timing so even the fastest
+        // kernel runs long enough to measure.
+        let reps = (20_000_000 / elems).max(64);
+        for kernel in Kernel::ALL {
+            let mut best = f64::INFINITY;
+            for _ in 0..iters.max(1) {
+                let start = Instant::now();
+                let mut hits = 0usize;
+                for _ in 0..reps {
+                    hits = dispatch_with(kernel, &a, &b);
+                }
+                let secs = start.elapsed().as_secs_f64();
+                assert_eq!(hits, expected, "kernel {kernel} diverged on class {class}");
+                best = best.min(secs);
+            }
+            let elems_per_sec = (elems * reps) as f64 / best;
+            eprintln!(
+                "kernel {class}/{kernel}: {:.1}M elems/s ({expected} hits)",
+                elems_per_sec / 1e6
+            );
+            rows.push(KernelRow { class, kernel, len_a, len_b, elems_per_sec });
+        }
+    }
+    rows
 }
 
 /// Runs `f` (returning `(solutions, steals)`) `iters` times; returns the
@@ -141,6 +226,7 @@ fn render_json(
     seen_segments: usize,
     steal_adaptive: bool,
     rows: &[Row],
+    kernel_rows: &[KernelRow],
 ) -> String {
     let secs_of = |engine: &str, threads: usize| -> Option<f64> {
         rows.iter().find(|r| r.engine == engine && r.threads == threads).map(|r| r.secs)
@@ -187,6 +273,44 @@ fn render_json(
             vs_global.map_or("null".to_string(), |v| format!("{v:.3}")),
             vs_seq.map_or("null".to_string(), |v| format!("{v:.3}"))
         );
+    }
+    s.push_str("\n  },\n");
+    // Per-kernel intersection throughput by size-class, with each kernel's
+    // speedup over the scalar merge on the same inputs — the numbers the
+    // crossover constants in `bigraph::intersect` are chosen from.
+    s.push_str("  \"kernels\": {");
+    let classes: Vec<&str> = {
+        let mut cs: Vec<&str> = Vec::new();
+        for r in kernel_rows {
+            if !cs.contains(&r.class) {
+                cs.push(r.class);
+            }
+        }
+        cs
+    };
+    for (ci, class) in classes.iter().enumerate() {
+        let in_class: Vec<&KernelRow> = kernel_rows.iter().filter(|r| r.class == *class).collect();
+        let merge = in_class
+            .iter()
+            .find(|r| r.kernel == Kernel::Merge)
+            .map(|r| r.elems_per_sec)
+            .unwrap_or(f64::NAN);
+        let comma = if ci > 0 { "," } else { "" };
+        let _ = write!(
+            s,
+            "{comma}\n    \"{class}\": {{\"len_a\": {}, \"len_b\": {}",
+            in_class[0].len_a, in_class[0].len_b
+        );
+        for r in &in_class {
+            let _ = write!(
+                s,
+                ", \"{}\": {{\"elems_per_sec\": {:.0}, \"vs_merge\": {:.3}}}",
+                r.kernel,
+                r.elems_per_sec,
+                r.elems_per_sec / merge
+            );
+        }
+        s.push('}');
     }
     s.push_str("\n  }\n}\n");
     s

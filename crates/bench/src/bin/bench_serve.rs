@@ -19,11 +19,11 @@
 //!         [--out BENCH_serve.json]`
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bigraph::gen::chung_lu_bipartite;
 use kbiplex::{CountingSink, Engine, Enumerator, QuerySpec};
-use mbpe_bench::Args;
+use mbpe_bench::{percentile, Args};
 use mbpe_serve::{Client, ServeConfig, Server};
 
 /// The rotating query mix: label + spec. Every variant carries a solution
@@ -42,14 +42,6 @@ fn query_mix() -> Vec<(&'static str, QuerySpec)> {
     parallel.engine = Engine::WorkSteal;
     parallel.threads = 2;
     vec![("itraversal", base), ("limit-200", limited), ("theta-4", dense), ("parallel-2", parallel)]
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -93,7 +85,7 @@ fn main() {
         .map(|t| {
             let mix = query_mix();
             let expected = expected.clone();
-            std::thread::spawn(move || -> Vec<f64> {
+            std::thread::spawn(move || -> Vec<Duration> {
                 let tenant = format!("tenant-{t}");
                 let mut client = Client::connect(addr, &tenant).expect("connect");
                 let mut latencies = Vec::with_capacity(requests);
@@ -102,7 +94,7 @@ fn main() {
                     let (label, spec) = &mix[pick];
                     let start = Instant::now();
                     let report = client.count(spec).expect("service query");
-                    latencies.push(start.elapsed().as_secs_f64());
+                    latencies.push(start.elapsed());
                     assert_eq!(
                         report.solutions, expected[pick],
                         "service diverged from the direct facade on {label}"
@@ -112,18 +104,18 @@ fn main() {
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = Vec::with_capacity(tenants * requests);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(tenants * requests);
     for thread in threads {
         latencies.extend(thread.join().expect("tenant thread"));
     }
     let wall = bench_start.elapsed().as_secs_f64();
     handle.shutdown();
 
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    latencies.sort_unstable();
     let total = latencies.len();
-    let p50 = percentile(&latencies, 50.0);
-    let p95 = percentile(&latencies, 95.0);
-    let p99 = percentile(&latencies, 99.0);
+    let p50 = percentile(&latencies, 50.0).as_secs_f64();
+    let p95 = percentile(&latencies, 95.0).as_secs_f64();
+    let p99 = percentile(&latencies, 99.0).as_secs_f64();
     let throughput = total as f64 / wall;
     eprintln!(
         "{total} requests in {wall:.3}s  throughput {throughput:.1} req/s  \

@@ -389,6 +389,22 @@ pub mod seen_harness {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element with at least `p`% of the sample at or below it, i.e. index
+/// `⌈p/100 · n⌉ − 1`. Unlike the rounded `p/100 · (n − 1)` index it
+/// replaces, this never reads past the intended rank on small samples
+/// (where rounding turned p95 into p100 or collapsed p99 onto p50).
+///
+/// `p` is clamped to `(0, 100]`; an empty sample returns 0.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let p = p.clamp(f64::MIN_POSITIVE, 100.0);
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
 /// Prints a table header followed by a separator line.
 pub fn print_header(title: &str, columns: &[&str]) {
     println!("\n== {title} ==");
@@ -456,6 +472,42 @@ mod tests {
         assert!(args.has("huge"));
         assert!(!args.has("absent"));
         assert_eq!(args.get_str("dataset"), Some("Writer"));
+    }
+
+    #[test]
+    fn percentile_uses_the_nearest_rank_rule() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // n = 1: every percentile is the single sample (the old rounding
+        // agreed here, but only by accident).
+        let one = [ms(5)];
+        for p in [50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&one, p), ms(5), "n=1 p{p}");
+        }
+        // n = 2: p50 is the first sample, p95/p99/p100 the second. The old
+        // `round(p/100·(n−1))` read the *second* sample for p50 too.
+        let two = [ms(1), ms(9)];
+        assert_eq!(percentile(&two, 50.0), ms(1));
+        assert_eq!(percentile(&two, 95.0), ms(9));
+        assert_eq!(percentile(&two, 99.0), ms(9));
+        assert_eq!(percentile(&two, 100.0), ms(9));
+        // n = 19: ⌈0.95·19⌉ = 19 → the maximum; ⌈0.5·19⌉ = 10 → the median.
+        // The old rounding mapped p95 to index 17 (the 18th sample) and p99
+        // to index 18 — p95 under-read while p99 and p100 collided.
+        let nineteen: Vec<Duration> = (1..=19).map(ms).collect();
+        assert_eq!(percentile(&nineteen, 50.0), ms(10));
+        assert_eq!(percentile(&nineteen, 95.0), ms(19));
+        assert_eq!(percentile(&nineteen, 99.0), ms(19));
+        // n = 100: the textbook case — p95 is the 95th sample, p99 the
+        // 99th, and they are distinct from the maximum.
+        let hundred: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&hundred, 50.0), ms(50));
+        assert_eq!(percentile(&hundred, 95.0), ms(95));
+        assert_eq!(percentile(&hundred, 99.0), ms(99));
+        assert_eq!(percentile(&hundred, 100.0), ms(100));
+        // Degenerate inputs stay total: empty → 0, p clamped into (0, 100].
+        assert_eq!(percentile(&[], 95.0), Duration::ZERO);
+        assert_eq!(percentile(&hundred, 0.0), ms(1));
+        assert_eq!(percentile(&hundred, 250.0), ms(100));
     }
 
     #[test]

@@ -154,6 +154,24 @@ impl FromIterator<usize> for BitSet {
     }
 }
 
+/// Packs the run of values in `sorted[start..]` that share the 64-value
+/// word of `sorted[start]` (same `v >> 6`) into a `u64` mask using the same
+/// bit layout [`BitSet`] stores; returns the mask and the index one past
+/// the run. This is the packing half of the bitset-chunk intersection
+/// kernel in [`crate::intersect`] — two packed words intersect with one
+/// `&` + `count_ones`.
+#[inline]
+pub fn pack_word(sorted: &[u32], start: usize) -> (u64, usize) {
+    let key = sorted[start] >> 6;
+    let mut mask = 0u64;
+    let mut i = start;
+    while i < sorted.len() && sorted[i] >> 6 == key {
+        mask |= 1u64 << (sorted[i] & 63);
+        i += 1;
+    }
+    (mask, i)
+}
+
 /// Iterator over set bits, ascending.
 pub struct Ones<'a> {
     words: &'a [u64],
@@ -234,6 +252,20 @@ impl EpochSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pack_word_masks_one_word_runs() {
+        let sorted = [3u32, 5, 63, 64, 64 + 5, 200];
+        let (mask, next) = pack_word(&sorted, 0);
+        assert_eq!(mask, (1 << 3) | (1 << 5) | (1 << 63));
+        assert_eq!(next, 3);
+        let (mask, next) = pack_word(&sorted, 3);
+        assert_eq!(mask, 1 | (1 << 5));
+        assert_eq!(next, 5);
+        let (mask, next) = pack_word(&sorted, 5);
+        assert_eq!(mask, 1 << (200 % 64));
+        assert_eq!(next, 6);
+    }
 
     #[test]
     fn insert_contains_remove() {

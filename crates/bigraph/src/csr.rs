@@ -92,64 +92,14 @@ impl Csr {
 
 /// Length of the intersection of two sorted `u32` slices.
 ///
-/// When the lengths are within a small factor of each other a linear merge
-/// walk is used; when one side is much shorter the scan *gallops* (binary
-/// searches the long side per short element), so intersecting a hub
-/// neighbourhood with a small working set costs `O(|short| · log |long|)`.
+/// Stable alias of [`crate::intersect::dispatch`]: the kernel layer picks a
+/// merge walk, a galloping scan, a branchless chunked merge or a
+/// bitset-chunk kernel from a measured crossover heuristic (and honours the
+/// per-thread `--kernel` override). Kept here because this is the
+/// historical entry every caller already goes through.
 #[inline]
 pub fn intersection_len(a: &[u32], b: &[u32]) -> usize {
-    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if short.is_empty() {
-        return 0;
-    }
-    if long.len() / 16 > short.len() {
-        return gallop_intersection_len(short, long);
-    }
-    let mut i = 0;
-    let mut j = 0;
-    let mut count = 0;
-    while i < short.len() && j < long.len() {
-        match short[i].cmp(&long[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
-}
-
-/// Galloping variant of [`intersection_len`] for heavily skewed sizes:
-/// `short` must be the smaller slice.
-fn gallop_intersection_len(short: &[u32], long: &[u32]) -> usize {
-    let mut rest = long;
-    let mut count = 0;
-    for &x in short {
-        // Exponential probe to bound the search window, then binary search.
-        // The probe stops at the first index with `rest[hi] >= x`, so the
-        // window must include that index.
-        let mut hi = 1;
-        while hi < rest.len() && rest[hi] < x {
-            hi *= 2;
-        }
-        let window = &rest[..(hi + 1).min(rest.len())];
-        match window.binary_search(&x) {
-            Ok(pos) => {
-                count += 1;
-                rest = &rest[pos + 1..];
-            }
-            Err(pos) => {
-                rest = &rest[pos..];
-                if rest.is_empty() {
-                    break;
-                }
-            }
-        }
-    }
-    count
+    crate::intersect::dispatch(a, b)
 }
 
 #[cfg(test)]
@@ -173,6 +123,8 @@ mod tests {
 
     #[test]
     fn intersection_len_matches_naive() {
+        // Kernel-by-kernel coverage lives in `crate::intersect`; this pins
+        // the historical entry point still dispatching correctly.
         let cases: &[(&[u32], &[u32])] = &[
             (&[], &[]),
             (&[1], &[]),
@@ -184,38 +136,6 @@ mod tests {
             let naive = a.iter().filter(|x| b.contains(x)).count();
             assert_eq!(intersection_len(a, b), naive, "a={a:?} b={b:?}");
             assert_eq!(intersection_len(b, a), naive, "swapped a={a:?} b={b:?}");
-        }
-    }
-
-    #[test]
-    fn galloping_path_is_exact() {
-        // Long side >> short side so the galloping branch is exercised.
-        let long: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
-        let short: Vec<u32> = vec![0, 3, 4, 2_997, 29_997, 29_998];
-        let naive = short.iter().filter(|x| long.binary_search(x).is_ok()).count();
-        assert_eq!(intersection_len(&short, &long), naive);
-        assert_eq!(naive, 4);
-    }
-
-    #[test]
-    fn galloping_probe_boundary_is_included() {
-        // Regression: the element sitting exactly at the first probe index
-        // (`rest[hi] == x`) must be found. gallop_intersection_len requires
-        // `short` to be the strictly smaller side, so call it directly.
-        assert_eq!(gallop_intersection_len(&[6], &[0, 6]), 1);
-        assert_eq!(gallop_intersection_len(&[3], &[0, 1, 3, 9]), 1);
-        // Exhaustive cross-check against the merge walk on stride patterns.
-        let long: Vec<u32> = (0..512).collect();
-        for start in 0..8u32 {
-            for stride in 1..8u32 {
-                let short: Vec<u32> = (0..6).map(|i| start + i * stride).collect();
-                let naive = short.iter().filter(|x| long.binary_search(x).is_ok()).count();
-                assert_eq!(
-                    gallop_intersection_len(&short, &long),
-                    naive,
-                    "start {start} stride {stride}"
-                );
-            }
         }
     }
 }

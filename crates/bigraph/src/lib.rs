@@ -8,7 +8,11 @@
 //! * [`BipartiteBuilder`] — incremental construction from edge pairs with
 //!   duplicate removal.
 //! * [`csr::Csr`] — the one-sided compressed-sparse-row half underlying the
-//!   graph, plus galloping sorted-slice intersection primitives.
+//!   graph.
+//! * [`intersect`] — the sorted-slice intersection kernel layer (merge /
+//!   gallop / branchless chunked / bitset-chunk) behind a single
+//!   [`intersect::dispatch`] entry with a measured crossover heuristic and
+//!   a per-thread [`Kernel`] override for A/B runs.
 //! * [`order`] — degeneracy/degree vertex relabelings ([`VertexOrder`]) that
 //!   pack the dense core into a contiguous low-id range before enumeration.
 //! * [`bitset::BitSet`] — a fixed-capacity bitset used pervasively for vertex
@@ -63,6 +67,7 @@ pub mod formats;
 pub mod gen;
 pub mod general;
 pub mod graph;
+pub mod intersect;
 pub mod io;
 pub mod order;
 pub mod stats;
@@ -73,6 +78,7 @@ pub use core_decomp::{BipartiteAdjacency, IncrementalCore};
 pub use csr::Csr;
 pub use dynamic::DynamicBipartiteGraph;
 pub use graph::{BipartiteBuilder, BipartiteGraph, Side, VertexRef};
+pub use intersect::Kernel;
 pub use order::{bipartite_degeneracy, Relabeling, VertexOrder};
 pub use subgraph::InducedSubgraph;
 

@@ -43,6 +43,9 @@ OPTIONS:
     --threads <T>       Worker threads for --algo parallel (0 = auto)
     --order <O>         Vertex relabeling pass: input (default) | degree |
                         degeneracy (itraversal, btraversal, large, parallel)
+    --kernel <K>        Intersection kernel: auto (default, crossover
+                        heuristic) | merge | gallop | chunked | bitset —
+                        an A/B switch, the solution set never changes
     --engine <E>        Parallel scheduler: steal (default) | global
     --seen-segments <N> Initial segment count of the parallel seen-set's
                         bucket directory (0 = auto-size from the graph;
@@ -66,6 +69,7 @@ const OPTIONS: &[&str] = &[
     "theta-right",
     "threads",
     "order",
+    "kernel",
     "engine",
     "seen-segments",
     "steal-adaptive",
@@ -147,6 +151,11 @@ fn run_baseline(
     if args.value("time-budget").is_some() {
         return Err(CliError::Usage(format!(
             "--time-budget is not supported by --algo {algo} (baselines have no cancellation hook)"
+        )));
+    }
+    if args.value("kernel").is_some() {
+        return Err(CliError::Usage(format!(
+            "--kernel is not supported by --algo {algo} (baselines bypass the kernel dispatcher)"
         )));
     }
     let k: usize = args.parse_or("k", 1)?;
@@ -294,6 +303,11 @@ mod tests {
         // A generous budget never fires.
         let text = capture(&["--dataset", "Divorce", "--k", "1", "--time-budget", "3600"]).unwrap();
         assert!(text.contains("stop: exhausted"), "{text}");
+        // Fractional budgets are accepted, not rejected or truncated to
+        // zero seconds (the run may or may not finish inside half a second
+        // on a loaded machine — either stop reason is fine).
+        let text = capture(&["--dataset", "Divorce", "--k", "1", "--time-budget", "0.5"]).unwrap();
+        assert!(text.contains("stop: exhausted") || text.contains("stop: time-budget"), "{text}");
         assert!(capture(&["--dataset", "Divorce", "--time-budget", "never"]).is_err());
         assert!(capture(&["--dataset", "Divorce", "--time-budget", "-1"]).is_err());
         // Finite but unrepresentable as a Duration: usage error, not a panic.
@@ -307,6 +321,34 @@ mod tests {
     #[test]
     fn bad_algorithm_is_rejected() {
         assert!(capture(&["--dataset", "Divorce", "--algo", "quantum"]).is_err());
+    }
+
+    #[test]
+    fn kernel_override_is_an_ab_switch() {
+        let baseline = capture(&["--dataset", "Divorce", "--k", "1"]).unwrap();
+        for kernel in ["auto", "merge", "gallop", "chunked", "bitset"] {
+            let text = capture(&["--dataset", "Divorce", "--k", "1", "--kernel", kernel]).unwrap();
+            assert_eq!(parse(&text), parse(&baseline), "kernel {kernel}");
+            let text = capture(&[
+                "--dataset",
+                "Divorce",
+                "--k",
+                "1",
+                "--algo",
+                "parallel",
+                "--threads",
+                "2",
+                "--kernel",
+                kernel,
+            ])
+            .unwrap();
+            assert_eq!(parse(&text), parse(&baseline), "parallel kernel {kernel}");
+        }
+        assert!(capture(&["--dataset", "Divorce", "--kernel", "simd"]).is_err());
+        assert!(
+            capture(&["--dataset", "Divorce", "--algo", "imb", "--kernel", "merge"]).is_err(),
+            "baselines bypass the dispatcher"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ The query-shaping options below are listed by `mbpe help enumerate` and
 mean the same thing here (the server runs the identical QuerySpec):
     --spec --k --algo --limit --first --time-budget --theta-left
     --theta-right --threads --order --engine --seen-segments
-    --steal-adaptive";
+    --steal-adaptive --kernel";
 
 const OPTIONS: &[&str] = &[
     "addr",
@@ -63,6 +63,7 @@ const OPTIONS: &[&str] = &[
     "engine",
     "seen-segments",
     "steal-adaptive",
+    "kernel",
 ];
 const FLAGS: &[&str] = &["ping", "count-only", "print", "show-spec"];
 

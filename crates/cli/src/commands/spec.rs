@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use kbiplex::{Algorithm, Engine, QuerySpec, VertexOrder};
+use kbiplex::{Algorithm, Engine, Kernel, QuerySpec, VertexOrder};
 
 use crate::args::Args;
 use crate::CliError;
@@ -28,6 +28,7 @@ pub const SPEC_OPTIONS: &[&str] = &[
     "engine",
     "seen-segments",
     "steal-adaptive",
+    "kernel",
 ];
 
 /// The `--algo` value with the historical default.
@@ -136,6 +137,11 @@ pub fn spec_from_args(args: &Args) -> Result<QuerySpec, CliError> {
     if let Some(raw) = args.value("order") {
         spec.order = raw.parse::<VertexOrder>().map_err(CliError::Usage)?;
     }
+    // The kernel override applies to every algorithm and engine (all of
+    // them intersect through the same dispatcher), so no misplacement rule.
+    if let Some(raw) = args.value("kernel") {
+        spec.kernel = raw.parse::<Kernel>().map_err(CliError::Usage)?;
+    }
     match algo {
         "itraversal" => spec.algorithm = Algorithm::ITraversal,
         "btraversal" => spec.algorithm = Algorithm::BTraversal,
@@ -210,6 +216,18 @@ mod tests {
         assert!(spec_from_args(&args(&["--seen-segments", "2"], &[])).is_err());
         let global = &["--algo", "parallel", "--engine", "global", "--steal-adaptive", "off"];
         assert!(spec_from_args(&args(global, &[])).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_parses_on_every_algo() {
+        for algo in ["itraversal", "btraversal", "large", "parallel"] {
+            let spec =
+                spec_from_args(&args(&["--algo", algo, "--kernel", "chunked"], &[])).unwrap();
+            assert_eq!(spec.kernel, Kernel::Chunked, "--algo {algo}");
+        }
+        assert_eq!(spec_from_args(&args(&[], &[])).unwrap().kernel, Kernel::Auto);
+        let e = spec_from_args(&args(&["--kernel", "simd"], &[]));
+        assert!(matches!(e, Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -115,6 +115,36 @@ fn parallel_seen_and_steal_flags_match_the_sequential_count() {
 }
 
 #[test]
+fn kernel_override_matches_the_auto_count_end_to_end() {
+    let count = |text: &str| -> usize {
+        text.lines()
+            .find_map(|l| l.strip_prefix("solutions: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no solution count in: {text}"))
+    };
+    let auto = run(&["enumerate", &tiny_graph(), "--k", "1", "--count-only"]);
+    for kernel in ["merge", "gallop", "chunked", "bitset"] {
+        let text =
+            run(&["enumerate", &tiny_graph(), "--k", "1", "--kernel", kernel, "--count-only"]);
+        assert_eq!(count(&text), count(&auto), "--kernel {kernel}: {text}");
+    }
+}
+
+#[test]
+fn fractional_time_budget_is_accepted() {
+    // `--time-budget 0.5` must parse as half a second, not be rejected or
+    // truncated to zero. A zero-truncation bug would stop before the first
+    // solution, so a non-zero count proves the fraction survived.
+    let text = run(&["enumerate", &tiny_graph(), "--k", "1", "--time-budget", "0.5"]);
+    let count: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("solutions: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no solution count in: {text}"));
+    assert!(count > 0, "a half-second budget must not stop before the first solution: {text}");
+}
+
+#[test]
 fn generate_stats_enumerate_roundtrip() {
     let dir = std::env::temp_dir().join(format!("mbpe_cli_smoke_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -65,6 +65,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bigraph::intersect::Kernel;
 use bigraph::order::VertexOrder;
 use bigraph::BipartiteGraph;
 
@@ -382,6 +383,10 @@ pub struct QuerySpec {
     pub time_budget: Option<Duration>,
     /// Channel capacity behind [`Enumerator::stream`] (default 256).
     pub stream_buffer: usize,
+    /// Intersection kernel override (default [`Kernel::Auto`], the
+    /// measured crossover heuristic). Forcing a single kernel is the A/B
+    /// switch behind the CLI's `--kernel`; it never changes results.
+    pub kernel: Kernel,
 }
 
 impl Default for QuerySpec {
@@ -404,6 +409,7 @@ impl Default for QuerySpec {
             limit: None,
             time_budget: None,
             stream_buffer: 256,
+            kernel: Kernel::Auto,
         }
     }
 }
@@ -553,6 +559,15 @@ impl<'g> Enumerator<'g> {
     /// (default 256 solutions).
     pub fn stream_buffer(mut self, capacity: usize) -> Self {
         self.spec.stream_buffer = capacity.max(1);
+        self
+    }
+
+    /// Forces a single intersection kernel instead of the crossover
+    /// heuristic (default [`Kernel::Auto`]). An A/B switch for benchmarks
+    /// and the CLI's `--kernel`; the enumerated solution set is identical
+    /// under every kernel (pinned by the cross-validation tests).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.spec.kernel = kernel;
         self
     }
 
@@ -915,6 +930,7 @@ fn traversal_config(spec: &QuerySpec, deadline: Option<Instant>) -> TraversalCon
         .with_thresholds(spec.theta_left, spec.theta_right)
         .with_order(spec.order)
         .with_deadline(deadline)
+        .with_kernel(spec.kernel)
 }
 
 /// Builds the parallel configuration of a spec.
@@ -932,6 +948,7 @@ fn parallel_config(spec: &QuerySpec) -> ParallelConfig {
         .with_engine(engine)
         .with_seen_segments(spec.seen_segments)
         .with_steal_adaptive(spec.steal_adaptive)
+        .with_kernel(spec.kernel)
 }
 
 /// Runs a validated spec to completion. Infallible: every configuration

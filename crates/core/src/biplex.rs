@@ -91,9 +91,11 @@ impl Biplex {
     }
 }
 
-/// Length of the intersection of two sorted slices. Delegates to the CSR
-/// primitive, which gallops when the sizes are heavily skewed (intersecting
-/// a hub neighbourhood with a small working set).
+/// Length of the intersection of two sorted slices. Delegates to the
+/// kernel dispatcher (`bigraph::intersect::dispatch`, through its stable
+/// CSR alias), which picks merge/gallop/chunked/bitset from the measured
+/// crossover heuristic and honours the engines' per-thread `--kernel`
+/// override.
 pub(crate) fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
     bigraph::csr::intersection_len(a, b)
 }
@@ -223,49 +225,53 @@ impl PartialBiplex {
     pub fn can_add_left(&self, g: &BipartiteGraph, v: u32, k: usize) -> bool {
         debug_assert!(!self.contains_left(v));
         let nbrs = g.left_neighbors(v);
-        let mut v_misses = 0usize;
-        // Merge-walk `right` against `nbrs`.
+        // Kernel-counted misses first: most candidates either miss nothing
+        // (no budgets to re-check) or bust their own budget outright, and
+        // the counting kernels beat the budget merge walk below.
+        let v_misses = self.right.len() - sorted_intersection_len(nbrs, &self.right);
+        if v_misses > k {
+            return false;
+        }
+        if v_misses == 0 {
+            return true;
+        }
+        // 1..=k misses: walk `right` against `nbrs` to check the budgets of
+        // the right vertices that would gain a miss.
         let mut ni = 0;
         for (ri, &u) in self.right.iter().enumerate() {
             while ni < nbrs.len() && nbrs[ni] < u {
                 ni += 1;
             }
             let adjacent = ni < nbrs.len() && nbrs[ni] == u;
-            if !adjacent {
-                v_misses += 1;
-                if v_misses > k {
-                    return false;
-                }
-                if self.right_miss[ri] as usize + 1 > k {
-                    return false;
-                }
+            if !adjacent && self.right_miss[ri] as usize + 1 > k {
+                return false;
             }
         }
-        v_misses <= k
+        true
     }
 
     /// Symmetric to [`can_add_left`](Self::can_add_left) for a right vertex.
     pub fn can_add_right(&self, g: &BipartiteGraph, u: u32, k: usize) -> bool {
         debug_assert!(!self.contains_right(u));
         let nbrs = g.right_neighbors(u);
-        let mut u_misses = 0usize;
+        let u_misses = self.left.len() - sorted_intersection_len(nbrs, &self.left);
+        if u_misses > k {
+            return false;
+        }
+        if u_misses == 0 {
+            return true;
+        }
         let mut ni = 0;
         for (li, &v) in self.left.iter().enumerate() {
             while ni < nbrs.len() && nbrs[ni] < v {
                 ni += 1;
             }
             let adjacent = ni < nbrs.len() && nbrs[ni] == v;
-            if !adjacent {
-                u_misses += 1;
-                if u_misses > k {
-                    return false;
-                }
-                if self.left_miss[li] as usize + 1 > k {
-                    return false;
-                }
+            if !adjacent && self.left_miss[li] as usize + 1 > k {
+                return false;
             }
         }
-        u_misses <= k
+        true
     }
 
     /// Side-dispatching version of the `can_add_*` checks.

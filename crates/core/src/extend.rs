@@ -10,6 +10,7 @@
 //! — the requirement the reverse-search framework places on the extension
 //! step.
 
+use bigraph::intersect::intersection_into;
 use bigraph::BipartiteGraph;
 
 use crate::biplex::PartialBiplex;
@@ -35,6 +36,9 @@ pub fn left_extension_candidates(g: &BipartiteGraph, right: &[u32], k: usize) ->
     if right.len() <= k {
         return (0..g.num_left()).collect();
     }
+    if k == 0 {
+        return intersect_all(right.iter().map(|&u| g.right_neighbors(u)));
+    }
     let need = right.len() - k;
     count_candidates(right.iter().map(|&u| g.right_neighbors(u)), need)
 }
@@ -44,8 +48,34 @@ pub fn right_extension_candidates(g: &BipartiteGraph, left: &[u32], k: usize) ->
     if left.len() <= k {
         return (0..g.num_right()).collect();
     }
+    if k == 0 {
+        return intersect_all(left.iter().map(|&v| g.left_neighbors(v)));
+    }
     let need = left.len() - k;
     count_candidates(left.iter().map(|&v| g.left_neighbors(v)), need)
+}
+
+/// `k = 0` counting filter: a candidate must occur in *every* list, so the
+/// answer is exactly the intersection of all neighbour lists. Iterated
+/// kernel intersections through [`bigraph::intersect`] (shortest list
+/// first, the accumulator only shrinks, skewed steps gallop) beat the
+/// gather-sort pool scan of [`count_candidates`], which is linear in the
+/// *sum* of the list lengths.
+fn intersect_all<'a, I: Iterator<Item = &'a [u32]>>(lists: I) -> Vec<u32> {
+    let mut lists: Vec<&[u32]> = lists.collect();
+    let Some(min_idx) = (0..lists.len()).min_by_key(|&i| lists[i].len()) else {
+        return Vec::new();
+    };
+    let mut acc: Vec<u32> = lists.swap_remove(min_idx).to_vec();
+    let mut scratch = Vec::new();
+    for list in lists {
+        if acc.is_empty() {
+            break;
+        }
+        intersection_into(&acc, list, &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
+    }
+    acc
 }
 
 /// Concatenates the given sorted CSR neighbour slices, sorts the pool once
@@ -233,6 +263,22 @@ mod tests {
         assert_eq!(cands.len(), g.num_left() as usize);
         let cands = right_extension_candidates(&g, &[], 0);
         assert_eq!(cands.len(), g.num_right() as usize);
+    }
+
+    #[test]
+    fn k0_intersection_path_matches_the_counting_filter() {
+        let g = fixture();
+        for right in [vec![0u32, 1, 3], vec![0, 1, 2, 3, 4], vec![2, 4]] {
+            let via_intersect = left_extension_candidates(&g, &right, 0);
+            let via_pool =
+                count_candidates(right.iter().map(|&u| g.right_neighbors(u)), right.len());
+            assert_eq!(via_intersect, via_pool, "right = {right:?}");
+        }
+        for left in [vec![0u32, 2], vec![1, 3, 4]] {
+            let via_intersect = right_extension_candidates(&g, &left, 0);
+            let via_pool = count_candidates(left.iter().map(|&v| g.left_neighbors(v)), left.len());
+            assert_eq!(via_intersect, via_pool, "left = {left:?}");
+        }
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub use api::{
     SolutionStream, StopReason,
 };
 pub use asym::{is_asym_biplex, KPair};
+pub use bigraph::intersect::Kernel;
 pub use bigraph::order::VertexOrder;
 pub use biplex::{is_k_biplex, is_maximal_k_biplex, Biplex, PartialBiplex};
 pub use dynamic::{DynamicConfig, DynamicEnumerator, DynamicError, MaintainStats, UpdateDiff};

@@ -156,6 +156,9 @@ fn worker(
     shared: &Shared,
 ) -> WorkerCounters {
     let mut counters = WorkerCounters::default();
+    // Install the configured intersection kernel for this worker's whole
+    // tenure (`--kernel` A/B override; workers start from `Kernel::Auto`).
+    let _kernel = bigraph::intersect::set_thread_kernel(config.kernel);
     while let Some(host) = shared.pop_work(rt) {
         let mut on_new = |solution: Biplex, report: bool, expandable: bool| {
             if report && !rt.deliver(&solution) {

@@ -26,13 +26,33 @@
 //!   seen-set. Kept as the measured baseline of the scaling benchmarks
 //!   (`BENCH_parallel.json`).
 //!
-//! Both engines run the `iTraversal-ES` configuration: the left-anchored
-//! and right-shrinking prunings apply unchanged (their correctness argument
-//! never references the order in which solutions are expanded), while the
-//! *exclusion strategy* is inherently order-dependent (the set ℰ(H) grows
-//! as sibling branches complete) and is therefore disabled. The *set* of
-//! solutions returned is deterministic and identical to the sequential
-//! enumeration; the discovery order is not. The
+//! Both engines run the left-anchored + right-shrinking `iTraversal`
+//! configuration (those prunings' correctness arguments never reference the
+//! order in which solutions are expanded). The sequential engine's *full*
+//! exclusion strategy is inherently order-dependent — ℰ(H) inherits the
+//! completed sibling branches of every ancestor — and stays disabled; in
+//! its place the expansion procedure applies a **host-local exclusion
+//! approximation** ([`ParallelConfig::exclusion_local`], default on): while
+//! expanding one host H, every fully enumerated earlier candidate `w` of H
+//! joins a local excluded set, and later links out of the *same* expansion
+//! whose solution contains `w` are pruned. This is the same-host slice of
+//! ℰ(H), so it is position-determined (a function of H and the fixed
+//! ascending candidate order only, never of worker timing) and prunes a
+//! large share of the within-expansion duplicate links that the sequential
+//! engine dodges — the bulk of the sequential-vs-parallel per-thread gap
+//! recorded in EXPERIMENTS.md. Correctness (oracle-checked by the
+//! `parallel` test battery and the engine cross-validation suite): if the
+//! link (H, v′) → S is pruned because `w ∈ S.left` for an earlier fully
+//! enumerated candidate `w < v′`, then (H, w) → S is itself a link of the
+//! solution graph (the same-host exclusion lemma the sequential strategy
+//! already relies on), and it was considered during `w`'s enumeration at H
+//! — where, by induction over the strictly decreasing candidate id, it was
+//! either followed (S claimed in the seen-set) or pruned in favour of an
+//! even earlier candidate. Since the seen-set expands every claimed
+//! solution exactly once, every maximal k-biplex is still discovered,
+//! independent of scheduling. The *set* of solutions returned — and every
+//! per-run counter — therefore remains deterministic and identical to the
+//! sequential enumeration; the discovery order is not. The
 //! [`crate::api::Enumerator::collect`] terminal returns the canonically
 //! sorted set.
 //!
@@ -54,6 +74,7 @@ pub mod work_steal;
 
 use std::time::Instant;
 
+use bigraph::intersect::{intersects, Kernel};
 use bigraph::order::{Relabeling, VertexOrder};
 use bigraph::BipartiteGraph;
 
@@ -184,6 +205,16 @@ pub struct ParallelConfig {
     /// [`work_steal::STEAL_SHALLOW`] deep, the oldest half otherwise.
     /// `false` always steals half, the previous fixed policy.
     pub steal_adaptive: bool,
+    /// Intersection kernel installed on every worker thread
+    /// ([`Kernel::Auto`] applies the measured crossover heuristic; the rest
+    /// force one kernel for `--kernel` A/B runs).
+    pub kernel: Kernel,
+    /// Host-local exclusion approximation (default on): prune duplicate
+    /// links within one expansion against the already-enumerated earlier
+    /// candidates of the same host. Timing-independent and oracle-checked —
+    /// see the module docs for the correctness argument; the knob exists
+    /// for A/B measurement and as a diagnostic escape hatch.
+    pub exclusion_local: bool,
 }
 
 impl ParallelConfig {
@@ -201,6 +232,8 @@ impl ParallelConfig {
             result_batch: 64,
             seen_segments: 0,
             steal_adaptive: true,
+            kernel: Kernel::Auto,
+            exclusion_local: true,
         }
     }
 
@@ -246,6 +279,19 @@ impl ParallelConfig {
     /// [`ParallelConfig::steal_adaptive`].
     pub fn with_steal_adaptive(mut self, adaptive: bool) -> Self {
         self.steal_adaptive = adaptive;
+        self
+    }
+
+    /// Selects the intersection kernel (default [`Kernel::Auto`]).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Toggles the host-local exclusion approximation. See
+    /// [`ParallelConfig::exclusion_local`].
+    pub fn with_exclusion_local(mut self, enabled: bool) -> Self {
+        self.exclusion_local = enabled;
         self
     }
 
@@ -326,6 +372,12 @@ pub(crate) fn expand_solution(
     let k = config.k;
     let host_partial = PartialBiplex::from_sets(g, &host.left, &host.right);
 
+    // Host-local exclusion (see the module docs): candidates of this host
+    // that have been fully enumerated, ascending because `v` is. Later
+    // links of the *same* expansion towards a solution containing one of
+    // them are duplicates of a link already considered, and are pruned.
+    let mut excluded: Vec<u32> = Vec::new();
+
     for v in 0..g.num_left() {
         // ordering: Relaxed — cancellation poll, liveness only; see
         // DESIGN.md "cancel-flag".
@@ -354,6 +406,13 @@ pub(crate) fn expand_solution(
             }
             counters.local_solutions += 1;
 
+            // Host-local exclusion on the local solution: its extension
+            // keeps `local.left`, so a hit here prunes the link before the
+            // right-shrinking scan and the extension are paid for.
+            if intersects(&local.left, &excluded) {
+                return true;
+            }
+
             // Local-solution pruning (Section 5): under right-shrinking the
             // final right side equals the local one.
             if config.theta_right > 0 && local.right.len() < config.theta_right {
@@ -371,6 +430,12 @@ pub(crate) fn expand_solution(
 
             extend_to_maximal(g, &mut partial, k, ExtendMode::LeftOnly);
             let solution = partial.to_biplex();
+
+            // Host-local exclusion on the extended solution (the extension
+            // may pull in an excluded left vertex the local solution lacked).
+            if intersects(&solution.left, &excluded) {
+                return true;
+            }
             counters.links += 1;
 
             if seen_insert(&solution) {
@@ -388,6 +453,14 @@ pub(crate) fn expand_solution(
             }
             true
         });
+
+        // Only fully enumerated candidates may be excluded against — the
+        // completeness induction needs every link via `v` to have been
+        // considered. θ-pruned and skipped candidates never join, and a
+        // cancelled expansion stops using the set at the next poll.
+        if config.exclusion_local {
+            excluded.push(v);
+        }
     }
 }
 
@@ -562,6 +635,76 @@ mod tests {
                 let (mut got, _) = par_enumerate_mbps(&g, &cfg);
                 got.sort();
                 assert_eq!(got, enumerate_all(&g, k), "k {k} {engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_local_exclusion_is_oracle_checked_against_sequential() {
+        // The approximation must change only the link counts, never the
+        // solution set — on either engine, at any thread count.
+        for seed in 0..8u64 {
+            let g = random_graph(7, 6, 0.5, seed);
+            for k in 1..=2usize {
+                let expected = enumerate_all(&g, k);
+                for engine in ENGINES {
+                    for exclusion in [true, false] {
+                        let cfg = ParallelConfig::new(k)
+                            .with_threads(3)
+                            .with_engine(engine)
+                            .with_exclusion_local(exclusion);
+                        let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                        got.sort();
+                        assert_eq!(
+                            got, expected,
+                            "seed {seed} k {k} {engine:?} exclusion_local {exclusion}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_local_exclusion_prunes_duplicate_links() {
+        // On a dense graph the within-expansion duplicate links are
+        // plentiful; the approximation must strictly reduce them while
+        // keeping the solution count identical.
+        let g = random_graph(8, 8, 0.7, 5);
+        let run = |exclusion: bool| {
+            let cfg = ParallelConfig::new(1).with_threads(2).with_exclusion_local(exclusion);
+            par_enumerate_mbps(&g, &cfg)
+        };
+        let (mut with, stats_with) = run(true);
+        let (mut without, stats_without) = run(false);
+        with.sort();
+        without.sort();
+        assert_eq!(with, without);
+        assert_eq!(stats_with.solutions, stats_without.solutions);
+        assert!(
+            stats_with.links < stats_without.links,
+            "exclusion pruned nothing: {} vs {}",
+            stats_with.links,
+            stats_without.links
+        );
+    }
+
+    #[test]
+    fn kernel_overrides_never_change_the_solution_set() {
+        for seed in 0..4u64 {
+            let g = random_graph(7, 7, 0.5, seed);
+            let k = 1;
+            let expected = enumerate_all(&g, k);
+            for engine in ENGINES {
+                for kernel in Kernel::ALL {
+                    let cfg = ParallelConfig::new(k)
+                        .with_threads(2)
+                        .with_engine(engine)
+                        .with_kernel(kernel);
+                    let (mut got, _) = par_enumerate_mbps(&g, &cfg);
+                    got.sort();
+                    assert_eq!(got, expected, "seed {seed} {engine:?} kernel {kernel}");
+                }
             }
         }
     }

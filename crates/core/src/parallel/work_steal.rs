@@ -114,6 +114,10 @@ fn worker(
     results: &Mutex<Vec<Biplex>>,
 ) -> WorkerCounters {
     let mut counters = WorkerCounters::default();
+    // Every intersection this worker performs honours the configured kernel
+    // (worker threads start from `Kernel::Auto`, so this installs the
+    // `--kernel` A/B override end-to-end).
+    let _kernel = bigraph::intersect::set_thread_kernel(config.kernel);
     let mut batch: Vec<Biplex> = Vec::new();
     // Per-worker deterministic xorshift state for victim selection.
     let mut rng: u64 = 0x9e37_79b9_7f4a_7c15 ^ (w as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d);

@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use bigraph::intersect::{intersects, set_thread_kernel, Kernel};
 use bigraph::order::{Relabeling, VertexOrder};
 use bigraph::{BipartiteGraph, Side, VertexRef};
 
@@ -131,6 +132,10 @@ pub struct TraversalConfig {
     /// `time_budget` reaches a run whose deliveries are sparse or filtered).
     /// `None` disables the check.
     pub deadline: Option<Instant>,
+    /// Intersection kernel installed for the run ([`Kernel::Auto`] applies
+    /// the measured crossover heuristic; the rest force one kernel for A/B
+    /// comparisons — the CLI's `--kernel`).
+    pub kernel: Kernel,
 }
 
 impl TraversalConfig {
@@ -149,6 +154,7 @@ impl TraversalConfig {
             theta_right: 0,
             order: VertexOrder::Input,
             deadline: None,
+            kernel: Kernel::Auto,
         }
     }
 
@@ -177,6 +183,7 @@ impl TraversalConfig {
             theta_right: 0,
             order: VertexOrder::Input,
             deadline: None,
+            kernel: Kernel::Auto,
         }
     }
 
@@ -216,6 +223,12 @@ impl TraversalConfig {
         self.deadline = deadline;
         self
     }
+
+    /// Selects the intersection kernel (default [`Kernel::Auto`]).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// The sequential reverse-search engine behind the
@@ -250,6 +263,11 @@ pub(crate) fn traverse<S: SolutionSink + ?Sized>(
         // unbounded chain of closure instantiations.
         return traverse(&t, &cfg, &mut flip_sink as &mut dyn SolutionSink);
     }
+
+    // Install the configured intersection kernel for the run; the guard
+    // restores the caller's choice so nested/sequential runs with different
+    // configs do not leak into each other.
+    let _kernel = set_thread_kernel(config.kernel);
 
     let mut engine = Engine {
         g,
@@ -522,10 +540,7 @@ impl<S: SolutionSink + ?Sized> Engine<'_, S> {
 
                 // Exclusion strategy: discard local solutions containing an
                 // excluded vertex.
-                if cfg.exclusion
-                    && !exclusion.is_empty()
-                    && local.left.iter().any(|w| exclusion.binary_search(w).is_ok())
-                {
+                if cfg.exclusion && intersects(&local.left, exclusion) {
                     stats.pruned_exclusion += 1;
                     return true;
                 }
@@ -556,10 +571,7 @@ impl<S: SolutionSink + ?Sized> Engine<'_, S> {
 
                 // Exclusion strategy on the extended solution: prune links
                 // towards solutions containing an excluded vertex.
-                if cfg.exclusion
-                    && !exclusion.is_empty()
-                    && solution.left.iter().any(|w| exclusion.binary_search(w).is_ok())
-                {
+                if cfg.exclusion && intersects(&solution.left, exclusion) {
                     stats.pruned_exclusion += 1;
                     return true;
                 }

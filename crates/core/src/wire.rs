@@ -66,6 +66,7 @@ const SPEC_KEYS: &[&str] = &[
     "limit",
     "time_budget",
     "stream_buffer",
+    "kernel",
 ];
 
 impl QuerySpec {
@@ -128,6 +129,9 @@ impl QuerySpec {
         }
         if self.stream_buffer != d.stream_buffer {
             pairs.push(("stream_buffer", u(self.stream_buffer as u64)));
+        }
+        if self.kernel != d.kernel {
+            pairs.push(("kernel", s(self.kernel.to_string())));
         }
         obj(pairs)
     }
@@ -206,6 +210,9 @@ impl QuerySpec {
         }
         if let Some(v) = doc.get("stream_buffer") {
             spec.stream_buffer = v.as_usize("stream_buffer")?;
+        }
+        if let Some(v) = doc.get("kernel") {
+            spec.kernel = parse_code(v, "kernel")?;
         }
         Ok(spec)
     }
@@ -528,6 +535,7 @@ mod tests {
             limit: Some(1000),
             time_budget: Some(Duration::new(3, 500_000_001)),
             stream_buffer: 64,
+            kernel: bigraph::intersect::Kernel::Chunked,
         };
         let text = spec.to_json_string();
         assert_eq!(QuerySpec::from_json_str(&text).unwrap(), spec);
@@ -538,6 +546,7 @@ mod tests {
         assert!(QuerySpec::from_json_str("{\"kk\":1}").is_err());
         assert!(QuerySpec::from_json_str("{\"k\":\"two\"}").is_err());
         assert!(QuerySpec::from_json_str("{\"algorithm\":\"quantum\"}").is_err());
+        assert!(QuerySpec::from_json_str("{\"kernel\":\"simd\"}").is_err());
         assert!(QuerySpec::from_json_str("[1,2]").is_err());
         assert!(QuerySpec::from_json_str("{\"time_budget\":{\"nanos\":2000000000}}").is_err());
         assert!(QuerySpec::from_json_str("not json").is_err());

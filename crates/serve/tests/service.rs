@@ -244,6 +244,34 @@ fn oversized_frame_gets_a_typed_error_then_close() {
     handle.shutdown();
 }
 
+/// The framing boundary, pinned as a positive/negative pair: a frame of
+/// *exactly* the maximum advertised length must be accepted (an `>=` in
+/// place of `>` in the limit check would reject it), while one byte more
+/// is the typed [`FrameError::TooLarge`].
+#[test]
+fn frame_of_exactly_max_length_is_accepted() {
+    use mbpe_serve::FrameError;
+
+    let max = 64usize;
+    let exact = vec![0x5au8; max];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &exact).expect("write exact-max frame");
+    let back = read_frame(&mut &wire[..], max)
+        .expect("exactly max bytes is within the limit")
+        .expect("one frame");
+    assert_eq!(back, exact);
+
+    let over = vec![0x5au8; max + 1];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &over).expect("write over-max frame");
+    match read_frame(&mut &wire[..], max) {
+        Err(FrameError::TooLarge { len, max: m }) => {
+            assert_eq!((len, m), (max + 1, max));
+        }
+        other => panic!("max+1 bytes must be TooLarge, got {other:?}"),
+    }
+}
+
 #[test]
 fn garbage_payload_is_rejected_but_the_connection_survives() {
     let g = random_graph(4, 4, 60, 2);

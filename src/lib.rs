@@ -36,7 +36,7 @@ pub mod prelude {
         is_asym_biplex, is_k_biplex, is_maximal_k_biplex, Algorithm, Anchor, ApiError, Biplex,
         CollectSink, ConcurrentSeenSet, Control, CountingSink, DelayRecorder, DynamicConfig,
         DynamicEnumerator, DynamicError, EmitMode, Engine, EngineStats, EnumKind, Enumerator,
-        FirstN, Json, JsonError, KPair, LargeMbpParams, MaintainStats, ParallelConfig,
+        FirstN, Json, JsonError, KPair, Kernel, LargeMbpParams, MaintainStats, ParallelConfig,
         ParallelEngine, QuerySpec, RunReport, SolutionSink, SolutionStream, StopReason,
         TraversalConfig, UpdateDiff, VertexOrder,
     };

@@ -47,6 +47,16 @@ fn anchor_strategy() -> impl Strategy<Value = Anchor> {
     prop_oneof![Just(Anchor::Left), Just(Anchor::Right), Just(Anchor::Arbitrary)]
 }
 
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        Just(Kernel::Auto),
+        Just(Kernel::Merge),
+        Just(Kernel::Gallop),
+        Just(Kernel::Chunked),
+        Just(Kernel::Bitset),
+    ]
+}
+
 fn duration_strategy() -> impl Strategy<Value = Duration> {
     (0u64..10_000, 0u32..1_000_000_000).prop_map(|(secs, nanos)| Duration::new(secs, nanos))
 }
@@ -76,6 +86,7 @@ fn spec_strategy() -> impl Strategy<Value = QuerySpec> {
         proptest::option::of(any::<u64>()),
         proptest::option::of(duration_strategy()),
         1usize..2048,
+        kernel_strategy(),
     );
     (first, second).prop_map(
         |(
@@ -90,6 +101,7 @@ fn spec_strategy() -> impl Strategy<Value = QuerySpec> {
                 limit,
                 time_budget,
                 stream_buffer,
+                kernel,
             ),
         )| QuerySpec {
             k,
@@ -109,6 +121,7 @@ fn spec_strategy() -> impl Strategy<Value = QuerySpec> {
             limit,
             time_budget,
             stream_buffer,
+            kernel,
         },
     )
 }
@@ -156,7 +169,8 @@ proptest! {
             .threads(spec.threads)
             .seen_segments(spec.seen_segments)
             .steal_adaptive(spec.steal_adaptive)
-            .stream_buffer(spec.stream_buffer);
+            .stream_buffer(spec.stream_buffer)
+            .kernel(spec.kernel);
         if let Some(kp) = spec.k_pair {
             e = e.k_pair(kp);
         }
@@ -223,11 +237,13 @@ fn enum_codes_round_trip_through_their_display_form() {
         engine: Engine::WorkSteal,
         order: VertexOrder::Degeneracy,
         anchor: Some(Anchor::Arbitrary),
+        kernel: Kernel::Bitset,
         ..QuerySpec::default()
     };
     let text = spec.to_json_string();
     assert!(text.contains(r#""algorithm":"itraversal-es-rs""#), "{text}");
     assert!(text.contains(r#""engine":"steal""#), "{text}");
     assert!(text.contains(r#""order":"degeneracy""#), "{text}");
+    assert!(text.contains(r#""kernel":"bitset""#), "{text}");
     assert_eq!(QuerySpec::from_json_str(&text).unwrap(), spec);
 }

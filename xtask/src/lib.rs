@@ -19,6 +19,10 @@
 //!   so the model checker sees every operation.
 //! - **`dead-code-allow`** — `allow(dead_code)` is banned workspace-wide;
 //!   dead code is deleted, not silenced.
+//! - **`kernel-dispatch`** — the raw intersection kernels
+//!   (`*_intersection_len`) are `bigraph`-internal; every other crate must
+//!   go through `intersect::dispatch` so the measured crossover heuristic
+//!   and the per-thread `--kernel` override stay authoritative.
 //!
 //! The scanner is deliberately textual (no syn/proc-macro dependencies —
 //! the container is offline): it strips line comments, block comments and
@@ -82,6 +86,13 @@ const MEMBER_ROOTS: &[&str] = &["crates", "vendor", "xtask", "src", "tests", "ex
 /// own source does not trip the workspace-wide scan.
 fn dead_code_needle() -> String {
     ["allow(", "dead_code)"].concat()
+}
+
+/// The raw intersection kernels only `bigraph` itself may name; everyone
+/// else goes through `intersect::dispatch`. Assembled at runtime for the
+/// same self-exemption reason as [`dead_code_needle`].
+fn raw_kernel_needles() -> [String; 4] {
+    ["merge", "gallop", "chunked", "bitset"].map(|k| [k, "_intersection", "_len"].concat())
 }
 
 /// Strips string literals, char literals and comments from one line,
@@ -166,6 +177,8 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     let unwrap_scope = NO_UNWRAP_SCOPES.iter().any(|s| rel.starts_with(s));
     let relaxed_allowed = RELAXED_ALLOWLIST.contains(&rel);
     let dead_needle = dead_code_needle();
+    let kernel_needles = raw_kernel_needles();
+    let outside_bigraph = !rel.starts_with("crates/bigraph/src/");
 
     let raw_lines: Vec<&str> = source.lines().collect();
     let mut in_block_comment = false;
@@ -192,6 +205,23 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                 rule: "dead-code-allow",
                 message: format!("`{dead_needle}` is banned: delete dead code instead"),
             });
+        }
+
+        // Rule: kernel-dispatch (raw kernels are bigraph-internal; the
+        // rule is workspace-wide — tests included — because even test
+        // callers should cross-validate through the dispatcher).
+        if outside_bigraph {
+            if let Some(needle) = kernel_needles.iter().find(|n| code.contains(n.as_str())) {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: lineno,
+                    rule: "kernel-dispatch",
+                    message: format!(
+                        "`{needle}` bypasses `intersect::dispatch`: call the dispatcher so \
+                         the crossover heuristic and `--kernel` override apply"
+                    ),
+                });
+            }
         }
 
         // Rule: atomic-facade (parallel/ must use crate::sync::atomic).

@@ -46,7 +46,29 @@ fn every_fixture_is_flagged_with_its_rule() {
         );
         checked += 1;
     }
-    assert!(checked >= 5, "expected at least five fixtures, found {checked}");
+    assert!(checked >= 6, "expected at least six fixtures, found {checked}");
+}
+
+#[test]
+fn raw_kernels_are_legal_inside_bigraph_only() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let source = fs::read_to_string(dir.join("kernel_bypass.rs")).expect("fixture readable");
+    // The identical code is fine when it lives inside the kernel crate —
+    // that is where the raw kernels are defined and benchmarked.
+    let findings = lint_source("crates/bigraph/src/intersect.rs", &source);
+    assert!(
+        !findings.iter().any(|f| f.rule == "kernel-dispatch"),
+        "bigraph-internal kernel call was flagged: {findings:?}"
+    );
+    // Outside it, every one of the four raw kernels is caught.
+    for kernel in ["merge", "gallop", "chunked", "bitset"] {
+        let call = format!("pub fn f(a: &[u32], b: &[u32]) -> usize {{\n    bigraph::intersect::{kernel}_intersection_len(a, b)\n}}\n");
+        let findings = lint_source("crates/core/src/traversal.rs", &call);
+        assert!(
+            findings.iter().any(|f| f.rule == "kernel-dispatch" && f.line == 2),
+            "raw {kernel} kernel call escaped the lint: {findings:?}"
+        );
+    }
 }
 
 #[test]
