@@ -82,7 +82,8 @@ use crate::biplex::{sorted_intersection_len, Biplex, PartialBiplex};
 use crate::enum_almost_sat::{enum_almost_sat, EnumKind};
 use crate::extend::{extend_to_maximal, ExtendMode};
 use crate::sink::Control;
-use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::AtomicBool;
+use crate::sync::order;
 
 /// Scheduler-independent runtime hooks of one parallel run, injected by the
 /// facade: an optional per-solution callback (streaming delivery instead of
@@ -108,7 +109,7 @@ impl ParRuntime<'_> {
     pub(crate) fn cancelled(&self) -> bool {
         // ordering: Relaxed — the flag is a pure liveness signal, no data is
         // published through it; see DESIGN.md "cancel-flag".
-        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+        self.cancel.is_some_and(|c| c.load(order!(Relaxed, "cancel-flag")))
     }
 
     /// Boundary check: `true` once the run is cancelled or past its
@@ -130,7 +131,7 @@ impl ParRuntime<'_> {
         if let Some(c) = self.cancel {
             // ordering: Relaxed — liveness-only signal, no data published
             // through the flag; see DESIGN.md "cancel-flag".
-            c.store(true, Ordering::Relaxed);
+            c.store(true, order!(Relaxed, "cancel-flag"));
         }
     }
 
@@ -381,7 +382,7 @@ pub(crate) fn expand_solution(
     for v in 0..g.num_left() {
         // ordering: Relaxed — cancellation poll, liveness only; see
         // DESIGN.md "cancel-flag".
-        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        if cancel.is_some_and(|c| c.load(order!(Relaxed, "cancel-flag"))) {
             return;
         }
         if host_partial.contains_left(v) {
@@ -401,7 +402,7 @@ pub(crate) fn expand_solution(
         enum_almost_sat(g, k, config.enum_kind, &host_partial, v, |local: Biplex| -> bool {
             // ordering: Relaxed — cancellation poll, liveness only; see
             // DESIGN.md "cancel-flag".
-            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            if cancel.is_some_and(|c| c.load(order!(Relaxed, "cancel-flag"))) {
                 return false;
             }
             counters.local_solutions += 1;

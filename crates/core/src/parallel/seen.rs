@@ -229,12 +229,12 @@ impl ConcurrentSeenSet {
             stripe.fetch_add(1, order!(SeqCst, "seen-enter-stripe"));
             // ordering: SeqCst — pairs with the increment above against the
             // grower's swap/drain; see DESIGN.md "seen-enter-growing".
-            if !self.growing.load(Ordering::SeqCst) {
+            if !self.growing.load(order!(SeqCst, "seen-enter-growing")) {
                 // ordering: SeqCst — the count read here decides which era
                 // the insert links under; it must be at least as new as the
                 // publication the cleared flag proves finished; see
                 // DESIGN.md "seen-enter-segments".
-                return self.segments.load(Ordering::SeqCst);
+                return self.segments.load(order!(SeqCst, "seen-enter-segments"));
             }
             // ordering: SeqCst — backout must be ordered before the re-read
             // of the flag so the drain can terminate.
@@ -348,7 +348,7 @@ impl ConcurrentSeenSet {
         if self.pinned
             || observed >= MAX_SEGMENTS
             || (self.len.load(Ordering::Relaxed) as usize) <= observed * self.segment_buckets
-            || self.growing.swap(true, Ordering::SeqCst)
+            || self.growing.swap(true, order!(SeqCst, "seen-elect-growing"))
         {
             return;
         }
@@ -384,11 +384,12 @@ impl ConcurrentSeenSet {
             // ordering: SeqCst — publication: every later `enter` must see
             // this count once the flag below is observed clear; see
             // DESIGN.md "seen-publish-segments".
-            self.segments.store(current * 2, Ordering::SeqCst);
+            self.segments.store(current * 2, order!(SeqCst, "seen-publish-segments"));
         }
         // ordering: SeqCst — releases the election; ordered after the
-        // publication store so waiters resume under the new mask.
-        self.growing.store(false, Ordering::SeqCst);
+        // publication store so waiters resume under the new mask; see
+        // DESIGN.md "seen-publish-segments".
+        self.growing.store(false, order!(SeqCst, "seen-publish-segments"));
     }
 
     /// Number of distinct keys inserted so far.

@@ -30,8 +30,8 @@ use std::sync::PoisonError;
 
 use bigraph::BipartiteGraph;
 
-use crate::sync::atomic::{AtomicUsize, Ordering};
-use crate::sync::{hint, plock, thread, Mutex};
+use crate::sync::atomic::AtomicUsize;
+use crate::sync::{hint, order, plock, thread, Mutex};
 
 use super::seen::{ConcurrentSeenSet, SEGMENT_BUCKETS};
 use super::{expand_solution, ParRuntime, ParallelConfig, ParallelStats, WorkerCounters};
@@ -74,7 +74,7 @@ pub(super) fn run(
     }
     // ordering: SeqCst — the seed item is counted before any worker can
     // observe the deque; see DESIGN.md "steal-pending".
-    pending.store(1, Ordering::SeqCst);
+    pending.store(1, order!(SeqCst, "steal-pending"));
     plock(&deques[0]).push_back(initial);
 
     thread::scope(|scope| {
@@ -136,7 +136,7 @@ fn worker(
             // ordering: SeqCst — the termination check must observe every
             // fetch_add that happened before the matching deque push it
             // failed to find; see DESIGN.md "steal-pending".
-            if pending.load(Ordering::SeqCst) == 0 {
+            if pending.load(order!(SeqCst, "steal-pending")) == 0 {
                 break;
             }
             idle += 1;
@@ -171,7 +171,7 @@ fn worker(
                 // termination check can never miss it.
                 // ordering: SeqCst — must not be reordered after the deque
                 // push below; see DESIGN.md "steal-pending".
-                pending.fetch_add(1, Ordering::SeqCst);
+                pending.fetch_add(1, order!(SeqCst, "steal-pending"));
                 plock(my_deque).push_back(solution);
             } else if collect {
                 batch.push(solution);
@@ -194,7 +194,7 @@ fn worker(
         // sequenced before this decrement, so the counter can only hit zero
         // once no queued or in-flight item remains; see DESIGN.md
         // "steal-pending".
-        pending.fetch_sub(1, Ordering::SeqCst);
+        pending.fetch_sub(1, order!(SeqCst, "steal-pending"));
     }
 
     if !batch.is_empty() {

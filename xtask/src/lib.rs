@@ -1,7 +1,7 @@
 //! Repo automation: the custom static lint pass behind `cargo xtask lint`.
 //!
 //! The pass enforces the concurrency-hygiene rules that `rustc` and clippy
-//! cannot express, all centred on the lock-free core:
+//! cannot express. The original rule set centred on the lock-free core:
 //!
 //! - **`ordering-comment`** — every atomic operation in library code under
 //!   `crates/*/src` carries an adjacent `// ordering:` comment justifying
@@ -24,19 +24,47 @@
 //!   go through `intersect::dispatch` so the measured crossover heuristic
 //!   and the per-thread `--kernel` override stay authoritative.
 //!
-//! The scanner is deliberately textual (no syn/proc-macro dependencies —
-//! the container is offline): it strips line comments, block comments and
-//! string/char literals with a small state machine, tracks `#[cfg(test)]`
-//! module extents by brace depth, and applies the path-scoped rules above
-//! line by line. Fixture files under `xtask/tests/fixtures/` encode their
-//! virtual location in a `// lint-as:` header so the integration tests can
-//! drive each rule without polluting the real tree.
+//! The scope-aware rules cover the blocking-concurrency half of the
+//! codebase (the serve scheduler's mutex+condvar core), built on a real
+//! token stream ([`syntax`]) and an intra-procedural guard-liveness
+//! dataflow ([`guards`]):
+//!
+//! - **`lock-order`** — nested lock acquisitions must follow the declared
+//!   per-crate hierarchy ([`guards::LOCK_HIERARCHIES`]); re-acquiring a
+//!   held lock is a self-deadlock finding.
+//! - **`guard-across-blocking`** — no guard may be held across blocking
+//!   I/O, channel ops or joins unless the exact site is declared in
+//!   [`guards::GUARD_BLOCKING_ALLOWLIST`] with its invariant.
+//! - **`condvar-wait-loop`** — `Condvar::wait`/`wait_timeout` must sit
+//!   under a `while`/`loop`, never a bare `if` or straight-line call.
+//! - **`ordering-registry-drift`** — the `order!(…, "site")` tags under
+//!   `crates/core/src/parallel/` and the named-site table in DESIGN.md
+//!   § "Memory-ordering arguments" must agree in both directions
+//!   ([`registry`]).
+//!
+//! Everything is hand-rolled (no syn/proc-macro dependencies — the
+//! container is offline): [`syntax::SourceFile::parse`] lexes each file
+//! **once** into a token stream plus masked lines, and every rule family
+//! shares that one parse. `#[cfg(test)]` module extents are tracked by
+//! brace depth over the masked lines. Fixture files under
+//! `xtask/tests/fixtures/` encode their virtual location in a
+//! `// lint-as:` header so the integration tests can drive each rule
+//! without polluting the real tree. The `--report` flag writes the JSON
+//! artifact documented in [`report`] and `xtask/README.md`.
 
 #![forbid(unsafe_code)]
+
+pub mod guards;
+pub mod registry;
+pub mod report;
+pub mod syntax;
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use syntax::SourceFile;
 
 /// One lint violation, pointing at a workspace-relative path and line.
 #[derive(Debug, Clone)]
@@ -55,6 +83,18 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
     }
+}
+
+/// A finished workspace pass: the findings plus the cost figures the
+/// `--report` artifact pins.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Every finding, in path order then line order.
+    pub findings: Vec<Finding>,
+    /// `.rs` files parsed.
+    pub files_scanned: usize,
+    /// Wall-clock cost of the whole pass (parse + all rules).
+    pub elapsed_ms: u128,
 }
 
 /// Files allowed to mention `Relaxed` in code: each has per-site
@@ -95,82 +135,68 @@ fn raw_kernel_needles() -> [String; 4] {
     ["merge", "gallop", "chunked", "bitset"].map(|k| [k, "_intersection", "_len"].concat())
 }
 
-/// Strips string literals, char literals and comments from one line,
-/// carrying block-comment state across lines. Returns the code portion;
-/// literals collapse to `""`/`' '` so tokens cannot hide inside them.
-fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
-    let bytes: Vec<char> = line.chars().collect();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
+/// Marks each line (0-indexed) that sits inside a `#[cfg(test)]` block,
+/// by brace depth over the masked lines. The attribute line and the
+/// opening-brace line themselves are not marked; the closing-brace line
+/// is. Shared by the line rules and the guard dataflow so both exempt the
+/// same test code.
+#[must_use]
+pub fn test_line_mask(sf: &SourceFile) -> Vec<bool> {
+    let mut mask = vec![false; sf.code_lines.len()];
+    // Brace depths at which `#[cfg(test)]` blocks opened; non-empty means
+    // the current line is inside test-only code.
+    let mut test_depths: Vec<i32> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending_cfg_test = false;
+    for (idx, code) in sf.code_lines.iter().enumerate() {
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            pending_cfg_test = true;
         }
-        match bytes[i] {
-            '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
-            '/' if bytes.get(i + 1) == Some(&'*') => {
-                *in_block_comment = true;
-                i += 2;
+        mask[idx] = !test_depths.is_empty();
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+        if pending_cfg_test {
+            if opens > 0 {
+                test_depths.push(depth);
+                pending_cfg_test = false;
+            } else if code.contains(';') {
+                // `#[cfg(test)]` on a braceless item (use, extern crate).
+                pending_cfg_test = false;
             }
-            '"' => {
-                out.push('"');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                out.push('"');
-            }
-            '\'' => {
-                // Distinguish a char literal from a lifetime: a lifetime is
-                // `'` + ident with no closing quote right after.
-                let is_lifetime = bytes.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_')
-                    && bytes.get(i + 2) != Some(&'\'');
-                if is_lifetime {
-                    out.push('\'');
-                    i += 1;
-                } else {
-                    out.push('\'');
-                    out.push(' ');
-                    out.push('\'');
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => i += 2,
-                            '\'' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
+        }
+        depth += opens - closes;
+        while test_depths.last().is_some_and(|d| depth <= *d) {
+            test_depths.pop();
         }
     }
-    out
+    mask
 }
 
 /// Lints one source file as if it lived at the workspace-relative `rel`
 /// path. Public so the fixture tests can lint snippets under virtual
-/// paths; [`lint_workspace`] uses it for every real file.
+/// paths; [`lint_workspace`] parses each real file once and calls
+/// [`lint_parsed`] directly.
+#[must_use]
 pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    lint_parsed(rel, &SourceFile::parse(source))
+}
+
+/// Runs every per-file rule family over one already-parsed file: the
+/// line-oriented rules on the masked lines and the guard-liveness rules
+/// on the token stream. (The cross-file `ordering-registry-drift` rule
+/// lives in [`lint_workspace`].)
+#[must_use]
+pub fn lint_parsed(rel: &str, sf: &SourceFile) -> Vec<Finding> {
+    let mask = test_line_mask(sf);
+    let mut findings = lint_lines(rel, sf, &mask);
+    findings.extend(guards::analyze(rel, sf, &mask));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// The legacy line-oriented rules, over the masked lines of one parse.
+fn lint_lines(rel: &str, sf: &SourceFile, test_mask: &[bool]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let in_crate_src = rel.starts_with("crates/") && rel.contains("/src/");
     let in_parallel = rel.starts_with("crates/core/src/parallel/");
@@ -180,22 +206,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     let kernel_needles = raw_kernel_needles();
     let outside_bigraph = !rel.starts_with("crates/bigraph/src/");
 
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mut in_block_comment = false;
-    // Brace depths at which `#[cfg(test)]` blocks opened; non-empty means
-    // the current line is inside test-only code.
-    let mut test_depths: Vec<i32> = Vec::new();
-    let mut depth: i32 = 0;
-    let mut pending_cfg_test = false;
-
-    for (idx, raw) in raw_lines.iter().enumerate() {
+    for (idx, code) in sf.code_lines.iter().enumerate() {
         let lineno = idx + 1;
-        let code = strip_line(raw, &mut in_block_comment);
-        let trimmed = code.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
-            pending_cfg_test = true;
-        }
-        let in_test_block = !test_depths.is_empty();
+        let in_test_block = test_mask.get(idx).copied().unwrap_or(false);
 
         // Rule: dead-code-allow (workspace-wide, tests included).
         if code.contains(&dead_needle) {
@@ -241,7 +254,8 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                 && ATOMIC_METHODS.iter().any(|m| code.contains(m));
             if is_atomic_op {
                 let start = idx.saturating_sub(ORDERING_COMMENT_WINDOW);
-                let justified = raw_lines[start..=idx].iter().any(|l| l.contains("// ordering:"));
+                let justified =
+                    sf.raw_lines[start..=idx].iter().any(|l| l.contains("// ordering:"));
                 if !justified {
                     findings.push(Finding {
                         path: rel.to_string(),
@@ -278,23 +292,6 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                         .to_string(),
                 });
             }
-        }
-
-        // Track brace depth and `#[cfg(test)]` block extents.
-        let opens = code.matches('{').count() as i32;
-        let closes = code.matches('}').count() as i32;
-        if pending_cfg_test {
-            if opens > 0 {
-                test_depths.push(depth);
-                pending_cfg_test = false;
-            } else if code.contains(';') {
-                // `#[cfg(test)]` on a braceless item (use, extern crate).
-                pending_cfg_test = false;
-            }
-        }
-        depth += opens - closes;
-        while test_depths.last().is_some_and(|d| depth <= *d) {
-            test_depths.pop();
         }
     }
     findings
@@ -339,9 +336,13 @@ pub fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).parent().map(Path::to_path_buf).unwrap_or_default()
 }
 
-/// Runs the whole pass over the workspace rooted at `root`. Returns every
-/// finding plus the number of files scanned.
-pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
+/// Runs the whole pass over the workspace rooted at `root`: each file is
+/// parsed once, every per-file rule family shares the parse, and the
+/// cross-file ordering-registry check runs at the end over the `order!`
+/// sites collected along the way.
+#[must_use]
+pub fn lint_workspace(root: &Path) -> LintRun {
+    let started = Instant::now();
     let mut files = Vec::new();
     for member_root in MEMBER_ROOTS {
         collect_rs(&root.join(member_root), &mut files);
@@ -349,6 +350,7 @@ pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
     files.sort();
 
     let mut findings = Vec::new();
+    let mut order_sites = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -368,24 +370,34 @@ pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
         if is_crate_root {
             findings.extend(lint_crate_root(&rel, &source));
         }
-        findings.extend(lint_source(&rel, &source));
+        let sf = SourceFile::parse(&source);
+        if rel.starts_with(registry::SITE_SCOPE) {
+            order_sites.extend(registry::collect_order_sites(&rel, &sf));
+        }
+        findings.extend(lint_parsed(&rel, &sf));
     }
-    (findings, files.len())
+
+    // Cross-file rule: ordering-registry-drift.
+    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    findings.extend(registry::check_ordering_registry("DESIGN.md", &design, &order_sites));
+
+    LintRun { findings, files_scanned: files.len(), elapsed_ms: started.elapsed().as_millis() }
 }
 
 /// Entry point for the `xtask` binary; returns the process exit code.
 ///
 /// `cargo xtask lint [--report <path>]` — run the pass over the workspace;
-/// findings go to stderr (and to the report file, one per line, for the CI
-/// artifact). Exit code 0 = clean, 1 = findings, 2 = usage error.
+/// findings go to stderr, and the report file gets the JSON artifact
+/// documented in [`report`]. Exit code 0 = clean, 1 = findings, 2 = usage
+/// error.
 pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
     match args.next().as_deref() {
         Some("lint") => {
-            let mut report: Option<PathBuf> = None;
+            let mut report_path: Option<PathBuf> = None;
             while let Some(flag) = args.next() {
                 match flag.as_str() {
                     "--report" => match args.next() {
-                        Some(p) => report = Some(PathBuf::from(p)),
+                        Some(p) => report_path = Some(PathBuf::from(p)),
                         None => {
                             eprintln!("--report requires a path");
                             return 2;
@@ -398,25 +410,23 @@ pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
                 }
             }
             let root = workspace_root();
-            let (findings, scanned) = lint_workspace(&root);
-            if let Some(path) = report {
-                let mut body: String = findings.iter().map(|f| format!("{f}\n")).collect();
-                if body.is_empty() {
-                    body = format!("clean: no findings in {scanned} files\n");
-                }
-                if let Err(e) = fs::write(&path, body) {
+            let lint_run = lint_workspace(&root);
+            if let Some(path) = report_path {
+                if let Err(e) = fs::write(&path, report::render(&lint_run)) {
                     eprintln!("failed to write report {}: {e}", path.display());
                     return 2;
                 }
             }
-            for finding in &findings {
+            for finding in &lint_run.findings {
                 eprintln!("{finding}");
             }
-            if findings.is_empty() {
-                eprintln!("lint: clean ({scanned} files)");
+            let (n, scanned, ms) =
+                (lint_run.findings.len(), lint_run.files_scanned, lint_run.elapsed_ms);
+            if n == 0 {
+                eprintln!("lint: clean ({scanned} files, {ms} ms)");
                 0
             } else {
-                eprintln!("lint: {} finding(s) in {scanned} files", findings.len());
+                eprintln!("lint: {n} finding(s) in {scanned} files ({ms} ms)");
                 1
             }
         }

@@ -1,0 +1,130 @@
+//! The `ordering-registry-drift` rule: DESIGN.md §5's named-site table
+//! and the `order!(…, "site")` sites in `crates/core/src/parallel/` must
+//! describe the same set of tags, in both directions.
+//!
+//! The `order!` macro names a memory-ordering *site* so the model checker
+//! can downgrade it at runtime; DESIGN.md § "Memory-ordering arguments"
+//! carries the human argument for each named site as a `**`tag`**` bullet.
+//! Documentation rot is silent by nature — a renamed site, a new site
+//! without an argument, or a deleted site with a stale bullet all read
+//! fine locally — so the lint cross-checks the two registries on every
+//! run: a source tag with no DESIGN entry means an undocumented ordering,
+//! and a DESIGN tag with no source site means the argument no longer
+//! points at code.
+
+use crate::syntax::{SourceFile, TokKind};
+use crate::Finding;
+
+/// Where the named sites live.
+pub const SITE_SCOPE: &str = "crates/core/src/parallel/";
+
+/// The DESIGN.md section heading that owns the named-site table.
+pub const DESIGN_SECTION: &str = "Memory-ordering arguments";
+
+/// One `order!(…, "tag")` occurrence.
+#[derive(Debug, Clone)]
+pub struct OrderSite {
+    /// Workspace-relative file.
+    pub path: String,
+    /// 1-based line of the `order!` invocation.
+    pub line: usize,
+    /// The site tag (the string literal's value).
+    pub tag: String,
+}
+
+/// Collects the `order!(…, "tag")` sites from one tokenized file. Callers
+/// gate on [`SITE_SCOPE`]; this only pattern-matches the stream:
+/// `order` `!` `(` IDENT `,` STRING `)`.
+pub fn collect_order_sites(rel: &str, sf: &SourceFile) -> Vec<OrderSite> {
+    let toks = &sf.tokens;
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("order") || !toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            continue;
+        }
+        let ok = toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 4).is_some_and(|t| t.is_punct(','))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(')'));
+        if !ok {
+            continue;
+        }
+        if let Some(tag) = toks.get(i + 5).and_then(|t| t.str_value()) {
+            sites.push(OrderSite {
+                path: rel.to_string(),
+                line: toks[i].line,
+                tag: tag.to_string(),
+            });
+        }
+    }
+    sites
+}
+
+/// The `**`tag`**` entries of the DESIGN.md named-site section, with their
+/// 1-based line numbers.
+pub fn design_ordering_tags(design: &str) -> Vec<(usize, String)> {
+    let mut tags = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in design.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_section = line.contains(DESIGN_SECTION);
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(start) = rest.find("**`") {
+            let tail = &rest[start + 3..];
+            let Some(end) = tail.find("`**") else { break };
+            tags.push((idx + 1, tail[..end].to_string()));
+            rest = &tail[end + 3..];
+        }
+    }
+    tags
+}
+
+/// Cross-checks the two registries; `design_rel` names the document in
+/// findings (the real pass uses `DESIGN.md`, fixtures use their own path).
+pub fn check_ordering_registry(
+    design_rel: &str,
+    design: &str,
+    sites: &[OrderSite],
+) -> Vec<Finding> {
+    let documented = design_ordering_tags(design);
+    let mut findings = Vec::new();
+    for site in sites {
+        if !documented.iter().any(|(_, tag)| *tag == site.tag) {
+            findings.push(Finding {
+                path: site.path.clone(),
+                line: site.line,
+                rule: "ordering-registry-drift",
+                message: format!(
+                    "ordering site `{}` has no `**`{}`**` entry in {design_rel} \
+                     § \"{DESIGN_SECTION}\" — document the argument for this ordering",
+                    site.tag, site.tag
+                ),
+            });
+        }
+    }
+    let mut seen_design: Vec<&str> = Vec::new();
+    for (line, tag) in &documented {
+        if seen_design.contains(&tag.as_str()) {
+            continue;
+        }
+        seen_design.push(tag);
+        if !sites.iter().any(|s| s.tag == *tag) {
+            findings.push(Finding {
+                path: design_rel.to_string(),
+                line: *line,
+                rule: "ordering-registry-drift",
+                message: format!(
+                    "documented ordering site `{tag}` has no `order!(…, \"{tag}\")` \
+                     occurrence under {SITE_SCOPE} — the named-site table has drifted \
+                     from the code"
+                ),
+            });
+        }
+    }
+    findings
+}

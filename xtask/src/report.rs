@@ -1,0 +1,86 @@
+//! The `--report` JSON artifact emitted by `cargo xtask lint`.
+//!
+//! CI uploads this file verbatim, so the schema is pinned here and in
+//! `xtask/README.md`, and a fixture test parses a seeded-findings report
+//! with the workspace's own independent JSON parser (`kbiplex::json`) to
+//! keep the writer honest. Version bumps are additive: consumers must
+//! ignore unknown keys.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "tool": "xtask-lint",
+//!   "files_scanned": 142,
+//!   "elapsed_ms": 38,
+//!   "clean": false,
+//!   "finding_count": 1,
+//!   "findings": [
+//!     {
+//!       "path": "crates/serve/src/server.rs",
+//!       "line": 210,
+//!       "rule": "lock-order",
+//!       "message": "lock-order violation: …"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! - `version` — schema version, bumped only on breaking shape changes.
+//! - `tool` — constant `"xtask-lint"` discriminator for artifact tooling.
+//! - `files_scanned` — `.rs` files the pass parsed.
+//! - `elapsed_ms` — wall-clock cost of the whole pass (parse + all rules),
+//!   so lint cost stays visible in the CI artifact trail.
+//! - `clean` — `finding_count == 0`; the exit code mirrors it.
+//! - `findings[]` — one object per finding, in path/line order as
+//!   reported. `line` is 1-based; `0` means a whole-file finding. `rule`
+//!   is the stable rule identifier (`lock-order`, `no-unwrap`, …).
+
+use crate::LintRun;
+
+/// Renders the version-1 report document for a finished lint run.
+#[must_use]
+pub fn render(run: &LintRun) -> String {
+    let mut out = String::with_capacity(256 + run.findings.len() * 128);
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"tool\": \"xtask-lint\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", run.files_scanned));
+    out.push_str(&format!("  \"elapsed_ms\": {},\n", run.elapsed_ms));
+    out.push_str(&format!("  \"clean\": {},\n", run.findings.is_empty()));
+    out.push_str(&format!("  \"finding_count\": {},\n", run.findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in run.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"path\": \"{}\", ", escape(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(f.rule)));
+        out.push_str(&format!("\"message\": \"{}\"}}", escape(&f.message)));
+    }
+    if !run.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping: quotes, backslashes and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,31 @@
+// lint-as: crates/serve/src/clean.rs
+// expect-rule: clean
+//! Near-miss that must pass: the same condvar as the `condvar_if` mutant,
+//! waited on correctly — a plain `wait` re-checked inside a `loop`, and a
+//! `wait_timeout_while` under a bare `if`, which is fine because the
+//! `*_while` variants re-check their predicate internally.
+
+use std::time::Duration;
+
+pub fn next_job(shared: &Shared) -> Job {
+    let mut sched = lock(&shared.sched);
+    loop {
+        if let Some(job) = sched.queue.pop_front() {
+            break job;
+        }
+        sched = shared.work.wait(sched).unwrap();
+    }
+}
+
+pub fn settle(shared: &Shared) -> bool {
+    let sched = lock(&shared.sched);
+    if sched.queue.is_empty() {
+        return true;
+    }
+    let (sched, timeout) = shared
+        .work
+        .wait_timeout_while(sched, Duration::from_millis(50), |s| !s.queue.is_empty())
+        .unwrap();
+    drop(sched);
+    !timeout.timed_out()
+}

@@ -1,0 +1,15 @@
+// lint-as: crates/serve/src/mutant.rs
+// expect-rule: condvar-wait-loop
+//! Seeded mutant: waits on the work condvar under a bare `if`. A spurious
+//! wakeup — or a signal consumed by another worker between the notify and
+//! this thread's wake — leaves the queue empty and the pop below returns
+//! nothing although the caller was promised a job eventually; the
+//! predicate must be re-checked in a loop around the wait.
+
+pub fn take_job(shared: &Shared) -> Option<Job> {
+    let mut sched = lock(&shared.sched);
+    if sched.queue.is_empty() {
+        sched = shared.work.wait(sched).unwrap();
+    }
+    sched.queue.pop_front()
+}

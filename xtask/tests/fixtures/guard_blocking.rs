@@ -1,0 +1,22 @@
+// lint-as: crates/serve/src/mutant.rs
+// expect-rule: guard-across-blocking
+//! Seeded mutant: holds the connection-registry guard across per-stream
+//! socket writes. One slow peer stalls every thread that needs the
+//! registry — exactly the hold the rule exists to catch, and (unlike the
+//! per-connection `out` mutex in `server.rs`) there is no allowlist entry
+//! declaring an invariant for it.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn broadcast(conns: &Mutex<Vec<TcpStream>>, payload: &[u8]) {
+    let mut conns = lock(conns);
+    for stream in conns.iter_mut() {
+        let _ = stream.write_all(payload);
+    }
+}

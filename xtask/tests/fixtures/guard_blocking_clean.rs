@@ -1,0 +1,30 @@
+// lint-as: crates/serve/src/clean.rs
+// expect-rule: clean
+//! Near-miss that must pass: the same locks and the same blocking calls
+//! as the `guard_blocking` mutant, but every guard is released — by scope
+//! exit or an explicit `drop` — before the blocking call runs.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn respond(shared: &Shared, stream: &mut TcpStream, id: u64) {
+    let payload = {
+        let sched = lock(&shared.sched);
+        sched.render(id)
+    };
+    // The guard died at the block's end; the socket write is lock-free.
+    let _ = stream.write_all(payload.as_bytes());
+}
+
+pub fn shutdown_worker(shared: &Shared, handle: JoinHandle<()>) {
+    let mut sched = lock(&shared.sched);
+    sched.accepting = false;
+    drop(sched);
+    let _ = handle.join();
+}

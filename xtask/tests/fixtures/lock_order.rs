@@ -1,0 +1,19 @@
+// lint-as: crates/serve/src/mutant.rs
+// expect-rule: lock-order
+//! Seeded mutant: acquires the published-graph lock, then the scheduler
+//! lock — the reverse of the declared `sched < dynamic < current`
+//! hierarchy. An update thread holding `dynamic` while waiting for
+//! `current` plus this thread holding `current` while waiting for `sched`
+//! (held by a worker that wants `current`) is a deadlock cycle.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn pick_job_against_snapshot(shared: &Shared) -> usize {
+    let current = lock(&shared.current);
+    let sched = lock(&shared.sched);
+    sched.queue.len().min(current.num_left())
+}

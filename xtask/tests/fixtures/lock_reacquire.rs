@@ -1,0 +1,13 @@
+// lint-as: crates/serve/src/mutant.rs
+// expect-rule: lock-order
+//! Seeded mutant: re-acquires a lock whose guard is still live. Std
+//! mutexes are not reentrant, so this self-deadlocks on the spot — the
+//! rule reports it as a `lock-order` finding with a re-acquisition
+//! message.
+
+pub fn drain_and_count(shared: &Shared) -> usize {
+    let mut sched = shared.sched.lock().unwrap();
+    sched.queue.clear();
+    let again = shared.sched.lock().unwrap();
+    again.queue.len()
+}

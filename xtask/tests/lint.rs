@@ -1,11 +1,21 @@
 //! Integration tests for the custom lint pass: every violation fixture
-//! must be flagged with its expected rule, conforming code must pass, and
-//! the real workspace must be clean.
+//! must be flagged with its expected rule, every near-miss clean fixture
+//! must pass, the `--report` JSON artifact must parse under an
+//! independent parser, and the real workspace must be clean.
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use xtask::{lint_source, lint_workspace, workspace_root};
+use xtask::syntax::SourceFile;
+use xtask::{lint_source, lint_workspace, registry, report, workspace_root, Finding, LintRun};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn read_fixture(name: &str) -> String {
+    fs::read_to_string(fixtures_dir().join(name)).expect("fixture readable")
+}
 
 /// Parses the `// lint-as:` / `// expect-rule:` fixture header.
 fn fixture_header(source: &str) -> (String, String) {
@@ -25,11 +35,13 @@ fn fixture_header(source: &str) -> (String, String) {
     )
 }
 
+/// Every top-level fixture either seeds a violation its rule must refute
+/// (`// expect-rule: <rule>`) or is a near-miss that must pass clean
+/// (`// expect-rule: clean`).
 #[test]
-fn every_fixture_is_flagged_with_its_rule() {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+fn every_fixture_matches_its_expectation() {
     let mut checked = 0;
-    for entry in fs::read_dir(&dir).expect("fixtures directory") {
+    for entry in fs::read_dir(fixtures_dir()).expect("fixtures directory") {
         let path = entry.expect("fixture entry").path();
         if path.extension().is_none_or(|e| e != "rs") {
             continue;
@@ -37,22 +49,169 @@ fn every_fixture_is_flagged_with_its_rule() {
         let source = fs::read_to_string(&path).expect("fixture readable");
         let (lint_as, expect) = fixture_header(&source);
         let findings = lint_source(&lint_as, &source);
-        assert!(
-            findings.iter().any(|f| f.rule == expect),
-            "fixture {} expected a `{}` finding, got: {:?}",
-            path.display(),
-            expect,
-            findings
-        );
+        if expect == "clean" {
+            assert!(
+                findings.is_empty(),
+                "clean fixture {} was flagged: {:?}",
+                path.display(),
+                findings
+            );
+        } else {
+            assert!(
+                findings.iter().any(|f| f.rule == expect),
+                "fixture {} expected a `{}` finding, got: {:?}",
+                path.display(),
+                expect,
+                findings
+            );
+        }
         checked += 1;
     }
-    assert!(checked >= 6, "expected at least six fixtures, found {checked}");
+    assert!(checked >= 13, "expected at least thirteen fixtures, found {checked}");
+}
+
+#[test]
+fn lock_order_mutant_is_pinpointed() {
+    let source = read_fixture("lock_order.rs");
+    let findings = lint_source("crates/serve/src/mutant.rs", &source);
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(hits.len(), 1, "exactly the nested acquisition should fire: {findings:?}");
+    // The finding sits on the `lock(&shared.sched)` line, names both locks
+    // and spells out the declared hierarchy.
+    assert_eq!(hits[0].line, 17);
+    assert!(hits[0].message.contains("`sched`"), "message: {}", hits[0].message);
+    assert!(hits[0].message.contains("`current`"), "message: {}", hits[0].message);
+    assert!(hits[0].message.contains("sched < dynamic < current"), "message: {}", hits[0].message);
+}
+
+#[test]
+fn reacquisition_is_reported_as_self_deadlock() {
+    let source = read_fixture("lock_reacquire.rs");
+    let findings = lint_source("crates/serve/src/mutant.rs", &source);
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(hits.len(), 1, "findings: {findings:?}");
+    assert_eq!(hits[0].line, 11);
+    assert!(hits[0].message.contains("re-acquisition"), "message: {}", hits[0].message);
+}
+
+#[test]
+fn guard_blocking_mutant_names_guard_and_callee() {
+    let source = read_fixture("guard_blocking.rs");
+    let findings = lint_source("crates/serve/src/mutant.rs", &source);
+    let hits: Vec<&Finding> =
+        findings.iter().filter(|f| f.rule == "guard-across-blocking").collect();
+    assert_eq!(hits.len(), 1, "findings: {findings:?}");
+    assert_eq!(hits[0].line, 20);
+    assert!(hits[0].message.contains("`conns`"), "message: {}", hits[0].message);
+    assert!(hits[0].message.contains("write_all"), "message: {}", hits[0].message);
+}
+
+/// The allowlist is scoped to exact (file, lock, callee) triples: the
+/// `server.rs` frame-write-under-`out` hold is declared, so the identical
+/// code is clean there and a finding anywhere else.
+#[test]
+fn blocking_allowlist_is_file_scoped() {
+    let source = "\
+fn send(out: &Mutex<TcpStream>, payload: &[u8]) {
+    let mut stream = lock(out);
+    let _ = write_frame(&mut *stream, payload);
+}
+";
+    let declared = lint_source("crates/serve/src/server.rs", source);
+    assert!(declared.is_empty(), "allowlisted hold was flagged: {declared:?}");
+    let undeclared = lint_source("crates/serve/src/mutant.rs", source);
+    assert!(
+        undeclared.iter().any(|f| f.rule == "guard-across-blocking" && f.line == 3),
+        "undeclared hold escaped the lint: {undeclared:?}"
+    );
+}
+
+#[test]
+fn condvar_mutant_is_flagged_on_the_wait_line() {
+    let source = read_fixture("condvar_if.rs");
+    let findings = lint_source("crates/serve/src/mutant.rs", &source);
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == "condvar-wait-loop").collect();
+    assert_eq!(hits.len(), 1, "findings: {findings:?}");
+    assert_eq!(hits[0].line, 12);
+}
+
+/// The registry fixture pair seeds drift in both directions: a phantom
+/// `order!` tag with no design entry, and a ghost design entry with no
+/// `order!` site. The matched tag must stay silent.
+#[test]
+fn registry_drift_is_reported_in_both_directions() {
+    let code = read_fixture("registry/drift.rs");
+    let design = read_fixture("registry/design.md");
+    let rel = "crates/core/src/parallel/drift.rs";
+    let sites = registry::collect_order_sites(rel, &SourceFile::parse(&code));
+    let tags: Vec<&str> = sites.iter().map(|s| s.tag.as_str()).collect();
+    assert_eq!(tags, ["seen-exit-stripe", "phantom-site"]);
+
+    let findings = registry::check_ordering_registry("design.md", &design, &sites);
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    let phantom = findings.iter().find(|f| f.message.contains("phantom-site")).expect("phantom");
+    assert_eq!(phantom.path, rel);
+    assert_eq!(phantom.line, 10);
+    let ghost = findings.iter().find(|f| f.message.contains("ghost-site")).expect("ghost");
+    assert_eq!(ghost.path, "design.md");
+    assert_eq!(ghost.line, 12);
+    assert!(
+        !findings.iter().any(|f| f.message.contains("seen-exit-stripe")),
+        "matched tag reported as drift: {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.message.contains("not-an-ordering-site")),
+        "bold code outside the ordering section leaked into the table: {findings:?}"
+    );
+}
+
+/// Pins the `--report` JSON schema (see `xtask/src/report.rs` and
+/// `xtask/README.md`): render the report of a seeded-findings fixture run,
+/// then parse it with the workspace's independent JSON parser and check
+/// every documented key.
+#[test]
+fn report_schema_round_trips_through_independent_parser() {
+    use kbiplex::json::Json;
+
+    let source = read_fixture("guard_blocking.rs");
+    let findings = lint_source("crates/serve/src/mutant.rs", &source);
+    assert!(!findings.is_empty(), "seeded fixture produced no findings");
+    let run = LintRun { findings, files_scanned: 1, elapsed_ms: 7 };
+    let rendered = report::render(&run);
+
+    let doc = Json::parse(&rendered).expect("report is valid JSON");
+    let get = |k: &str| doc.get(k).unwrap_or_else(|| panic!("report missing key `{k}`"));
+    assert_eq!(get("version").as_u64("version").unwrap(), 1);
+    assert_eq!(get("tool").as_str("tool").unwrap(), "xtask-lint");
+    assert_eq!(get("files_scanned").as_u64("files_scanned").unwrap(), 1);
+    assert_eq!(get("elapsed_ms").as_u64("elapsed_ms").unwrap(), 7);
+    assert!(!get("clean").as_bool("clean").unwrap());
+    let listed = get("findings").as_arr("findings").unwrap();
+    assert_eq!(listed.len() as u64, get("finding_count").as_u64("finding_count").unwrap());
+    let first = &listed[0];
+    assert_eq!(
+        first.get("path").expect("path").as_str("path").unwrap(),
+        "crates/serve/src/mutant.rs"
+    );
+    assert_eq!(first.get("rule").expect("rule").as_str("rule").unwrap(), "guard-across-blocking");
+    assert!(first.get("line").expect("line").as_u64("line").unwrap() > 0);
+    assert!(first
+        .get("message")
+        .expect("message")
+        .as_str("message")
+        .unwrap()
+        .contains("write_all"));
+
+    // A clean run renders `clean: true` with an empty findings array.
+    let clean = report::render(&LintRun { findings: Vec::new(), files_scanned: 3, elapsed_ms: 1 });
+    let doc = Json::parse(&clean).expect("clean report is valid JSON");
+    assert!(doc.get("clean").expect("clean").as_bool("clean").unwrap());
+    assert!(doc.get("findings").expect("findings").as_arr("findings").unwrap().is_empty());
 }
 
 #[test]
 fn raw_kernels_are_legal_inside_bigraph_only() {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    let source = fs::read_to_string(dir.join("kernel_bypass.rs")).expect("fixture readable");
+    let source = read_fixture("kernel_bypass.rs");
     // The identical code is fine when it lives inside the kernel crate —
     // that is where the raw kernels are defined and benchmarked.
     let findings = lint_source("crates/bigraph/src/intersect.rs", &source);
@@ -73,8 +232,7 @@ fn raw_kernels_are_legal_inside_bigraph_only() {
 
 #[test]
 fn test_module_unwrap_is_exempt() {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    let source = fs::read_to_string(dir.join("unwrap_lib.rs")).expect("fixture readable");
+    let source = read_fixture("unwrap_lib.rs");
     let findings = lint_source("crates/core/src/fixture.rs", &source);
     let unwraps: Vec<_> = findings.iter().filter(|f| f.rule == "no-unwrap").collect();
     assert_eq!(unwraps.len(), 1, "only the non-test unwrap should be flagged, got: {unwraps:?}");
@@ -123,11 +281,11 @@ fn missing_forbid_unsafe_is_flagged() {
 fn workspace_is_clean() {
     let root = workspace_root();
     assert!(root.join("Cargo.toml").exists(), "workspace root not found at {}", root.display());
-    let (findings, scanned) = lint_workspace(&root);
-    assert!(scanned > 50, "suspiciously few files scanned: {scanned}");
+    let run = lint_workspace(&root);
+    assert!(run.files_scanned > 50, "suspiciously few files scanned: {}", run.files_scanned);
     assert!(
-        findings.is_empty(),
+        run.findings.is_empty(),
         "workspace has lint findings:\n{}",
-        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+        run.findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
     );
 }
